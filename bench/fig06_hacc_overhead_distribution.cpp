@@ -1,0 +1,65 @@
+// Fig. 6 -- HACC-IO total-time distribution with the direct strategy
+// (run 0) and without bandwidth limitation (run 1): overhead post-run,
+// overhead peri-run, visible I/O, compute.
+//
+// Reproduced claims: peri-run overhead is negligible (< 0.1 %); post-run
+// overhead grows with the rank count (gather at MPI_Finalize); total
+// overhead stays below ~9 %; the visible-I/O share shrinks without a limit
+// as ranks grow (run 1), while with the limit most I/O hides anyway.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/hacc_io.hpp"
+
+using namespace iobts;
+using bench::Options;
+
+int main(int argc, char** argv) {
+  const Options options = Options::parse(argc, argv);
+  bench::banner("Fig. 6",
+                "HACC-IO time distribution: direct strategy (run 0) vs no "
+                "limit (run 1)",
+                options);
+
+  const std::vector<int> rank_list =
+      options.quick ? std::vector<int>{1, 16, 96}
+                    : std::vector<int>{1, 16, 96, 384, 1536, 4608, 9216};
+
+  StackedBars bars(46);
+  bars.setSegments({"post", "peri", "io", "comp"});
+  std::unique_ptr<CsvWriter> csv;
+  if (options.csv_dir) {
+    csv = std::make_unique<CsvWriter>(
+        *options.csv_dir + "/fig06_distribution.csv");
+    csv->header({"ranks", "run", "overhead_post_pct", "overhead_peri_pct",
+                 "visible_io_pct", "compute_pct"});
+  }
+
+  for (const int ranks : rank_list) {
+    for (int run_id = 0; run_id < 2; ++run_id) {
+      const auto strategy =
+          run_id == 0 ? tmio::StrategyKind::Direct : tmio::StrategyKind::None;
+      mpisim::WorldConfig wcfg;
+      wcfg.ranks = ranks;
+      bench::TracedRun run(bench::lichtenbergLink(), wcfg,
+                           bench::tracerFor(strategy, 1.1));
+      workloads::HaccIoConfig hacc = bench::paperScaledHacc(ranks);
+      run.run(workloads::haccIoProgram(hacc));
+
+      const tmio::VisibleBreakdown v = tmio::visibleBreakdown(run.world);
+      bars.addBar(std::to_string(ranks) + "r/run" + std::to_string(run_id),
+                  {v.overhead_post, v.overhead_peri, v.visible_io, v.compute});
+      if (csv) {
+        csv->rowNumeric({static_cast<double>(ranks),
+                         static_cast<double>(run_id), v.overhead_post,
+                         v.overhead_peri, v.visible_io, v.compute});
+      }
+    }
+  }
+  std::printf("%s\n", bars.render().c_str());
+  std::printf("run 0 = direct strategy (tol 1.1), run 1 = without limit\n");
+  std::printf("paper shape: peri < 0.1%%; post grows with ranks; total "
+              "overhead < 9%%.\n");
+  return 0;
+}

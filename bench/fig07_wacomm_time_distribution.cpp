@@ -1,0 +1,90 @@
+// Fig. 7 -- WaComM++ application-time distribution for 24..6144 ranks with
+// the direct strategy (tol 2), the up-only strategy (tol 1.1) and without
+// bandwidth limitation.
+//
+// Reproduced claims: the limiting runs achieve notably higher "async write
+// exploit" (asynchronous writes performed in the background of compute);
+// waiting time stays negligible; the exploit share shrinks with growing
+// rank counts (per-rank write volume shrinks under strong scaling).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/wacomm.hpp"
+
+using namespace iobts;
+using bench::Options;
+
+namespace {
+
+workloads::WacommConfig paperWacomm() {
+  workloads::WacommConfig cfg;  // 2e5 particles, 50 iterations (paper)
+  cfg.bytes_per_particle = 2048;  // NetCDF-like multi-variable record
+  cfg.iteration_compute_core_seconds = 48.0;
+  cfg.iteration_fixed_seconds = 2.2;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = Options::parse(argc, argv);
+  bench::banner(
+      "Fig. 7",
+      "WaComM++ time distribution: direct (tol 2) / up-only (tol 1.1) / none",
+      options);
+
+  const std::vector<int> rank_list =
+      options.quick
+          ? std::vector<int>{24, 96, 384}
+          : std::vector<int>{24, 48, 96, 192, 384, 768, 1536, 3072, 6144};
+
+  struct Setting {
+    const char* label;
+    tmio::StrategyKind strategy;
+    double tolerance;
+  };
+  const std::vector<Setting> settings = {
+      {"direct/2.0", tmio::StrategyKind::Direct, 2.0},
+      {"uponly/1.1", tmio::StrategyKind::UpOnly, 1.1},
+      {"none", tmio::StrategyKind::None, 1.1},
+  };
+
+  StackedBars bars(44);
+  bars.setSegments({"syncw", "lost", "expl", "comp"});
+  std::unique_ptr<CsvWriter> csv;
+  if (options.csv_dir) {
+    csv = std::make_unique<CsvWriter>(*options.csv_dir + "/fig07_wacomm.csv");
+    csv->header({"ranks", "setting", "sync_write_pct", "lost_pct",
+                 "exploit_pct", "compute_pct", "elapsed_s"});
+  }
+
+  for (const int ranks : rank_list) {
+    for (const Setting& s : settings) {
+      mpisim::WorldConfig wcfg;
+      wcfg.ranks = ranks;
+      bench::TracedRun run(bench::lichtenbergLink(), wcfg,
+                           bench::tracerFor(s.strategy, s.tolerance));
+      const auto cfg = paperWacomm();
+      run.run(workloads::wacommProgram(cfg));
+
+      const tmio::ExploitBreakdown e =
+          tmio::exploitBreakdown(run.tracer, run.world);
+      const double sync = e.sync_write + e.sync_read;
+      const double lost = e.async_write_lost + e.async_read_lost;
+      const double exploit = e.async_write_exploit + e.async_read_exploit;
+      bars.addBar(std::to_string(ranks) + "r " + s.label,
+                  {sync, lost, exploit, e.compute_io_free});
+      if (csv) {
+        csv->row({std::to_string(ranks), s.label, std::to_string(sync),
+                  std::to_string(lost), std::to_string(exploit),
+                  std::to_string(e.compute_io_free),
+                  std::to_string(run.world.elapsed())});
+      }
+    }
+  }
+  std::printf("%s\n", bars.render().c_str());
+  std::printf("paper shape: 'expl' (async write exploit) markedly higher for "
+              "the limiting strategies; waits ('lost') negligible.\n");
+  return 0;
+}

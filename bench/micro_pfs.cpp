@@ -1,0 +1,76 @@
+// Micro-benchmarks of the PFS model: fair-share re-solve cost and
+// end-to-end transfer throughput under many concurrent streams.
+#include <benchmark/benchmark.h>
+
+#include "pfs/fair_share.hpp"
+#include "pfs/file_store.hpp"
+#include "pfs/shared_link.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::pfs {
+namespace {
+
+void BM_FairShareSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7, "bench-fairshare");
+  std::vector<FairShareItem> items(n);
+  for (auto& item : items) {
+    item.weight = rng.uniform(0.5, 4.0);
+    if (rng.uniform() < 0.5) item.cap = rng.uniform(1.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairShare(items, 1000.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FairShareSolve)->Arg(96)->Arg(1536)->Arg(9216);
+
+sim::Task<void> oneTransfer(SharedLink& link, StreamId stream, Bytes bytes) {
+  co_await link.transfer(Channel::Write, stream, bytes);
+}
+
+void BM_ConcurrentTransfers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    SharedLink link(sim, cfg);
+    for (int i = 0; i < n; ++i) {
+      const auto s = link.createStream("s" + std::to_string(i));
+      sim.spawn(oneTransfer(link, s, 64 * kMiB));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConcurrentTransfers)->Arg(96)->Arg(1536);
+
+void BM_FileStoreWrite(benchmark::State& state) {
+  FileStore store;
+  Bytes offset = 0;
+  for (auto _ : state) {
+    store.write("/bench", offset % (1 << 30), 4096, offset);
+    offset += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileStoreWrite);
+
+void BM_FileStoreOverwriteSplit(benchmark::State& state) {
+  FileStore store;
+  store.write("/bench", 0, 1 << 20, 1);
+  Rng rng(5, "bench-overwrite");
+  for (auto _ : state) {
+    const Bytes off = rng.uniformInt((1 << 20) - 512);
+    store.write("/bench", off, 512, off);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileStoreOverwriteSplit);
+
+}  // namespace
+}  // namespace iobts::pfs
+
+BENCHMARK_MAIN();

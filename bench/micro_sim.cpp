@@ -1,0 +1,98 @@
+// Micro-benchmarks of the discrete-event kernel: event throughput,
+// coroutine chain depth, synchronization primitives.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace iobts::sim {
+namespace {
+
+Task<void> delayLoop(Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(1.0);
+}
+
+void BM_EventThroughput(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    sim.spawn(delayLoop(sim, hops));
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(100000);
+
+Task<int> chain(int depth) {
+  if (depth == 0) co_return 0;
+  co_return 1 + co_await chain(depth - 1);
+}
+
+Task<void> chainRoot(int depth, int& out) { out = co_await chain(depth); }
+
+void BM_CoroutineChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    int result = 0;
+    sim.spawn(chainRoot(depth, result));
+    sim.run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_CoroutineChain)->Arg(100)->Arg(10000);
+
+Task<void> pingPong(Simulation&, Mailbox<int>& a, Mailbox<int>& b,
+                    int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    a.send(i);
+    benchmark::DoNotOptimize(co_await b.recv());
+  }
+}
+
+Task<void> echo(Mailbox<int>& a, Mailbox<int>& b, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    const int v = co_await a.recv();
+    b.send(v);
+  }
+}
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    Mailbox<int> a(sim);
+    Mailbox<int> b(sim);
+    sim.spawn(pingPong(sim, a, b, rounds));
+    sim.spawn(echo(a, b, rounds));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_MailboxPingPong)->Arg(10000);
+
+Task<void> barrierParty(Barrier& barrier, int rounds) {
+  for (int i = 0; i < rounds; ++i) co_await barrier.arriveAndWait();
+}
+
+void BM_BarrierRounds(benchmark::State& state) {
+  const int parties = static_cast<int>(state.range(0));
+  constexpr int kRounds = 50;
+  for (auto _ : state) {
+    Simulation sim;
+    Barrier barrier(sim, static_cast<std::size_t>(parties));
+    for (int p = 0; p < parties; ++p) {
+      sim.spawn(barrierParty(barrier, kRounds));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * parties * kRounds);
+}
+BENCHMARK(BM_BarrierRounds)->Arg(96)->Arg(1536);
+
+}  // namespace
+}  // namespace iobts::sim
+
+BENCHMARK_MAIN();

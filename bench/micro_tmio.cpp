@@ -1,0 +1,85 @@
+// Micro-benchmarks of TMIO itself: region-sweep cost (the offline Eq. 3
+// aggregation) and the per-intercept tracing cost relative to an untraced
+// run -- the library-level view of the paper's "very low overhead" claim.
+#include <benchmark/benchmark.h>
+
+#include "mpisim/world.hpp"
+#include "tmio/regions.hpp"
+#include "tmio/tracer.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::tmio {
+namespace {
+
+void BM_RegionSweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11, "bench-regions");
+  std::vector<Interval> intervals(n);
+  for (auto& iv : intervals) {
+    iv.start = rng.uniform(0.0, 1000.0);
+    iv.end = iv.start + rng.uniform(0.0, 50.0);
+    iv.value = rng.uniform(1.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweepRegions(intervals));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegionSweep)->Arg(1000)->Arg(100000);
+
+sim::Task<void> ioLoop(mpisim::RankCtx& ctx) {
+  auto f = ctx.open("/bench/out." + std::to_string(ctx.rank()));
+  mpisim::Request pending;
+  for (int loop = 0; loop < 50; ++loop) {
+    if (pending.valid()) co_await ctx.wait(pending);
+    pending = co_await f.iwriteAt(0, 1 * kMiB, loop + 1);
+    co_await ctx.compute(0.01);
+  }
+  co_await ctx.wait(pending);
+}
+
+void runWorld(bool traced) {
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.write_capacity = 10e9;
+  link_cfg.read_capacity = 10e9;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+  mpisim::WorldConfig wcfg;
+  wcfg.ranks = 8;
+  std::unique_ptr<Tracer> tracer;
+  if (traced) {
+    TracerConfig tcfg;
+    tcfg.strategy = StrategyKind::UpOnly;
+    tracer = std::make_unique<Tracer>(tcfg);
+  }
+  mpisim::World world(sim, link, store, wcfg, tracer.get());
+  if (tracer) tracer->attach(world);
+  world.launch(ioLoop);
+  sim.run();
+}
+
+void BM_TracedRun(benchmark::State& state) {
+  for (auto _ : state) runWorld(true);
+}
+BENCHMARK(BM_TracedRun);
+
+void BM_UntracedRun(benchmark::State& state) {
+  for (auto _ : state) runWorld(false);
+}
+BENCHMARK(BM_UntracedRun);
+
+void BM_StrategyStep(benchmark::State& state) {
+  auto strategy = makeStrategy(StrategyKind::Adaptive, {});
+  Rng rng(3, "bench-strategy");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->nextLimit(rng.uniform(1e6, 1e9)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrategyStep);
+
+}  // namespace
+}  // namespace iobts::tmio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace iobts::cluster {
+
+GlobalCoordinator::GlobalCoordinator(Cluster& cluster,
+                                     CoordinatorConfig config)
+    : cluster_(cluster), config_(config) {
+  IOBTS_CHECK(config_.tolerance > 0.0, "tolerance must be positive");
+  IOBTS_CHECK(config_.poll_interval > 0.0, "poll interval must be positive");
+  IOBTS_CHECK(config_.max_async_share > 0.0 && config_.max_async_share <= 1.0,
+              "max_async_share must be in (0, 1]");
+  IOBTS_CHECK(config_.relief_factor > 1.0, "relief factor must exceed 1");
+  IOBTS_CHECK(config_.relief_decay > 0.0 && config_.relief_decay <= 1.0,
+              "relief decay must be in (0, 1]");
+  states_.resize(cluster.jobCount());
+}
+
+double GlobalCoordinator::estimateRequired(JobId id, JobState& state) {
+  const tmio::Tracer* tracer = cluster_.jobTracer(id);
+  if (tracer == nullptr) return 0.0;
+  if (state.last_required.empty()) {
+    state.last_required.assign(cluster_.spec(id).nodes, 0.0);
+  }
+  const auto& records = tracer->phaseRecords();
+  for (; state.records_consumed < records.size(); ++state.records_consumed) {
+    const tmio::PhaseRecord& rec = records[state.records_consumed];
+    state.last_required[rec.rank] = rec.required;
+  }
+  double total = 0.0;
+  for (const double b : state.last_required) total += b;
+  return total;
+}
+
+double GlobalCoordinator::lostSeconds(JobId id) const {
+  const tmio::Tracer* tracer = cluster_.jobTracer(id);
+  if (tracer == nullptr) return 0.0;
+  double lost = 0.0;
+  for (int r = 0; r < cluster_.spec(id).nodes; ++r) {
+    const tmio::AsyncTimeSplit& split = tracer->rankSplit(r);
+    lost += split.write_lost + split.read_lost;
+  }
+  return lost;
+}
+
+sim::Task<void> GlobalCoordinator::run() {
+  sim::Simulation& sim = cluster_.sim();
+  pfs::SharedLink& link = cluster_.link();
+  const double budget =
+      link.capacity(pfs::Channel::Write) * config_.max_async_share;
+
+  while (!cluster_.allFinished()) {
+    co_await sim.delay(config_.poll_interval);
+
+    // Gather every running async job's current requirement estimate.
+    struct Candidate {
+      JobId id;
+      double required;
+    };
+    std::vector<Candidate> candidates;
+    double total_required = 0.0;
+    for (JobId id = 0; id < cluster_.jobCount(); ++id) {
+      if (cluster_.spec(id).io != JobIo::Async) continue;
+      if (!cluster_.result(id).started() || cluster_.result(id).finished()) {
+        continue;
+      }
+      const double required = estimateRequired(id, states_[id]);
+      if (required <= 0.0) continue;  // no phase measured yet: leave free
+      candidates.push_back({id, required});
+      total_required += required;
+    }
+
+    // Global admission: scale everyone down proportionally if the combined
+    // requirement exceeds the async budget.
+    const double admission =
+        total_required * config_.tolerance > budget
+            ? budget / (total_required * config_.tolerance)
+            : 1.0;
+
+    capped_jobs_ = 0;
+    for (const Candidate& c : candidates) {
+      JobState& state = states_[c.id];
+      // Relief: if the job accumulated wait time since the last poll, its
+      // cap was too low -- escalate until the waits stop growing.
+      const double lost = lostSeconds(c.id);
+      if (lost > state.last_lost + 1e-9) {
+        state.relief *= config_.relief_factor;
+        ++relief_events_;
+        IOBTS_LOG_DEBUG() << "coordinator relief for job "
+                          << cluster_.spec(c.id).name << " -> x"
+                          << state.relief;
+      } else {
+        state.relief = std::max(1.0, state.relief * config_.relief_decay);
+      }
+      state.last_lost = lost;
+
+      const double cap =
+          c.required * config_.tolerance * admission * state.relief;
+      link.setStreamCap(cluster_.jobStream(c.id), cap);
+      ++capped_jobs_;
+    }
+  }
+
+  // Leave no stale caps behind.
+  for (JobId id = 0; id < cluster_.jobCount(); ++id) {
+    if (cluster_.spec(id).io == JobIo::Async) {
+      link.setStreamCap(cluster_.jobStream(id), std::nullopt);
+    }
+  }
+}
+
+}  // namespace iobts::cluster

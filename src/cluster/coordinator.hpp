@@ -1,0 +1,66 @@
+// Global I/O coordinator (the paper's stated next step: per-application
+// limiting is myopic; "a global view is required to utilize the system's
+// bandwidth completely optimally", and under variability the system must
+// "ensure the application can either attain the required bandwidth or that
+// all bytes in the phase are transferred in time").
+//
+// The coordinator owns the caps of *all* async jobs at once:
+//
+//   * every async job is capped at tolerance x its TMIO-estimated required
+//     bandwidth -- continuously, not only during contention (the global view
+//     knows the spared bandwidth is useful to someone);
+//   * if the estimated requirements exceed the configured share of the PFS,
+//     the caps are scaled down proportionally (global admission);
+//   * a job that starts accumulating wait time (its limit proved too low --
+//     Fig. 14's regime) gets an escalating relief factor until its waits
+//     stop growing, guaranteeing it reaches its required bandwidth.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace iobts::cluster {
+
+struct CoordinatorConfig {
+  double tolerance = 1.1;
+  sim::Time poll_interval = 0.25;
+  /// Async jobs may reserve at most this share of the write capacity.
+  double max_async_share = 0.8;
+  /// Relief: multiply a waiting job's cap by this factor per poll while its
+  /// wait time keeps growing; decay back once the waits stop.
+  double relief_factor = 1.5;
+  double relief_decay = 0.9;
+};
+
+class GlobalCoordinator {
+ public:
+  GlobalCoordinator(Cluster& cluster, CoordinatorConfig config);
+
+  /// The coordinator process; spawn once after Cluster::start().
+  sim::Task<void> run();
+
+  /// Jobs currently capped (diagnostics).
+  int cappedJobs() const noexcept { return capped_jobs_; }
+  /// Total relief escalations performed (diagnostics).
+  long reliefEvents() const noexcept { return relief_events_; }
+
+ private:
+  struct JobState {
+    std::vector<double> last_required;  // per rank
+    std::size_t records_consumed = 0;
+    double last_lost = 0.0;
+    double relief = 1.0;
+  };
+
+  double estimateRequired(JobId id, JobState& state);
+  double lostSeconds(JobId id) const;
+
+  Cluster& cluster_;
+  CoordinatorConfig config_;
+  std::vector<JobState> states_;
+  int capped_jobs_ = 0;
+  long relief_events_ = 0;
+};
+
+}  // namespace iobts::cluster

@@ -1,0 +1,55 @@
+// PMPI-style interception interface.
+//
+// The paper preloads TMIO via LD_PRELOAD so it can observe MPI-IO and
+// request-completion calls without modifying application code. In the
+// simulated runtime the equivalent seam is this hook interface: the World
+// invokes it at the same points the PMPI wrappers would fire, and the
+// workload code never sees it.
+//
+// interceptOverhead() models the (peri-run) cost of each intercepted call --
+// the runtime charges it to the calling rank's virtual clock, which is how
+// the Fig. 5/6 overhead measurements arise. onFinalize() returns the
+// post-run overhead (TMIO's gather + flush during MPI_Finalize).
+#pragma once
+
+#include "mpisim/types.hpp"
+
+namespace iobts::mpisim {
+
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  /// Virtual-time cost charged to the rank per intercepted MPI call.
+  virtual Seconds interceptOverhead() const { return 0.0; }
+
+  /// A non-blocking I/O call was issued (after the intercept overhead).
+  virtual void onSubmit(const RequestInfo& info) { (void)info; }
+
+  /// The I/O thread finished executing the request (io_start/io_end filled).
+  virtual void onComplete(const RequestInfo& info) { (void)info; }
+
+  /// A matching request-complete call (MPI_Wait*) was *reached*. This is the
+  /// te of Eq. (1).
+  virtual void onWaitEnter(const RequestInfo& info) { (void)info; }
+
+  /// The wait returned; `blocked` is how long the rank was stalled in it
+  /// ("async lost" time).
+  virtual void onWaitExit(const RequestInfo& info, Seconds blocked) {
+    (void)info;
+    (void)blocked;
+  }
+
+  /// Blocking I/O call entered / returned (visible, synchronous I/O).
+  virtual void onSyncStart(const RequestInfo& info) { (void)info; }
+  virtual void onSyncEnd(const RequestInfo& info) { (void)info; }
+
+  /// MPI_Finalize on this rank; the return value is charged as post-run
+  /// overhead (e.g. TMIO's result aggregation across `ranks` ranks).
+  virtual Seconds onFinalize(int rank) {
+    (void)rank;
+    return 0.0;
+  }
+};
+
+}  // namespace iobts::mpisim

@@ -1,0 +1,27 @@
+#include "mpisim/types.hpp"
+
+namespace iobts::mpisim {
+
+const char* ioOpName(IoOp op) noexcept {
+  switch (op) {
+    case IoOp::WriteAt: return "MPI_File_write_at";
+    case IoOp::ReadAt: return "MPI_File_read_at";
+    case IoOp::IWriteAt: return "MPI_File_iwrite_at";
+    case IoOp::IReadAt: return "MPI_File_iread_at";
+  }
+  return "?";
+}
+
+bool isAsync(IoOp op) noexcept {
+  return op == IoOp::IWriteAt || op == IoOp::IReadAt;
+}
+
+bool isWrite(IoOp op) noexcept {
+  return op == IoOp::WriteAt || op == IoOp::IWriteAt;
+}
+
+pfs::Channel channelOf(IoOp op) noexcept {
+  return isWrite(op) ? pfs::Channel::Write : pfs::Channel::Read;
+}
+
+}  // namespace iobts::mpisim

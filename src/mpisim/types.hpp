@@ -1,0 +1,41 @@
+// Shared vocabulary of the mini-MPI runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pfs/shared_link.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace iobts::mpisim {
+
+/// MPI-IO operations we model (the non-collective explicit-offset family the
+/// paper's modified HACC-IO uses, plus their blocking counterparts).
+enum class IoOp : int {
+  WriteAt,   // MPI_File_write_at
+  ReadAt,    // MPI_File_read_at
+  IWriteAt,  // MPI_File_iwrite_at
+  IReadAt,   // MPI_File_iread_at
+};
+
+const char* ioOpName(IoOp op) noexcept;
+bool isAsync(IoOp op) noexcept;
+bool isWrite(IoOp op) noexcept;
+pfs::Channel channelOf(IoOp op) noexcept;
+
+/// Everything an interception library (TMIO) learns about one I/O request
+/// through the PMPI-style hooks.
+struct RequestInfo {
+  std::uint64_t id = 0;       // unique per rank
+  int rank = -1;
+  IoOp op = IoOp::WriteAt;
+  Bytes bytes = 0;
+  Bytes offset = 0;
+  sim::Time submit_time = sim::kNoTime;  // MPI call entered (ts)
+  sim::Time io_start = sim::kNoTime;     // I/O thread began the transfer
+  sim::Time io_end = sim::kNoTime;       // I/O thread finished (gives dt^o)
+  bool completed = false;
+};
+
+}  // namespace iobts::mpisim

@@ -1,0 +1,88 @@
+#include "pfs/burst_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace iobts::pfs {
+
+BurstBuffer::BurstBuffer(sim::Simulation& simulation, SharedLink& pfs,
+                         StreamId stream, BurstBufferConfig config)
+    : sim_(simulation),
+      pfs_(pfs),
+      stream_(stream),
+      config_(config),
+      drain_pacer_(throttle::PacerConfig{.subrequest_size = config.drain_chunk}),
+      queue_(simulation) {
+  IOBTS_CHECK(config_.capacity > 0, "burst buffer needs capacity");
+  IOBTS_CHECK(config_.absorb_rate > 0.0, "absorb rate must be positive");
+  IOBTS_CHECK(config_.drain_chunk > 0, "drain chunk must be positive");
+  drain_pacer_.setLimit(config_.drain_limit);
+}
+
+sim::Task<BurstBuffer::WriteResult> BurstBuffer::write(Bytes bytes) {
+  IOBTS_CHECK(!stopping_, "write after stop");
+  WriteResult result;
+  Bytes remaining = bytes;
+  while (remaining > 0) {
+    const Bytes free_space = config_.capacity - occupancy_;
+    if (free_space == 0) {
+      // Buffer full: write the remainder through to the PFS synchronously
+      // (the visible-burst case a correctly sized drain limit avoids).
+      co_await pfs_.transfer(Channel::Write, stream_, remaining);
+      result.spilled += remaining;
+      spilled_total_ += remaining;
+      remaining = 0;
+      break;
+    }
+    const Bytes take = std::min(remaining, free_space);
+    co_await sim_.delay(static_cast<double>(take) / config_.absorb_rate);
+    occupancy_ += take;
+    result.absorbed += take;
+    for (Bytes queued = 0; queued < take; queued += config_.drain_chunk) {
+      queue_.send(std::min<Bytes>(config_.drain_chunk, take - queued));
+    }
+    remaining -= take;
+  }
+  co_return result;
+}
+
+sim::Task<void> BurstBuffer::drainLoop() {
+  while (true) {
+    const Bytes chunk = co_await queue_.recv();
+    if (chunk == 0) break;  // stop sentinel (queued behind remaining work)
+    const sim::Time t0 = sim_.now();
+    co_await pfs_.transfer(Channel::Write, stream_, chunk);
+    const Seconds sleep =
+        drain_pacer_.onSubrequestDone(chunk, sim_.now() - t0);
+    if (sleep > 0.0) co_await sim_.delay(sleep);
+    occupancy_ -= chunk;
+    drained_total_ += chunk;
+    if (occupancy_ == 0) {
+      for (sim::Trigger* waiter : flush_waiters_) waiter->fire();
+      flush_waiters_.clear();
+    }
+  }
+}
+
+void BurstBuffer::requestStop() {
+  if (stopping_) return;
+  stopping_ = true;
+  queue_.send(0);
+}
+
+sim::Task<void> BurstBuffer::flush() {
+  while (occupancy_ > 0) {
+    sim::Trigger drained(sim_);
+    flush_waiters_.push_back(&drained);
+    co_await drained.wait();
+  }
+}
+
+BytesPerSec BurstBuffer::requiredDrainBandwidth(Bytes bytes_per_period,
+                                                Seconds period) {
+  IOBTS_CHECK(period > 0.0, "period must be positive");
+  return static_cast<double>(bytes_per_period) / period;
+}
+
+}  // namespace iobts::pfs

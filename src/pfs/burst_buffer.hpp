@@ -1,0 +1,87 @@
+// Node-local burst buffer (the paper's future work: "proposing a similar
+// definition for synchronous I/O in the presence of burst buffers").
+//
+// A burst buffer absorbs writes at node-local (NVMe-class) speed and drains
+// them to the shared PFS in the background. With one in place even a
+// *synchronous* write behaves like the paper's asynchronous I/O: the
+// application only pays the absorb time, while the drain consumes PFS
+// bandwidth in the background of the following compute phase. The natural
+// extension of Eq. (1) is then
+//
+//   B_sync = bytes_per_period / period
+//
+// -- the drain rate that keeps the buffer from filling for a periodic
+// workload (requiredDrainBandwidth below). Setting drain_limit to that
+// value flattens the burst exactly as the async-I/O limiter does.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pfs/shared_link.hpp"
+#include "sim/sync.hpp"
+#include "throttle/pacer.hpp"
+
+namespace iobts::pfs {
+
+struct BurstBufferConfig {
+  Bytes capacity = 64 * kGiB;      // buffer size
+  BytesPerSec absorb_rate = 6e9;   // node-local write speed
+  /// Cap on the background drain rate into the PFS (the sync-I/O analog of
+  /// the paper's bandwidth limit). nullopt = drain at the PFS fair share.
+  std::optional<BytesPerSec> drain_limit{};
+  /// Drain granularity.
+  Bytes drain_chunk = 8 * kMiB;
+};
+
+class BurstBuffer {
+ public:
+  struct WriteResult {
+    Bytes absorbed = 0;  // bytes taken at absorb_rate
+    Bytes spilled = 0;   // bytes written through to the PFS (buffer full)
+  };
+
+  BurstBuffer(sim::Simulation& simulation, SharedLink& pfs, StreamId stream,
+              BurstBufferConfig config);
+  BurstBuffer(const BurstBuffer&) = delete;
+  BurstBuffer& operator=(const BurstBuffer&) = delete;
+
+  /// Absorb a write. Blocks for the absorb time of whatever fits; bytes
+  /// beyond the free capacity spill synchronously to the PFS.
+  sim::Task<WriteResult> write(Bytes bytes);
+
+  /// Background drainer; spawn once (the World does this per rank).
+  sim::Task<void> drainLoop();
+
+  /// Finish draining queued bytes, then let drainLoop() return.
+  void requestStop();
+
+  /// Await an empty buffer (e.g. at finalize).
+  sim::Task<void> flush();
+
+  Bytes occupancy() const noexcept { return occupancy_; }
+  Bytes spilledBytes() const noexcept { return spilled_total_; }
+  Bytes drainedBytes() const noexcept { return drained_total_; }
+  const BurstBufferConfig& config() const noexcept { return config_; }
+
+  /// Eq. (1) for synchronous I/O behind a burst buffer: the drain bandwidth
+  /// that keeps a periodic workload's buffer level bounded.
+  static BytesPerSec requiredDrainBandwidth(Bytes bytes_per_period,
+                                            Seconds period);
+
+ private:
+  sim::Simulation& sim_;
+  SharedLink& pfs_;
+  StreamId stream_;
+  BurstBufferConfig config_;
+  throttle::Pacer drain_pacer_;
+
+  Bytes occupancy_ = 0;
+  Bytes spilled_total_ = 0;
+  Bytes drained_total_ = 0;
+  bool stopping_ = false;
+  sim::Mailbox<Bytes> queue_;  // drain chunks; 0 = stop sentinel
+  std::vector<sim::Trigger*> flush_waiters_;
+};
+
+}  // namespace iobts::pfs

@@ -1,0 +1,90 @@
+#include "pfs/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace iobts::pfs {
+
+FairShareResult fairShare(const std::vector<FairShareItem>& items,
+                          BytesPerSec capacity) {
+  IOBTS_CHECK(capacity >= 0.0, "capacity must be non-negative");
+  FairShareResult result;
+  result.allocation.assign(items.size(), 0.0);
+  if (items.empty() || capacity == 0.0) return result;
+
+  // Order item indices by cap/weight ratio ascending; uncapped items last.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto ratio = [&](std::size_t i) {
+    const auto& item = items[i];
+    if (!item.cap) return std::numeric_limits<double>::infinity();
+    if (item.weight <= 0.0) return 0.0;  // zero weight: saturates at once
+    return *item.cap / item.weight;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ratio(a) < ratio(b);
+                   });
+
+  double remaining = capacity;
+  double active_weight = 0.0;
+  for (const auto& item : items) {
+    IOBTS_CHECK(item.weight >= 0.0, "weights must be non-negative");
+    IOBTS_CHECK(!item.cap || *item.cap >= 0.0, "caps must be non-negative");
+    active_weight += item.weight;
+  }
+
+  // Progressive filling: walk items in ratio order; an item saturates at its
+  // cap when cap <= lambda * weight for the prospective lambda.
+  double lambda = 0.0;
+  std::size_t k = 0;
+  for (; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const auto& item = items[i];
+    if (item.weight <= 0.0) {
+      result.allocation[i] = 0.0;
+      continue;
+    }
+    const double prospective_lambda =
+        active_weight > 0.0 ? remaining / active_weight : 0.0;
+    if (item.cap && *item.cap <= prospective_lambda * item.weight) {
+      // Saturates below the fill level: pin at cap.
+      result.allocation[i] = *item.cap;
+      remaining -= *item.cap;
+      active_weight -= item.weight;
+      if (remaining < 0.0) remaining = 0.0;
+    } else {
+      // This and all later items (larger ratios) are lambda-bound.
+      lambda = prospective_lambda;
+      break;
+    }
+  }
+  for (; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const auto& item = items[i];
+    if (item.weight <= 0.0) {
+      result.allocation[i] = 0.0;
+      continue;
+    }
+    double alloc = lambda * item.weight;
+    if (item.cap) alloc = std::min(alloc, *item.cap);
+    result.allocation[i] = alloc;
+  }
+
+  result.fill_level = lambda;
+  result.total = std::accumulate(result.allocation.begin(),
+                                 result.allocation.end(), 0.0);
+  // Guard against floating-point overshoot.
+  if (result.total > capacity && result.total > 0.0) {
+    const double scale = capacity / result.total;
+    for (auto& a : result.allocation) a *= scale;
+    result.total = capacity;
+  }
+  return result;
+}
+
+}  // namespace iobts::pfs

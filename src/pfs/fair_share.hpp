@@ -1,0 +1,37 @@
+// Weighted max-min fair allocation with per-item rate caps.
+//
+// This is the bandwidth-sharing model of the simulated parallel file system:
+// concurrent transfers (or streams) receive a weighted fair share of the
+// channel capacity, except that no item ever receives more than its cap
+// (caps come from the user-level limiter, per-transfer noise, or job QoS).
+//
+// Algorithm: progressive filling. Sort items by cap/weight; raise the fill
+// level lambda; items whose cap is below lambda*weight saturate at their cap;
+// the rest receive lambda*weight. Work-conserving: the full capacity is
+// distributed unless every item is cap-saturated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace iobts::pfs {
+
+struct FairShareItem {
+  double weight = 1.0;                      // > 0
+  std::optional<BytesPerSec> cap{};         // nullopt = uncapped
+};
+
+struct FairShareResult {
+  std::vector<BytesPerSec> allocation;  // same order as input
+  BytesPerSec total = 0.0;              // sum of allocations
+  double fill_level = 0.0;              // final lambda (rate per unit weight)
+};
+
+/// Allocate `capacity` across `items`. Capacity and weights must be
+/// non-negative; zero-weight items receive min(cap, 0) = 0.
+FairShareResult fairShare(const std::vector<FairShareItem>& items,
+                          BytesPerSec capacity);
+
+}  // namespace iobts::pfs

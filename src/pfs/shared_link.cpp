@@ -1,0 +1,359 @@
+#include "pfs/shared_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pfs/fair_share.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace iobts::pfs {
+
+namespace {
+// A transfer is "drained" when less than half a byte remains (floating-point
+// residue from rate * dt settlement).
+constexpr double kDrainEpsilonBytes = 0.5;
+}  // namespace
+
+const char* channelName(Channel ch) noexcept {
+  return ch == Channel::Read ? "read" : "write";
+}
+
+struct SharedLink::Transfer {
+  explicit Transfer(sim::Simulation& simulation) : done(simulation) {}
+
+  StreamId stream = 0;
+  Bytes total = 0;
+  double remaining = 0.0;
+  sim::Time start = 0.0;
+  sim::Time last_settle = 0.0;
+  double rate = 0.0;
+  std::optional<BytesPerSec> noise_cap{};
+  sim::Trigger done;
+};
+
+struct SharedLink::Stream {
+  std::string name;
+  double weight = 1.0;
+  std::optional<BytesPerSec> cap{};
+  Bytes bytes_moved = 0;
+  bool record = false;
+  StepSeries rate_series[kChannels];
+  std::size_t active[kChannels] = {0, 0};
+};
+
+struct SharedLink::ChannelState {
+  Channel ch = Channel::Read;
+  BytesPerSec capacity = 0.0;
+  std::vector<std::unique_ptr<Transfer>> active;
+  bool dirty_scheduled = false;
+  sim::Time last_resolve = -1.0;
+  bool ever_resolved = false;
+  std::uint64_t sweep_generation = 0;
+  Bytes bytes_moved = 0;
+  StepSeries total_series;
+  bool contended = false;
+};
+
+SharedLink::SharedLink(sim::Simulation& simulation, LinkConfig config)
+    : sim_(simulation),
+      config_(config),
+      noise_rng_(config.seed, "pfs-noise") {
+  IOBTS_CHECK(config_.read_capacity >= 0.0 && config_.write_capacity >= 0.0,
+              "capacities must be non-negative");
+  IOBTS_CHECK(config_.recompute_quantum >= 0.0,
+              "recompute quantum must be non-negative");
+  IOBTS_CHECK(config_.client_rate_cap >= 0.0,
+              "client rate cap must be non-negative");
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    channels_[c] = std::make_unique<ChannelState>();
+    channels_[c]->ch = static_cast<Channel>(c);
+  }
+  channels_[static_cast<int>(Channel::Read)]->capacity = config_.read_capacity;
+  channels_[static_cast<int>(Channel::Write)]->capacity =
+      config_.write_capacity;
+}
+
+SharedLink::~SharedLink() = default;
+
+SharedLink::ChannelState& SharedLink::chan(Channel channel) noexcept {
+  return *channels_[static_cast<int>(channel)];
+}
+
+const SharedLink::ChannelState& SharedLink::chan(
+    Channel channel) const noexcept {
+  return *channels_[static_cast<int>(channel)];
+}
+
+StreamId SharedLink::createStream(std::string name, double weight) {
+  IOBTS_CHECK(weight > 0.0, "stream weight must be positive");
+  auto stream = std::make_unique<Stream>();
+  stream->name = std::move(name);
+  stream->weight = weight;
+  streams_.push_back(std::move(stream));
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+void SharedLink::setStreamCap(StreamId stream,
+                              std::optional<BytesPerSec> cap) {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  IOBTS_CHECK(!cap || *cap >= 0.0, "cap must be non-negative");
+  streams_[stream]->cap = cap;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    if (streams_[stream]->active[c] > 0) markDirty(static_cast<Channel>(c));
+  }
+}
+
+std::optional<BytesPerSec> SharedLink::streamCap(StreamId stream) const {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  return streams_[stream]->cap;
+}
+
+void SharedLink::setStreamWeight(StreamId stream, double weight) {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  IOBTS_CHECK(weight > 0.0, "stream weight must be positive");
+  streams_[stream]->weight = weight;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    if (streams_[stream]->active[c] > 0) markDirty(static_cast<Channel>(c));
+  }
+}
+
+double SharedLink::streamWeight(StreamId stream) const {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  return streams_[stream]->weight;
+}
+
+const std::string& SharedLink::streamName(StreamId stream) const {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  return streams_[stream]->name;
+}
+
+void SharedLink::setRecordStream(StreamId stream, bool record) {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  streams_[stream]->record = record;
+}
+
+sim::Task<TransferResult> SharedLink::transfer(Channel channel,
+                                               StreamId stream, Bytes bytes) {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  TransferResult result;
+  result.start = sim_.now();
+  result.end = sim_.now();
+  result.bytes = bytes;
+  if (bytes == 0) co_return result;
+
+  ChannelState& cs = chan(channel);
+  IOBTS_CHECK(cs.capacity > 0.0, "transfer on a zero-capacity channel");
+
+  auto transfer_obj = std::make_unique<Transfer>(sim_);
+  Transfer& t = *transfer_obj;
+  t.stream = stream;
+  t.total = bytes;
+  t.remaining = static_cast<double>(bytes);
+  t.start = sim_.now();
+  t.last_settle = sim_.now();
+  if (config_.noise_sigma > 0.0) {
+    const double factor =
+        std::min(1.0, noise_rng_.lognormalFactor(config_.noise_sigma));
+    const BytesPerSec reference = config_.noise_reference_rate > 0.0
+                                      ? config_.noise_reference_rate
+                                      : cs.capacity;
+    t.noise_cap = std::min(cs.capacity, reference * factor);
+  }
+  cs.active.push_back(std::move(transfer_obj));
+  ++streams_[stream]->active[static_cast<int>(channel)];
+  markDirty(channel);
+
+  co_await t.done.wait();
+  result.end = sim_.now();
+  co_return result;
+}
+
+void SharedLink::markDirty(Channel channel) {
+  ChannelState& cs = chan(channel);
+  if (cs.dirty_scheduled) return;
+  cs.dirty_scheduled = true;
+  sim::Time at = 0.0;
+  if (cs.ever_resolved && config_.recompute_quantum > 0.0) {
+    at = std::max(0.0, cs.last_resolve + config_.recompute_quantum -
+                           sim_.now());
+  }
+  sim_.post(at, [this, channel] {
+    chan(channel).dirty_scheduled = false;
+    resolve(channel);
+  });
+}
+
+void SharedLink::resolve(Channel channel) {
+  ChannelState& cs = chan(channel);
+  const sim::Time now = sim_.now();
+  cs.last_resolve = now;
+  cs.ever_resolved = true;
+  // Invalidate any in-flight completion sweep; we reschedule below.
+  ++cs.sweep_generation;
+
+  // 1. Settle progress since each transfer's last settlement.
+  for (auto& t : cs.active) {
+    const sim::Time dt = now - t->last_settle;
+    if (dt > 0.0 && t->rate > 0.0) {
+      t->remaining = std::max(0.0, t->remaining - t->rate * dt);
+    }
+    t->last_settle = now;
+  }
+
+  // 2. Complete drained transfers (fires waiters at the current time).
+  for (std::size_t i = 0; i < cs.active.size();) {
+    Transfer& t = *cs.active[i];
+    if (t.remaining <= kDrainEpsilonBytes) {
+      cs.bytes_moved += t.total;
+      Stream& s = *streams_[t.stream];
+      s.bytes_moved += t.total;
+      --s.active[static_cast<int>(channel)];
+      t.done.fire();
+      cs.active.erase(cs.active.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // 3. Re-solve the two-level weighted max-min allocation.
+  //    Level 1: streams (weight = stream weight, cap = stream cap combined
+  //    with the sum of its transfers' noise caps).
+  //    Level 2: a stream's transfers split its allocation equally, subject
+  //    to per-transfer noise caps.
+  std::vector<StreamId> stream_ids;
+  std::vector<std::vector<Transfer*>> stream_transfers;
+  {
+    std::vector<int> slot(streams_.size(), -1);
+    for (auto& t : cs.active) {
+      if (slot[t->stream] < 0) {
+        slot[t->stream] = static_cast<int>(stream_ids.size());
+        stream_ids.push_back(t->stream);
+        stream_transfers.emplace_back();
+      }
+      stream_transfers[static_cast<std::size_t>(slot[t->stream])].push_back(
+          t.get());
+    }
+  }
+
+  // Congestion: aggregate efficiency drops with concurrent writers.
+  double effective_capacity = cs.capacity;
+  if (config_.congestion_gamma > 0.0 && cs.active.size() > 1) {
+    effective_capacity /=
+        1.0 + config_.congestion_gamma *
+                  static_cast<double>(cs.active.size() - 1);
+  }
+
+  double total_rate = 0.0;
+  double total_demand = 0.0;
+  if (!stream_ids.empty()) {
+    std::vector<FairShareItem> level1(stream_ids.size());
+    for (std::size_t k = 0; k < stream_ids.size(); ++k) {
+      const Stream& s = *streams_[stream_ids[k]];
+      level1[k].weight = s.weight;
+      std::optional<BytesPerSec> cap = s.cap;
+      if (config_.client_rate_cap > 0.0) {
+        const BytesPerSec client_cap = config_.client_rate_cap * s.weight;
+        cap = cap ? std::min(*cap, client_cap) : client_cap;
+      }
+      if (config_.noise_sigma > 0.0) {
+        double noise_sum = 0.0;
+        for (const Transfer* t : stream_transfers[k]) {
+          noise_sum += t->noise_cap.value_or(cs.capacity);
+        }
+        cap = cap ? std::min(*cap, noise_sum) : noise_sum;
+      }
+      level1[k].cap = cap;
+      total_demand += cap ? std::min(*cap, cs.capacity) : cs.capacity;
+    }
+    const FairShareResult shares = fairShare(level1, effective_capacity);
+
+    for (std::size_t k = 0; k < stream_ids.size(); ++k) {
+      auto& transfers = stream_transfers[k];
+      std::vector<FairShareItem> level2(transfers.size());
+      for (std::size_t j = 0; j < transfers.size(); ++j) {
+        level2[j].weight = 1.0;
+        level2[j].cap = transfers[j]->noise_cap;
+      }
+      const FairShareResult rates =
+          fairShare(level2, shares.allocation[k]);
+      for (std::size_t j = 0; j < transfers.size(); ++j) {
+        transfers[j]->rate = rates.allocation[j];
+      }
+      total_rate += rates.total;
+      Stream& s = *streams_[stream_ids[k]];
+      if (s.record) {
+        s.rate_series[static_cast<int>(channel)].add(now, rates.total);
+      }
+    }
+  }
+  // Opted-in streams with no active transfers drop to zero in the record.
+  for (auto& sp : streams_) {
+    Stream& s = *sp;
+    if (s.record && s.active[static_cast<int>(channel)] == 0) {
+      auto& series = s.rate_series[static_cast<int>(channel)];
+      if (!series.empty() && series.points().back().second != 0.0) {
+        series.add(now, 0.0);
+      }
+    }
+  }
+
+  cs.contended =
+      stream_ids.size() >= 2 && total_demand > cs.capacity * 1.000001;
+  if (config_.record_total) cs.total_series.add(now, total_rate);
+
+  // 4. Schedule the next completion sweep.
+  sim::Time next = std::numeric_limits<double>::infinity();
+  for (const auto& t : cs.active) {
+    if (t->rate > 0.0) {
+      next = std::min(next, t->remaining / t->rate);
+    }
+  }
+  if (std::isfinite(next)) {
+    const std::uint64_t gen = cs.sweep_generation;
+    sim_.post(next, [this, channel, gen] {
+      if (chan(channel).sweep_generation == gen) resolve(channel);
+    });
+  } else if (!cs.active.empty()) {
+    IOBTS_LOG_WARN() << "channel " << channelName(channel) << " has "
+                     << cs.active.size()
+                     << " active transfers but zero aggregate rate";
+  }
+}
+
+BytesPerSec SharedLink::capacity(Channel channel) const noexcept {
+  return chan(channel).capacity;
+}
+
+std::size_t SharedLink::activeTransfers(Channel channel) const noexcept {
+  return chan(channel).active.size();
+}
+
+Bytes SharedLink::bytesMoved(Channel channel) const noexcept {
+  return chan(channel).bytes_moved;
+}
+
+Bytes SharedLink::streamBytes(StreamId stream) const {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  return streams_[stream]->bytes_moved;
+}
+
+std::size_t SharedLink::streamCount() const noexcept {
+  return streams_.size();
+}
+
+const StepSeries& SharedLink::totalRateSeries(Channel channel) const {
+  return chan(channel).total_series;
+}
+
+const StepSeries& SharedLink::streamRateSeries(StreamId stream,
+                                               Channel channel) const {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  return streams_[stream]->rate_series[static_cast<int>(channel)];
+}
+
+bool SharedLink::contended(Channel channel) const noexcept {
+  return chan(channel).contended;
+}
+
+}  // namespace iobts::pfs

@@ -1,0 +1,158 @@
+// Shared parallel-file-system bandwidth model.
+//
+// The SharedLink stands in for the cluster's PFS (the paper's IBM Spectrum
+// Scale at 106 GB/s write / 120 GB/s read). Concurrent transfers share each
+// channel's capacity by weighted max-min fairness (see fair_share.hpp), with
+// three cap sources:
+//
+//   * stream caps    -- e.g. a QoS/limiter cap on a job's or rank's traffic;
+//   * transfer noise -- optional lognormal per-transfer slowdown modelling
+//                       stragglers/congestion (Fig. 14's "I/O variability");
+//   * channel capacity itself.
+//
+// Streams group transfers for accounting and capping: the cluster simulator
+// uses one stream per job; the MPI runtime uses one stream per rank. Stream
+// weight models the "fair distribution according to the number of nodes"
+// from the paper's Fig. 1.
+//
+// Rate bookkeeping is event-driven: on every join/leave/cap change the link
+// settles elapsed progress, re-solves the allocation, and reschedules the
+// next completion sweep. An optional recompute quantum batches rate updates
+// for very large rank counts (documented accuracy/performance knob).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace iobts::pfs {
+
+enum class Channel : int { Read = 0, Write = 1 };
+inline constexpr std::size_t kChannels = 2;
+
+const char* channelName(Channel ch) noexcept;
+
+using StreamId = std::uint32_t;
+
+struct LinkConfig {
+  BytesPerSec read_capacity = 120.0e9;   // Lichtenberg: 120 GB/s reads
+  BytesPerSec write_capacity = 106.0e9;  // Lichtenberg: 106 GB/s writes
+  /// Lognormal sigma for per-transfer slowdown; 0 disables noise.
+  double noise_sigma = 0.0;
+  /// Rate the noise factor scales (a transfer's private cap is
+  /// factor * noise_reference_rate). 0 = the channel capacity; set it near
+  /// the expected per-client rate to model per-client stragglers ("slow
+  /// I/O", Fig. 14) rather than whole-link slowdowns.
+  BytesPerSec noise_reference_rate = 0.0;
+  /// Per-client injection limit: a stream of weight w never receives more
+  /// than w * client_rate_cap (a single node cannot drive the whole PFS).
+  /// 0 disables.
+  BytesPerSec client_rate_cap = 0.0;
+  /// Congestion model: with k concurrently active transfers the channel
+  /// delivers capacity / (1 + gamma * (k - 1)). Models the aggregate
+  /// efficiency loss of a PFS under many concurrent writers (metadata and
+  /// lock traffic, client-side interference). 0 disables. Note the
+  /// asymmetry this creates for the paper's mechanism: paced transfers
+  /// sleep between sub-requests, so they lower the *instantaneous*
+  /// concurrency even when the same ranks are writing.
+  double congestion_gamma = 0.0;
+  /// Minimum virtual-time spacing between allocation re-solves triggered by
+  /// joins/caps (completions always re-solve exactly). 0 = exact mode.
+  sim::Time recompute_quantum = 0.0;
+  std::uint64_t seed = 1;
+  /// Record the total allocated rate per channel as a StepSeries (Fig. 2).
+  bool record_total = true;
+};
+
+struct TransferResult {
+  sim::Time start = 0.0;
+  sim::Time end = 0.0;
+  Bytes bytes = 0;
+
+  Seconds duration() const noexcept { return end - start; }
+  BytesPerSec averageRate() const noexcept {
+    const Seconds d = duration();
+    return d > 0.0 ? static_cast<double>(bytes) / d
+                   : std::numeric_limits<double>::infinity();
+  }
+};
+
+class SharedLink {
+ public:
+  SharedLink(sim::Simulation& simulation, LinkConfig config);
+  SharedLink(const SharedLink&) = delete;
+  SharedLink& operator=(const SharedLink&) = delete;
+  ~SharedLink();
+
+  /// Register a traffic stream (a rank or a job). Weight scales the fair
+  /// share relative to other streams.
+  StreamId createStream(std::string name, double weight = 1.0);
+
+  /// Set or clear the stream's aggregate rate cap (applies to each channel
+  /// independently). Takes effect at the current virtual time.
+  void setStreamCap(StreamId stream, std::optional<BytesPerSec> cap);
+  std::optional<BytesPerSec> streamCap(StreamId stream) const;
+
+  void setStreamWeight(StreamId stream, double weight);
+  double streamWeight(StreamId stream) const;
+  const std::string& streamName(StreamId stream) const;
+
+  /// Opt in to recording this stream's allocated rate over time (Fig. 2's
+  /// per-job series). Off by default to keep 10k-rank runs lean.
+  void setRecordStream(StreamId stream, bool record);
+
+  /// Move `bytes` through `channel` on behalf of `stream`; completes when the
+  /// bytes have drained at the evolving fair-share rate.
+  sim::Task<TransferResult> transfer(Channel channel, StreamId stream,
+                                     Bytes bytes);
+
+  // --- Introspection -------------------------------------------------------
+  BytesPerSec capacity(Channel channel) const noexcept;
+  std::size_t activeTransfers(Channel channel) const noexcept;
+  Bytes bytesMoved(Channel channel) const noexcept;
+  Bytes streamBytes(StreamId stream) const;
+  std::size_t streamCount() const noexcept;
+
+  /// Sum of allocated rates over time (recorded when record_total is set).
+  const StepSeries& totalRateSeries(Channel channel) const;
+
+  /// Per-stream allocated-rate series; requires setRecordStream(stream,true).
+  const StepSeries& streamRateSeries(StreamId stream, Channel channel) const;
+
+  /// True if current total demand exceeds capacity on the channel, i.e. at
+  /// least one transfer is held below its cap-free fair share ("contention"
+  /// in the sense of Fig. 1's limit-during-contention policy).
+  bool contended(Channel channel) const noexcept;
+
+ private:
+  struct Transfer;
+  struct Stream;
+  struct ChannelState;
+
+  ChannelState& chan(Channel channel) noexcept;
+  const ChannelState& chan(Channel channel) const noexcept;
+
+  /// Settle progress, complete drained transfers, re-solve rates, reschedule
+  /// the completion sweep.
+  void resolve(Channel channel);
+
+  /// Request a (possibly quantized) resolve.
+  void markDirty(Channel channel);
+
+  sim::Simulation& sim_;
+  LinkConfig config_;
+  Rng noise_rng_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::unique_ptr<ChannelState> channels_[kChannels];
+};
+
+}  // namespace iobts::pfs

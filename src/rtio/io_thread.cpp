@@ -1,0 +1,149 @@
+#include "rtio/io_thread.hpp"
+
+#include "util/check.hpp"
+
+namespace iobts::rtio {
+
+struct OpHandle::State {
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  OpStats stats;
+};
+
+bool OpHandle::test() const {
+  IOBTS_CHECK(state_ != nullptr, "test() on an empty handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void OpHandle::wait() const {
+  IOBTS_CHECK(state_ != nullptr, "wait() on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+OpStats OpHandle::stats() const {
+  IOBTS_CHECK(state_ != nullptr, "stats() on an empty handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  IOBTS_CHECK(state_->done, "stats() before completion");
+  return state_->stats;
+}
+
+struct IoThread::Op {
+  Bytes bytes = 0;
+  SubrequestFn fn;
+  std::shared_ptr<OpHandle::State> state;
+};
+
+IoThread::IoThread(throttle::PacerConfig pacer_config)
+    : pacer_config_(pacer_config), worker_([this] { serve(); }) {}
+
+IoThread::~IoThread() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void IoThread::setLimit(std::optional<BytesPerSec> limit) {
+  IOBTS_CHECK(!limit || *limit > 0.0, "limit must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  limit_ = limit;
+}
+
+std::optional<BytesPerSec> IoThread::limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_;
+}
+
+OpHandle IoThread::submit(Bytes bytes, SubrequestFn fn) {
+  IOBTS_CHECK(static_cast<bool>(fn), "submit() needs a sub-request callback");
+  auto state = std::make_shared<OpHandle::State>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IOBTS_CHECK(!stopping_, "submit() after shutdown began");
+    queue_.push_back(Op{bytes, std::move(fn), state});
+  }
+  cv_.notify_all();
+  return OpHandle(state);
+}
+
+std::size_t IoThread::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void IoThread::serve() {
+  throttle::Pacer pacer(pacer_config_);
+  std::optional<BytesPerSec> active_limit;
+
+  while (true) {
+    Op op;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and drained
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    OpStats stats;
+    stats.bytes = op.bytes;
+    stats.start = std::chrono::steady_clock::now();
+
+    Bytes offset = 0;
+    // Re-read the limit before each sub-request so setLimit() mid-operation
+    // behaves like the paper's implementation (the I/O thread polls the
+    // shared limit variable).
+    while (offset < op.bytes || op.bytes == 0) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (limit_ != active_limit) {
+          active_limit = limit_;
+          pacer.setLimit(active_limit);
+        }
+      }
+      const Bytes chunk =
+          op.bytes == 0
+              ? 0
+              : std::min<Bytes>(op.bytes - offset,
+                                pacer.limited()
+                                    ? pacer.config().subrequest_size
+                                    : op.bytes - offset);
+      const auto t0 = std::chrono::steady_clock::now();
+      op.fn(offset, chunk);
+      const double actual =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const Seconds sleep = pacer.onSubrequestDone(chunk, actual);
+      if (sleep > 0.0) {
+        const auto s0 = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+        const double slept =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          s0)
+                .count();
+        stats.slept_seconds += slept;
+        // sleep_for overshoots at sub-millisecond granularity; bank the
+        // overshoot as Case-B deficit so the long-run rate stays on target.
+        if (slept > sleep) pacer.onSubrequestDone(0, slept - sleep);
+      }
+      ++stats.subrequests;
+      offset += chunk;
+      if (op.bytes == 0) break;
+    }
+
+    stats.end = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(op.state->mutex);
+      op.state->stats = stats;
+      op.state->done = true;
+    }
+    op.state->cv.notify_all();
+  }
+}
+
+}  // namespace iobts::rtio

@@ -1,0 +1,141 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace iobts::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  // Resume through the queue so firing order is deterministic and no
+  // coroutine runs inline inside another's context.
+  for (const auto h : waiters_) sim_->scheduleResume(0.0, h);
+  waiters_.clear();
+}
+
+Simulation::~Simulation() {
+  // Destroy still-suspended process frames before the queue (handles inside
+  // the queue may point into those frames; they are never resumed again).
+  processes_.clear();
+}
+
+void Simulation::scheduleResume(Time dt, std::coroutine_handle<> h) {
+  IOBTS_CHECK(dt >= 0.0, "cannot schedule into the past");
+  scheduleResumeAt(now_ + dt, h);
+}
+
+void Simulation::scheduleResumeAt(Time t, std::coroutine_handle<> h) {
+  IOBTS_CHECK(t >= now_, "cannot schedule into the past");
+  IOBTS_CHECK(static_cast<bool>(h), "cannot schedule a null handle");
+  queue_.push(Event{t, next_seq_++, h, {}});
+}
+
+void Simulation::post(Time dt, std::function<void()> fn) {
+  IOBTS_CHECK(dt >= 0.0, "cannot schedule into the past");
+  IOBTS_CHECK(static_cast<bool>(fn), "cannot post a null callback");
+  queue_.push(Event{now_ + dt, next_seq_++, {}, std::move(fn)});
+}
+
+ProcessHandle Simulation::spawn(Task<void> task, SpawnOptions options) {
+  IOBTS_CHECK(task.valid(), "cannot spawn an empty task");
+  auto state = std::make_shared<ProcessHandle::State>(
+      *this, options.name.empty()
+                 ? "proc#" + std::to_string(processes_.size())
+                 : std::move(options.name));
+
+  auto process = std::make_unique<Process>();
+  process->task = std::move(task);
+  process->state = state;
+  process->fatal_errors = options.fatal_errors;
+  processes_.push_back(std::move(process));
+  const auto it = std::prev(processes_.end());
+
+  Process& proc = **it;
+  auto handle = proc.task.handle();
+  proc.on_done = [this, it]() {
+    Process& p = **it;
+    p.state->finished = true;
+    p.state->error = p.task.handle().promise().exception;
+    if (p.state->error) {
+      if (p.fatal_errors && !fatal_error_) fatal_error_ = p.state->error;
+      IOBTS_LOG_DEBUG() << "process '" << p.state->name
+                        << "' finished with exception";
+    }
+    p.state->done.fire();
+    // Defer frame destruction: we are inside final_suspend right now.
+    reap_list_.push_back(it);
+  };
+  handle.promise().on_done = &proc.on_done;
+
+  scheduleResume(0.0, handle);
+  return ProcessHandle(state);
+}
+
+void Simulation::reapFinished() {
+  for (const auto it : reap_list_) processes_.erase(it);
+  reap_list_.clear();
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  const Event ev = queue_.top();
+  queue_.pop();
+  IOBTS_DCHECK(ev.t >= now_, "event queue went backwards");
+  now_ = ev.t;
+  ++events_processed_;
+  if (ev.callback) {
+    ev.callback();
+  } else {
+    ev.handle.resume();
+  }
+  reapFinished();
+  return true;
+}
+
+Time Simulation::run() {
+  while (!fatal_error_ && step()) {
+  }
+  if (fatal_error_) {
+    const auto error = std::exchange(fatal_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+  return now_;
+}
+
+Time Simulation::runUntil(Time t_limit) {
+  while (!fatal_error_ && !queue_.empty() && queue_.top().t <= t_limit) {
+    step();
+  }
+  if (fatal_error_) {
+    const auto error = std::exchange(fatal_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+  if (now_ < t_limit && !queue_.empty()) now_ = t_limit;
+  if (queue_.empty() && now_ < t_limit) now_ = t_limit;
+  return now_;
+}
+
+Task<void> sequence(std::vector<Task<void>> tasks) {
+  for (auto& t : tasks) co_await std::move(t);
+}
+
+Task<void> allOf(Simulation& sim, std::vector<Task<void>> tasks) {
+  std::vector<ProcessHandle> handles;
+  handles.reserve(tasks.size());
+  for (auto& t : tasks) {
+    handles.push_back(sim.spawn(std::move(t), {.fatal_errors = false}));
+  }
+  std::exception_ptr first_error{};
+  for (const auto& h : handles) {
+    try {
+      co_await h.join();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace iobts::sim

@@ -1,0 +1,204 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The Simulation owns a virtual clock and an event queue of coroutine
+// resumptions. All synchronization primitives (Trigger, Semaphore, Mailbox)
+// route resumptions through this queue, which gives:
+//
+//   * determinism -- events at equal timestamps run in FIFO scheduling order
+//     (stable sequence numbers), independent of allocator or hash ordering;
+//   * bounded stacks -- no primitive ever resumes a coroutine inline from
+//     another coroutine's context.
+//
+// Root activities are started with spawn(); run() drives the queue to
+// exhaustion and rethrows the first uncaught exception from any spawned
+// process (unless that process opted out).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <list>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace iobts::sim {
+
+class Simulation;
+
+/// One-shot broadcast event: any number of coroutines can wait; fire()
+/// resumes them all (through the event queue, at the current time).
+class Trigger {
+ public:
+  explicit Trigger(Simulation& simulation) : sim_(&simulation) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const noexcept { return fired_; }
+  void fire();
+
+  /// Awaitable: resumes immediately if already fired.
+  auto wait() noexcept {
+    struct Awaiter {
+      Trigger* trigger;
+      bool await_ready() const noexcept { return trigger->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        trigger->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Handle to a spawned process; outlives the process itself.
+class ProcessHandle {
+ public:
+  struct State {
+    explicit State(Simulation& simulation, std::string process_name)
+        : done(simulation), name(std::move(process_name)) {}
+    Trigger done;
+    std::string name;
+    std::exception_ptr error{};
+    bool finished = false;
+  };
+
+  ProcessHandle() = default;
+  explicit ProcessHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return static_cast<bool>(state_); }
+  bool finished() const noexcept { return state_ && state_->finished; }
+  bool failed() const noexcept {
+    return state_ && static_cast<bool>(state_->error);
+  }
+  const std::string& name() const { return state_->name; }
+  std::exception_ptr error() const { return state_ ? state_->error : nullptr; }
+
+  /// Await completion; rethrows the process's exception, if any.
+  Task<void> join() const {
+    auto state = state_;
+    IOBTS_CHECK(state != nullptr, "joining an empty ProcessHandle");
+    co_await state->done.wait();
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+struct SpawnOptions {
+  std::string name{};
+  /// If true (default) an uncaught exception in this process aborts run().
+  /// Failure-injection tests set this to false and inspect join()/error().
+  bool fatal_errors = true;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `h` to resume at now + dt (dt >= 0).
+  void scheduleResume(Time dt, std::coroutine_handle<> h);
+
+  /// Schedule `h` to resume at absolute time t (t >= now).
+  void scheduleResumeAt(Time t, std::coroutine_handle<> h);
+
+  /// Schedule a plain callback at now + dt. Callbacks interleave with
+  /// coroutine resumptions in the same deterministic (time, seq) order.
+  void post(Time dt, std::function<void()> fn);
+
+  /// Awaitable pause of `dt` virtual seconds (dt >= 0; 0 yields through the
+  /// queue, preserving FIFO fairness).
+  auto delay(Time dt) noexcept {
+    struct Awaiter {
+      Simulation* sim;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->scheduleResume(dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Start a root activity. The body begins at the current time (through the
+  /// event queue). Returns a handle usable for join().
+  ProcessHandle spawn(Task<void> task, SpawnOptions options = {});
+
+  /// Run until the event queue drains. Rethrows the first fatal process
+  /// error. Returns the final virtual time.
+  Time run();
+
+  /// Run events with timestamp <= t_limit; the clock ends at exactly t_limit
+  /// if the queue still has later events.
+  Time runUntil(Time t_limit);
+
+  /// Execute a single event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+  std::size_t liveProcesses() const noexcept { return processes_.size(); }
+  std::uint64_t eventsProcessed() const noexcept { return events_processed_; }
+
+ private:
+  friend class Trigger;
+
+  struct Process {
+    Task<void> task;
+    std::shared_ptr<ProcessHandle::State> state;
+    std::function<void()> on_done;
+    bool fatal_errors = true;
+  };
+  using ProcessList = std::list<std::unique_ptr<Process>>;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;  // min-heap on time
+      return a.seq > b.seq;              // FIFO among equal times
+    }
+  };
+
+  void reapFinished();
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  ProcessList processes_;
+  std::vector<ProcessList::iterator> reap_list_;
+  std::exception_ptr fatal_error_{};
+};
+
+/// Await completion of all given tasks, sequentially awaiting each. Because
+/// tasks are lazy this runs them one after another; use spawn() for
+/// concurrency.
+Task<void> sequence(std::vector<Task<void>> tasks);
+
+/// Spawn all tasks as concurrent processes and await their completion.
+/// Rethrows the first failure (after all complete).
+Task<void> allOf(Simulation& sim, std::vector<Task<void>> tasks);
+
+}  // namespace iobts::sim

@@ -1,0 +1,68 @@
+// The paper's bandwidth-limitation algorithm (Sec. V), engine-agnostic.
+//
+// The MPICH/ROMIO extension limits an I/O request's throughput like this:
+//
+//   1. split the request into sub-requests of a predefined size S;
+//   2. per sub-request compute the required time  dt = S / L  from the
+//      current limit L;
+//   3. execute the sub-request as a blocking operation and compare the
+//      actual execution time with the required time:
+//        Case A: actual < required -> sleep the remainder;
+//        Case B: actual > required -> accumulate the overshoot as a deficit
+//                that reduces future sleeps.
+//
+// The Pacer implements steps 1-3 as pure bookkeeping so the *same* algorithm
+// drives both the simulated ADIO driver (virtual clock) and the real I/O
+// thread in rtio (steady_clock). The caller owns the clock: it reports each
+// sub-request's actual duration and receives the sleep to perform.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace iobts::throttle {
+
+struct PacerConfig {
+  /// Sub-request size (the paper's "predefined size"); requests smaller than
+  /// this are executed whole.
+  Bytes subrequest_size = 4 * kMiB;
+};
+
+class Pacer {
+ public:
+  Pacer() = default;
+  explicit Pacer(PacerConfig config);
+
+  /// Set or clear the throughput limit. Clearing also clears the deficit
+  /// (the old debt is meaningless under a new regime).
+  void setLimit(std::optional<BytesPerSec> limit);
+  std::optional<BytesPerSec> limit() const noexcept { return limit_; }
+  bool limited() const noexcept { return limit_.has_value(); }
+
+  const PacerConfig& config() const noexcept { return config_; }
+
+  /// Split a request into sub-request sizes (step 1). The final chunk holds
+  /// the remainder. Unlimited requests are not split.
+  std::vector<Bytes> split(Bytes total) const;
+
+  /// Required execution time for a sub-request under the current limit
+  /// (step 2); zero when unlimited.
+  Seconds requiredTime(Bytes bytes) const noexcept;
+
+  /// Report a finished sub-request (step 3). Returns the sleep duration to
+  /// apply now (Case A), possibly shortened by accumulated deficit (Case B).
+  Seconds onSubrequestDone(Bytes bytes, Seconds actual);
+
+  /// Outstanding Case-B debt in seconds.
+  Seconds deficit() const noexcept { return deficit_; }
+  void resetDeficit() noexcept { deficit_ = 0.0; }
+
+ private:
+  PacerConfig config_{};
+  std::optional<BytesPerSec> limit_{};
+  Seconds deficit_ = 0.0;
+};
+
+}  // namespace iobts::throttle

@@ -1,0 +1,234 @@
+#include "tmio/ftio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace iobts::tmio {
+
+namespace {
+
+bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fftRadix2(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  IOBTS_CHECK(isPowerOfTwo(n), "FFT size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> powerSpectrum(const std::vector<double>& samples) {
+  IOBTS_CHECK(isPowerOfTwo(samples.size()), "size must be a power of two");
+  std::vector<std::complex<double>> buffer(samples.begin(), samples.end());
+  fftRadix2(buffer);
+  std::vector<double> power(samples.size() / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(buffer[k]);
+  }
+  return power;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& samples) {
+  IOBTS_CHECK(isPowerOfTwo(samples.size()), "size must be a power of two");
+  const std::size_t n = samples.size();
+  std::vector<std::complex<double>> buffer(samples.begin(), samples.end());
+  fftRadix2(buffer);
+  for (auto& x : buffer) x = std::norm(x);  // |X|^2
+  // Inverse FFT via conjugation: ifft(x) = conj(fft(conj(x))) / n.
+  for (auto& x : buffer) x = std::conj(x);
+  fftRadix2(buffer);
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = buffer[i].real() / static_cast<double>(n);
+  }
+  return r;
+}
+
+FtioAnalyzer::FtioAnalyzer(Config config) : config_(config) {
+  IOBTS_CHECK(isPowerOfTwo(config_.bins) && config_.bins >= 8,
+              "bins must be a power of two >= 8");
+  IOBTS_CHECK(config_.min_confidence > 0.0 && config_.min_confidence <= 1.0,
+              "min_confidence must be in (0, 1]");
+  IOBTS_CHECK(config_.min_cycles >= 1, "min_cycles must be >= 1");
+}
+
+PeriodicityResult FtioAnalyzer::analyzeSamples(std::vector<double> samples,
+                                               double t0, double t1) const {
+  PeriodicityResult result;
+  result.window_start = t0;
+  result.window_end = t1;
+
+  const std::size_t n = samples.size();
+  // Remove DC so trend energy does not swamp the spectrum.
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  bool any_signal = false;
+  for (double& s : samples) {
+    s -= mean;
+    any_signal = any_signal || std::fabs(s) > 1e-12;
+  }
+  if (!any_signal) return result;  // flat signal: aperiodic
+
+  // Hann window tempers spectral leakage from the finite window.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(n - 1));
+    samples[i] *= w;
+  }
+
+  result.spectrum = powerSpectrum(samples);
+
+  // Dominant peak above the low-frequency guard band.
+  const int k_min = config_.min_cycles;
+  int k_star = 0;
+  double total = 0.0;
+  for (std::size_t k = static_cast<std::size_t>(k_min);
+       k < result.spectrum.size(); ++k) {
+    total += result.spectrum[k];
+    if (k_star == 0 || result.spectrum[k] > result.spectrum[k_star]) {
+      k_star = static_cast<int>(k);
+    }
+  }
+  if (k_star == 0 || total <= 0.0) return result;
+
+  // Peak energy including the two neighbouring bins (windowed peaks smear).
+  double peak = result.spectrum[k_star];
+  if (k_star - 1 >= k_min) peak += result.spectrum[k_star - 1];
+  if (k_star + 1 < static_cast<int>(result.spectrum.size())) {
+    peak += result.spectrum[k_star + 1];
+  }
+
+  result.dominant_bin = k_star;
+  result.confidence = peak / total;
+  result.frequency = static_cast<double>(k_star) / (t1 - t0);
+  result.period = 1.0 / result.frequency;
+  result.periodic = result.confidence >= config_.min_confidence;
+  return result;
+}
+
+PeriodicityResult FtioAnalyzer::analyzeSeries(const StepSeries& signal,
+                                              double t0, double t1) const {
+  IOBTS_CHECK(t1 > t0, "analysis window must be non-empty");
+  std::vector<double> samples(config_.bins);
+  const double dt = (t1 - t0) / static_cast<double>(config_.bins);
+  for (std::size_t i = 0; i < config_.bins; ++i) {
+    // Mean of the bin, approximated by the step-function integral.
+    const double lo = t0 + dt * static_cast<double>(i);
+    samples[i] = signal.integrate(lo, lo + dt) / dt;
+  }
+  return analyzeSamples(std::move(samples), t0, t1);
+}
+
+PeriodicityResult FtioAnalyzer::analyzeEvents(
+    const std::vector<double>& events) const {
+  PeriodicityResult result;
+  if (events.size() < 4) return result;
+  const auto [lo_it, hi_it] = std::minmax_element(events.begin(), events.end());
+  const double t0 = *lo_it;
+  // Stretch the window slightly so the last event lands inside the grid.
+  const double t1 = *hi_it + (*hi_it - t0) / static_cast<double>(config_.bins);
+  if (t1 <= t0) return result;
+  result.window_start = t0;
+  result.window_end = t1;
+
+  std::vector<double> samples(config_.bins, 0.0);
+  const double dt = (t1 - t0) / static_cast<double>(config_.bins);
+  for (const double t : events) {
+    auto bin = static_cast<std::size_t>((t - t0) / dt);
+    bin = std::min(bin, config_.bins - 1);
+    samples[bin] += 1.0;
+  }
+  // Remove the mean so the autocorrelation floor sits near zero.
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(config_.bins);
+  for (double& s : samples) s -= mean;
+
+  const std::vector<double> r = autocorrelation(samples);
+  if (r[0] <= 0.0) return result;
+
+  // Every multiple of the period peaks almost equally high, so take the
+  // *smallest* local-maximum lag within 85 % of the global peak -- that is
+  // the fundamental. Only the first half of the lags is meaningful for a
+  // circular autocorrelation.
+  const std::size_t lag_min = 2;
+  const std::size_t lag_max = config_.bins / 2;
+  double r_max = 0.0;
+  for (std::size_t lag = lag_min; lag < lag_max; ++lag) {
+    r_max = std::max(r_max, r[lag]);
+  }
+  if (r_max <= 0.0) return result;
+  std::size_t best_lag = 0;
+  for (std::size_t lag = lag_min; lag < lag_max; ++lag) {
+    const bool local_max = r[lag] >= r[lag - 1] && r[lag] >= r[lag + 1];
+    if (local_max && r[lag] >= 0.85 * r_max) {
+      best_lag = lag;
+      break;
+    }
+  }
+  if (best_lag == 0) return result;
+
+  // Refine to the fundamental: a peak at k x period also appears at the
+  // period itself; prefer the smallest sub-multiple whose autocorrelation
+  // is still strong.
+  for (std::size_t divisor = 8; divisor >= 2; --divisor) {
+    const std::size_t candidate =
+        (best_lag + divisor / 2) / divisor;  // rounded best_lag / divisor
+    if (candidate < lag_min || candidate + 1 >= r.size()) continue;
+    // Allow +-1 bin of quantization slack around the candidate lag.
+    double local = r[candidate];
+    local = std::max(local, r[candidate - 1]);
+    local = std::max(local, r[candidate + 1]);
+    if (local >= 0.7 * r[best_lag]) {
+      std::size_t refined = candidate;
+      if (r[candidate - 1] > r[refined]) refined = candidate - 1;
+      if (r[candidate + 1] > r[refined]) refined = candidate + 1;
+      best_lag = refined;
+      break;
+    }
+  }
+
+  result.confidence = std::max(0.0, r[best_lag] / r[0]);
+  result.period = static_cast<double>(best_lag) * dt;
+  result.frequency = 1.0 / result.period;
+  result.dominant_bin = static_cast<int>(best_lag);
+  result.periodic = result.confidence >= config_.min_confidence;
+  return result;
+}
+
+double FtioAnalyzer::predictNext(const PeriodicityResult& result,
+                                 double last_event) {
+  IOBTS_CHECK(result.periodic && result.period > 0.0,
+              "prediction needs a periodic result");
+  return last_event + result.period;
+}
+
+}  // namespace iobts::tmio

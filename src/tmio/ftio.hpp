@@ -1,0 +1,89 @@
+// FTIO -- frequency-technique detection of periodic I/O (the paper's
+// companion tool [72], used together with TMIO: "the tool has been recently
+// used together with FTIO to predict online or detect offline the I/O
+// phases of an application").
+//
+// Given a bandwidth-over-time signal (e.g. the tracer's application-level
+// throughput series) or a list of I/O phase start times, FTIO
+//
+//   1. resamples the signal onto a power-of-two grid,
+//   2. removes the DC component and applies a Hann window,
+//   3. runs an own radix-2 FFT and inspects the power spectrum,
+//   4. reports the dominant frequency with a confidence score (the share of
+//      non-DC spectral energy concentrated around the dominant peak).
+//
+// The result drives the predictive use cases the paper sketches: knowing
+// the I/O period lets a scheduler (or the PredictiveLimit helper below)
+// anticipate the next burst.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace iobts::tmio {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT; size must be a power of two.
+void fftRadix2(std::vector<std::complex<double>>& data);
+
+/// Power spectrum |X_k|^2 for k = 0..n/2 of a real signal (after windowing);
+/// the input size must be a power of two.
+std::vector<double> powerSpectrum(const std::vector<double>& samples);
+
+/// Circular autocorrelation r(lag) computed via FFT (Wiener-Khinchin);
+/// size must be a power of two. r(0) is the signal energy.
+std::vector<double> autocorrelation(const std::vector<double>& samples);
+
+struct PeriodicityResult {
+  bool periodic = false;
+  double period = 0.0;       // seconds (0 if aperiodic)
+  double frequency = 0.0;    // Hz
+  double confidence = 0.0;   // share of non-DC energy in the dominant peak
+  int dominant_bin = 0;      // index into the spectrum
+  std::vector<double> spectrum;  // |X_k|^2, k = 0..n/2
+  double window_start = 0.0;
+  double window_end = 0.0;
+};
+
+class FtioAnalyzer {
+ public:
+  struct Config {
+    /// Resampling grid (power of two). More bins = finer frequency
+    /// resolution at the cost of noise sensitivity.
+    std::size_t bins = 512;
+    /// Dominant-peak energy share required to call the signal periodic.
+    double min_confidence = 0.25;
+    /// Ignore frequencies below this many full cycles in the window (the
+    /// first bins mostly carry trend/DC leakage).
+    int min_cycles = 2;
+  };
+
+  FtioAnalyzer() : FtioAnalyzer(Config{}) {}
+  explicit FtioAnalyzer(Config config);
+
+  /// Analyze a piecewise-constant signal over [t0, t1].
+  PeriodicityResult analyzeSeries(const StepSeries& signal, double t0,
+                                  double t1) const;
+
+  /// Analyze discrete event times (e.g. phase starts): builds an impulse
+  /// train and detects the cadence by autocorrelation (spike trains spread
+  /// their spectral energy over all harmonics, so the spectral-peak
+  /// criterion of analyzeSeries would under-rate them). Needs >= 4 events.
+  PeriodicityResult analyzeEvents(const std::vector<double>& events) const;
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Next expected event time after `last_event` under `result`'s period.
+  static double predictNext(const PeriodicityResult& result,
+                            double last_event);
+
+ private:
+  PeriodicityResult analyzeSamples(std::vector<double> samples, double t0,
+                                   double t1) const;
+
+  Config config_;
+};
+
+}  // namespace iobts::tmio

@@ -1,0 +1,167 @@
+#include "tmio/publisher.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace iobts::tmio {
+
+// ---------------------------------------------------------------------------
+// JsonlFileSink
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {
+  IOBTS_CHECK(out_.is_open(), "cannot open '" + path + "'");
+}
+
+void JsonlFileSink::publish(const Json& record) {
+  out_ << record.dump() << '\n';
+}
+
+void JsonlFileSink::flush() { out_.flush(); }
+
+// ---------------------------------------------------------------------------
+// TcpJsonlSink
+
+namespace {
+
+void sendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    IOBTS_CHECK(n > 0, "TCP send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpJsonlSink::TcpJsonlSink(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  IOBTS_CHECK(fd_ >= 0, "cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  IOBTS_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "bad host address '" + host + "'");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    IOBTS_CHECK(false, "cannot connect to " + host + ":" +
+                           std::to_string(port));
+  }
+}
+
+TcpJsonlSink::~TcpJsonlSink() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpJsonlSink::publish(const Json& record) {
+  const std::string line = record.dump() + "\n";
+  sendAll(fd_, line.data(), line.size());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPublisher
+
+void MetricsPublisher::addSink(std::unique_ptr<MetricsSink> sink) {
+  IOBTS_CHECK(sink != nullptr, "null sink");
+  sinks_.push_back(std::move(sink));
+}
+
+void MetricsPublisher::publish(const Json& record) {
+  for (const auto& sink : sinks_) sink->publish(record);
+}
+
+void MetricsPublisher::flush() {
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+// ---------------------------------------------------------------------------
+// TcpJsonlServer
+
+TcpJsonlServer::TcpJsonlServer() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  IOBTS_CHECK(listen_fd_ >= 0, "cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  IOBTS_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind failed");
+  socklen_t len = sizeof(addr);
+  IOBTS_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0,
+              "getsockname failed");
+  port_ = ntohs(addr.sin_port);
+  IOBTS_CHECK(::listen(listen_fd_, 1) == 0, "listen failed");
+  reader_ = std::thread([this] { serve(); });
+}
+
+TcpJsonlServer::~TcpJsonlServer() { stop(); }
+
+void TcpJsonlServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Closing the listen socket unblocks accept(); an in-flight recv ends when
+  // the client disconnects (sinks are destroyed before the server in tests).
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (reader_.joinable()) reader_.join();
+}
+
+std::vector<std::string> TcpJsonlServer::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+bool TcpJsonlServer::waitForLines(std::size_t n, int timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (lines_.size() >= n) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size() >= n;
+}
+
+void TcpJsonlServer::serve() {
+  const int client = ::accept(listen_fd_, nullptr, nullptr);
+  if (client < 0) return;  // stopped before a client connected
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buffer[i] == '\n') {
+        lines_.push_back(partial_);
+        partial_.clear();
+      } else {
+        partial_.push_back(buffer[i]);
+      }
+    }
+  }
+  ::close(client);
+}
+
+}  // namespace iobts::tmio

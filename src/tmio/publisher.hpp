@@ -1,0 +1,119 @@
+// Online metric streaming (paper Sec. IV-D: "aside from writing the data
+// out, the library can also send the data via TCP (via ZeroMQ) to avoid
+// creating a file").
+//
+// The tracer can publish every record the moment it is produced -- phase
+// records at the matching wait, throughput records when the queue drains,
+// limit changes when a strategy fires -- to any number of sinks:
+//
+//   * JsonlFileSink  -- append JSON Lines to a file;
+//   * MemorySink     -- retain records in memory (tests, in-process
+//                       consumers such as an I/O scheduler);
+//   * TcpJsonlSink   -- a real TCP client streaming JSONL over a socket
+//                       (the ZeroMQ analog; plain sockets keep the library
+//                       dependency-free).
+//
+// TcpJsonlServer is a minimal loopback receiver used by tests and the
+// online-consumer example.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace iobts::tmio {
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  /// Deliver one record. Called inline from the tracer's hook path; sinks
+  /// must be cheap or buffer internally.
+  virtual void publish(const Json& record) = 0;
+  virtual void flush() {}
+};
+
+/// Appends one compact JSON object per line.
+class JsonlFileSink final : public MetricsSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  void publish(const Json& record) override;
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Retains all records (tests / in-process consumers).
+class MemorySink final : public MetricsSink {
+ public:
+  void publish(const Json& record) override { records_.push_back(record); }
+  const std::vector<Json>& records() const noexcept { return records_; }
+
+ private:
+  std::vector<Json> records_;
+};
+
+/// Streams JSONL over a connected TCP socket (blocking writes; loopback or
+/// LAN-grade links). Throws CheckError if the connection fails.
+class TcpJsonlSink final : public MetricsSink {
+ public:
+  TcpJsonlSink(const std::string& host, int port);
+  ~TcpJsonlSink() override;
+  void publish(const Json& record) override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Fan-out to any number of sinks.
+class MetricsPublisher {
+ public:
+  void addSink(std::unique_ptr<MetricsSink> sink);
+  std::size_t sinkCount() const noexcept { return sinks_.size(); }
+
+  void publish(const Json& record);
+  void flush();
+
+ private:
+  std::vector<std::unique_ptr<MetricsSink>> sinks_;
+};
+
+/// Minimal single-connection JSONL receiver on 127.0.0.1 (for tests and the
+/// online-consumer demo). Accepts one client and collects complete lines.
+class TcpJsonlServer {
+ public:
+  TcpJsonlServer();
+  ~TcpJsonlServer();
+  TcpJsonlServer(const TcpJsonlServer&) = delete;
+  TcpJsonlServer& operator=(const TcpJsonlServer&) = delete;
+
+  int port() const noexcept { return port_; }
+
+  /// Stop accepting/reading and join the reader thread.
+  void stop();
+
+  /// Lines received so far (thread-safe snapshot).
+  std::vector<std::string> lines() const;
+
+  /// Block until at least `n` lines arrived or `timeout_ms` passed; returns
+  /// whether the count was reached.
+  bool waitForLines(std::size_t n, int timeout_ms = 2000) const;
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread reader_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::string partial_;
+  bool stopping_ = false;
+};
+
+}  // namespace iobts::tmio

@@ -1,0 +1,57 @@
+// Trace record types produced by the TMIO tracer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pfs/shared_link.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace iobts::tmio {
+
+/// One required-bandwidth phase of one rank (Eq. 1). A phase spans the async
+/// requests submitted between two matching-wait boundaries; its window is
+/// [ts, te) with te = the moment the matching wait is reached.
+struct PhaseRecord {
+  int rank = -1;
+  int phase = -1;  // j
+  pfs::Channel channel = pfs::Channel::Write;
+  sim::Time ts = sim::kNoTime;   // first request submitted
+  sim::Time te = sim::kNoTime;   // matching wait reached (mode-dependent)
+  Bytes bytes = 0;               // sum over the phase's requests
+  int requests = 0;
+  BytesPerSec required = 0.0;    // B_ij (sum of per-request bandwidths)
+  /// Limit that was in force *during* this phase (feeds the B_L series).
+  std::optional<BytesPerSec> applied_limit{};
+};
+
+/// One throughput window of one rank (Eq. 2): starts when the first request
+/// enters the throughput-monitoring queue, ends when the queue drains.
+struct ThroughputRecord {
+  int rank = -1;
+  pfs::Channel channel = pfs::Channel::Write;
+  sim::Time start = sim::kNoTime;  // first submit
+  sim::Time end = sim::kNoTime;    // last completion (queue empty)
+  Bytes bytes = 0;
+  BytesPerSec throughput = 0.0;    // T_ij
+};
+
+/// A limit application event (the vertical "Limit starts" markers).
+struct LimitChange {
+  int rank = -1;
+  sim::Time time = sim::kNoTime;
+  std::optional<BytesPerSec> limit{};
+};
+
+/// Per-rank classification of asynchronous I/O time (Figs. 7/11 segments).
+struct AsyncTimeSplit {
+  Seconds write_exploit = 0.0;  // async write hidden behind compute/comm
+  Seconds read_exploit = 0.0;
+  Seconds write_lost = 0.0;     // blocked in the matching wait
+  Seconds read_lost = 0.0;
+  Seconds sync_write = 0.0;     // blocking (visible) write time
+  Seconds sync_read = 0.0;
+};
+
+}  // namespace iobts::tmio

@@ -1,0 +1,45 @@
+#include "tmio/regions.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace iobts::tmio {
+
+StepSeries sweepRegions(std::vector<Interval> intervals) {
+  StepSeries series;
+  if (intervals.empty()) return series;
+
+  struct Breakpoint {
+    double t;
+    double delta;  // +value at start, -value at end
+  };
+  std::vector<Breakpoint> points;
+  points.reserve(intervals.size() * 2);
+  for (const Interval& iv : intervals) {
+    IOBTS_CHECK(iv.end >= iv.start, "interval must be ordered");
+    if (iv.end == iv.start) continue;  // zero-length: no contribution
+    points.push_back({iv.start, iv.value});
+    points.push_back({iv.end, -iv.value});
+  }
+  if (points.empty()) return series;
+  std::sort(points.begin(), points.end(),
+            [](const Breakpoint& a, const Breakpoint& b) { return a.t < b.t; });
+
+  double running = 0.0;
+  std::size_t i = 0;
+  while (i < points.size()) {
+    const double t = points[i].t;
+    // Fold all breakpoints at the same instant into one region boundary.
+    while (i < points.size() && points[i].t == t) {
+      running += points[i].delta;
+      ++i;
+    }
+    // Snap float residue to zero so the final region reads exactly 0.
+    if (std::abs(running) < 1e-9) running = 0.0;
+    series.add(t, running);
+  }
+  return series;
+}
+
+}  // namespace iobts::tmio

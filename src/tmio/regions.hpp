@@ -1,0 +1,30 @@
+// Application-level region aggregation (paper Sec. IV-C, Eq. 3, Fig. 4).
+//
+// Given per-rank, per-phase intervals [ts_ij, te_ij) each carrying a value
+// (required bandwidth B_ij, or throughput T_ij), compute the step function
+//
+//   B_r = sum of values whose interval contains the region start ts_r,
+//
+// where a new region starts at every interval start or end. The maximum of
+// the series is the minimal application-level bandwidth such that no rank
+// ever blocks in a matching wait.
+#pragma once
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace iobts::tmio {
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+  double value = 0.0;
+};
+
+/// Sweep-line sum of overlapping intervals. The returned series has one
+/// sample per region start (including a final 0 when all intervals closed).
+/// Zero-length intervals contribute a region boundary but no area.
+StepSeries sweepRegions(std::vector<Interval> intervals);
+
+}  // namespace iobts::tmio

@@ -1,0 +1,89 @@
+#include "tmio/report.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace iobts::tmio {
+
+namespace {
+double aggregateRankSeconds(const mpisim::World& world) {
+  double base = 0.0;
+  for (int r = 0; r < world.config().ranks; ++r) {
+    base += world.rankTimes(r).total();
+  }
+  return base;
+}
+}  // namespace
+
+ExploitBreakdown exploitBreakdown(const Tracer& tracer,
+                                  const mpisim::World& world) {
+  const double base = aggregateRankSeconds(world);
+  ExploitBreakdown out;
+  if (base <= 0.0) return out;
+
+  AsyncTimeSplit sum;
+  for (int r = 0; r < world.config().ranks; ++r) {
+    const AsyncTimeSplit& split = tracer.rankSplit(r);
+    sum.sync_write += split.sync_write;
+    sum.sync_read += split.sync_read;
+    sum.write_lost += split.write_lost;
+    sum.read_lost += split.read_lost;
+    sum.write_exploit += split.write_exploit;
+    sum.read_exploit += split.read_exploit;
+  }
+  const double pct = 100.0 / base;
+  out.sync_write = sum.sync_write * pct;
+  out.sync_read = sum.sync_read * pct;
+  out.async_write_lost = sum.write_lost * pct;
+  out.async_read_lost = sum.read_lost * pct;
+  out.async_write_exploit = sum.write_exploit * pct;
+  out.async_read_exploit = sum.read_exploit * pct;
+  out.compute_io_free = std::max(
+      0.0, 100.0 - out.sync_write - out.sync_read - out.async_write_lost -
+               out.async_read_lost - out.async_write_exploit -
+               out.async_read_exploit);
+  return out;
+}
+
+VisibleBreakdown visibleBreakdown(const mpisim::World& world) {
+  const double base = aggregateRankSeconds(world);
+  VisibleBreakdown out;
+  if (base <= 0.0) return out;
+  double peri = 0.0;
+  double post = 0.0;
+  double visible = 0.0;
+  for (int r = 0; r < world.config().ranks; ++r) {
+    const mpisim::RankTimes& t = world.rankTimes(r);
+    peri += t.overhead_peri;
+    post += t.overhead_post;
+    visible += t.sync_io + t.wait_blocked;
+  }
+  const double pct = 100.0 / base;
+  out.overhead_peri = peri * pct;
+  out.overhead_post = post * pct;
+  out.visible_io = visible * pct;
+  out.compute = std::max(
+      0.0, 100.0 - out.overhead_peri - out.overhead_post - out.visible_io);
+  return out;
+}
+
+RuntimeSummary runtimeSummary(const mpisim::World& world) {
+  RuntimeSummary out;
+  out.total = world.elapsed();
+  double overhead = 0.0;
+  for (int r = 0; r < world.config().ranks; ++r) {
+    const mpisim::RankTimes& t = world.rankTimes(r);
+    overhead += t.overhead_peri + t.overhead_post;
+  }
+  out.overhead = overhead / std::max(1, world.config().ranks);
+  out.app = std::max(0.0, out.total - out.overhead);
+  return out;
+}
+
+double asyncWriteExploitPercent(const Tracer& tracer,
+                                const mpisim::World& world) {
+  return exploitBreakdown(tracer, world).async_write_exploit;
+}
+
+}  // namespace iobts::tmio

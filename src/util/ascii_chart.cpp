@@ -1,0 +1,189 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace iobts {
+
+namespace {
+constexpr char kSeriesGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+constexpr char kSegmentGlyphs[] = {'#', '=', '+', '.', ':', '*', '~', ' '};
+
+std::string formatTick(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1e6 || (std::fabs(v) < 1e-3 && v != 0.0)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+void LineChart::addSeries(std::string name,
+                          std::vector<std::pair<double, double>> xy) {
+  series_.push_back({std::move(name), std::move(xy)});
+}
+
+void LineChart::setYRange(double lo, double hi) {
+  IOBTS_CHECK(hi > lo, "y range must be non-empty");
+  y_fixed_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string LineChart::render() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+
+  // Data ranges.
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = y_fixed_ ? y_lo_ : std::numeric_limits<double>::infinity();
+  double y_hi = y_fixed_ ? y_hi_ : -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.xy) {
+      any = true;
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      if (!y_fixed_) {
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  if (!any) return out + "(no data)\n";
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  if (!y_fixed_ && y_lo > 0.0 && y_lo < 0.25 * y_hi) y_lo = 0.0;
+
+  // Canvas.
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kSeriesGlyphs[si % sizeof(kSeriesGlyphs)];
+    for (const auto& [x, y] : series_[si].xy) {
+      const double fx = (x - x_lo) / (x_hi - x_lo);
+      const double fy = (y - y_lo) / (y_hi - y_lo);
+      if (fy < 0.0 || fy > 1.0) continue;
+      const auto col = static_cast<std::size_t>(
+          std::min(fx * static_cast<double>(width_ - 1),
+                   static_cast<double>(width_ - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::min(fy * static_cast<double>(height_ - 1),
+                   static_cast<double>(height_ - 1)));
+      canvas[height_ - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  // Emit with a y-axis.
+  const std::size_t label_width = 11;
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double frac =
+        static_cast<double>(height_ - 1 - r) / static_cast<double>(height_ - 1);
+    const double y_val = y_lo + frac * (y_hi - y_lo);
+    const bool labeled = (r == 0 || r == height_ - 1 || r == height_ / 2);
+    out += labeled ? padLeft(formatTick(y_val), label_width)
+                   : std::string(label_width, ' ');
+    out += " |";
+    out += canvas[r];
+    out += '\n';
+  }
+  out += std::string(label_width + 1, ' ') + '+' + std::string(width_, '-') + '\n';
+  out += std::string(label_width + 2, ' ') + formatTick(x_lo) +
+         std::string(width_ > 24 ? width_ - 16 : 1, ' ') + formatTick(x_hi) + '\n';
+  if (!x_label_.empty()) {
+    out += std::string(label_width + 2 + width_ / 2 - x_label_.size() / 2, ' ') +
+           x_label_ + '\n';
+  }
+
+  // Legend.
+  out += "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += strfmt("  %c %s", kSeriesGlyphs[si % sizeof(kSeriesGlyphs)],
+                  series_[si].name.c_str());
+  }
+  if (!y_label_.empty()) out += "   [y: " + y_label_ + "]";
+  out += '\n';
+  return out;
+}
+
+void StackedBars::setSegments(std::vector<std::string> names) {
+  IOBTS_CHECK(!names.empty() && names.size() <= sizeof(kSegmentGlyphs),
+              "unsupported segment count");
+  segment_names_ = std::move(names);
+}
+
+void StackedBars::addBar(std::string label, std::vector<double> percentages) {
+  IOBTS_CHECK(percentages.size() == segment_names_.size(),
+              "segment count mismatch");
+  bars_.push_back({std::move(label), std::move(percentages)});
+}
+
+std::string StackedBars::render() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  std::size_t label_width = 8;
+  for (const auto& b : bars_) label_width = std::max(label_width, b.label.size());
+
+  for (const auto& b : bars_) {
+    out += padRight(b.label, label_width) + " |";
+    std::size_t used = 0;
+    std::string annotation;
+    for (std::size_t s = 0; s < b.percentages.size(); ++s) {
+      const double pct = std::max(0.0, b.percentages[s]);
+      auto cells = static_cast<std::size_t>(
+          std::round(pct / 100.0 * static_cast<double>(bar_width_)));
+      cells = std::min(cells, bar_width_ - used);
+      out += std::string(cells, kSegmentGlyphs[s]);
+      used += cells;
+      annotation += strfmt("%s%s=%.1f%%", s ? " " : "",
+                           segment_names_[s].c_str(), pct);
+    }
+    out += std::string(bar_width_ - used, ' ');
+    out += "| " + annotation + '\n';
+  }
+  out += "  legend:";
+  for (std::size_t s = 0; s < segment_names_.size(); ++s) {
+    out += strfmt("  '%c' %s", kSegmentGlyphs[s], segment_names_[s].c_str());
+  }
+  out += '\n';
+  return out;
+}
+
+void GanttChart::addRow(std::string label, double start, double end) {
+  IOBTS_CHECK(end >= start, "gantt interval must be ordered");
+  rows_.push_back({std::move(label), start, end});
+}
+
+std::string GanttChart::render() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  std::size_t label_width = 8;
+  for (const auto& r : rows_) label_width = std::max(label_width, r.label.size());
+  const double t_end = std::max(t_end_, 1e-9);
+
+  for (const auto& r : rows_) {
+    auto col = [&](double t) {
+      return static_cast<std::size_t>(
+          std::clamp(t / t_end, 0.0, 1.0) * static_cast<double>(width_));
+    };
+    const std::size_t c0 = col(r.start);
+    const std::size_t c1 = std::max(col(r.end), c0 + 1);
+    std::string bar(width_, ' ');
+    for (std::size_t c = c0; c < std::min(c1, width_); ++c) bar[c] = '#';
+    out += padRight(r.label, label_width) + " |" + bar + "| " +
+           strfmt("[%.1f, %.1f]", r.start, r.end) + '\n';
+  }
+  out += padRight("", label_width) + " 0" +
+         std::string(width_ > 10 ? width_ - 8 : 1, ' ') +
+         strfmt("%.1f s\n", t_end);
+  return out;
+}
+
+}  // namespace iobts

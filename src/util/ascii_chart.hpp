@@ -1,0 +1,102 @@
+// Terminal renderers for the reproduced figures.
+//
+// LineChart     -- multi-series x/y plot (Figs. 2, 8, 9, 10, 13, 14 series).
+// StackedBars   -- 100 %-stacked horizontal bars (Figs. 6, 7, 11).
+// GanttChart    -- job timelines (Fig. 1).
+//
+// The benches print these so the figure *shape* is visible directly in the
+// harness output; raw numbers additionally go to CSV.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iobts {
+
+/// Multi-series line chart on a character canvas.
+class LineChart {
+ public:
+  LineChart(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {}
+
+  /// Add a named series; each series gets its own glyph.
+  void addSeries(std::string name, std::vector<std::pair<double, double>> xy);
+
+  /// Fix the y-axis range (otherwise auto-scaled to the data).
+  void setYRange(double lo, double hi);
+  void setTitle(std::string title) { title_ = std::move(title); }
+  void setXLabel(std::string label) { x_label_ = std::move(label); }
+  void setYLabel(std::string label) { y_label_ = std::move(label); }
+
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> xy;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  bool y_fixed_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+};
+
+/// 100%-stacked horizontal bars: one bar per row, segments sum to <= 100.
+class StackedBars {
+ public:
+  explicit StackedBars(std::size_t bar_width = 60) : bar_width_(bar_width) {}
+
+  /// Define segment names (order = stacking order); one glyph per segment.
+  void setSegments(std::vector<std::string> names);
+
+  /// Add one bar. `percentages` must have one entry per segment.
+  void addBar(std::string label, std::vector<double> percentages);
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+  std::string render() const;
+
+ private:
+  struct Bar {
+    std::string label;
+    std::vector<double> percentages;
+  };
+
+  std::size_t bar_width_;
+  std::vector<std::string> segment_names_;
+  std::vector<Bar> bars_;
+  std::string title_;
+};
+
+/// Gantt-style timeline: one row per entity with [start, end) intervals.
+class GanttChart {
+ public:
+  GanttChart(std::size_t width, double t_end)
+      : width_(width), t_end_(t_end) {}
+
+  void addRow(std::string label, double start, double end);
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::string label;
+    double start;
+    double end;
+  };
+
+  std::size_t width_;
+  double t_end_;
+  std::vector<Row> rows_;
+  std::string title_;
+};
+
+}  // namespace iobts

@@ -1,0 +1,48 @@
+// Lightweight runtime-check macros used across the library.
+//
+// IOBTS_CHECK(cond, msg)   -- always-on invariant check; throws CheckError.
+// IOBTS_DCHECK(cond, msg)  -- debug-only (compiled out in NDEBUG builds).
+//
+// We throw instead of aborting so that tests can assert on failure paths and
+// so that long simulation campaigns can report which experiment tripped.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iobts {
+
+/// Error thrown by IOBTS_CHECK on a violated invariant.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "IOBTS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace iobts
+
+#define IOBTS_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::iobts::detail::checkFailed(#cond, __FILE__, __LINE__,             \
+                                   std::string(msg));                     \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define IOBTS_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#else
+#define IOBTS_DCHECK(cond, msg) IOBTS_CHECK(cond, msg)
+#endif

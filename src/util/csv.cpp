@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace iobts {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  IOBTS_CHECK(out_.is_open(), "cannot open CSV file '" + path + "'");
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> cols;
+  cols.reserve(columns.size());
+  for (const auto c : columns) cols.emplace_back(c);
+  header(cols);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  IOBTS_CHECK(columns_ == 0 && rows_ == 0, "header must be written first");
+  columns_ = columns.size();
+  writeFields(columns);
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> f;
+  f.reserve(fields.size());
+  for (const auto x : fields) f.emplace_back(x);
+  row(f);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  IOBTS_CHECK(columns_ == 0 || fields.size() == columns_,
+              "row width differs from header");
+  writeFields(fields);
+  ++rows_;
+}
+
+void CsvWriter::rowNumeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    fields.emplace_back(buf);
+  }
+  row(fields);
+}
+
+void CsvWriter::writeFields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(f);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace iobts

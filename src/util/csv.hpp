@@ -1,0 +1,41 @@
+// CSV writer for dumping experiment series (one file per figure/run).
+//
+// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iobts {
+
+class CsvWriter {
+ public:
+  /// Open `path` for writing; throws CheckError if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write the header row (call once, first).
+  void header(std::initializer_list<std::string_view> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Append one row; column count must match the header if one was written.
+  void row(std::initializer_list<std::string_view> fields);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: numeric row.
+  void rowNumeric(const std::vector<double>& values);
+
+  std::size_t rowsWritten() const noexcept { return rows_; }
+
+ private:
+  void writeFields(const std::vector<std::string>& fields);
+  static std::string escape(std::string_view field);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace iobts

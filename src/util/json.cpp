@@ -1,0 +1,107 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iobts {
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out, /*indent=*/-1, /*depth=*/0);
+  return out;
+}
+
+std::string Json::pretty() const {
+  std::string out;
+  dumpTo(out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+void Json::escapeTo(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+
+  if (isNull()) {
+    out += "null";
+  } else if (isBool()) {
+    out += asBool() ? "true" : "false";
+  } else if (isNumber()) {
+    const double v = asNumber();
+    char buf[64];
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else if (std::isfinite(v)) {
+      std::snprintf(buf, sizeof(buf), "%.12g", v);
+    } else {
+      // JSON has no inf/nan; serialize as null (documented behaviour).
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    out += buf;
+  } else if (isString()) {
+    escapeTo(out, asString());
+  } else if (isArray()) {
+    const auto& arr = asArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].dumpTo(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const auto& obj = asObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      out += pad;
+      escapeTo(out, key);
+      out += indent > 0 ? ": " : ":";
+      value.dumpTo(out, indent, depth + 1);
+      if (++i < obj.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+}  // namespace iobts

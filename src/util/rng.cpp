@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace iobts {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller. Draw both uniforms every call so the stream advances by a
+  // fixed amount per sample (replay stability).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::lognormalFactor(double sigma) noexcept {
+  if (sigma <= 0.0) return 1.0;
+  return std::exp(sigma * normal());
+}
+
+}  // namespace iobts

@@ -1,0 +1,116 @@
+// Online and batch statistics.
+//
+// RunningStats  -- Welford mean/variance/min/max, O(1) memory.
+// Percentiles   -- exact percentiles over a retained sample vector.
+// Histogram     -- fixed-width bins for quick distribution summaries.
+// TimeSeries    -- (t, value) samples; supports step-function integration and
+//                  resampling, used for the bandwidth-vs-time figures.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iobts {
+
+/// Welford online accumulator for mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for < 2 samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over retained samples (linear interpolation, type-7).
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  /// p in [0, 100]. Returns 0 for an empty sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double binLow(std::size_t i) const noexcept;
+  double binHigh(std::size_t i) const noexcept;
+
+  /// One-line ASCII sparkline of the distribution.
+  std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Piecewise-constant time series: value holds from sample i until sample
+/// i+1. Used for B_r / T / B_L step functions.
+class StepSeries {
+ public:
+  void add(double t, double value);
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  const std::vector<std::pair<double, double>>& points() const noexcept {
+    return points_;
+  }
+
+  /// Value at time t (0 before the first sample).
+  double at(double t) const noexcept;
+
+  /// Integral of the step function over [t0, t1].
+  double integrate(double t0, double t1) const noexcept;
+
+  /// Maximum sampled value (0 if empty).
+  double maxValue() const noexcept;
+
+  /// Resample onto a uniform grid of n points spanning [t0, t1].
+  std::vector<std::pair<double, double>> resample(double t0, double t1,
+                                                  std::size_t n) const;
+
+  /// Like resample, but each grid point carries the *maximum* value attained
+  /// in its bin -- keeps short bursts visible on coarse grids.
+  std::vector<std::pair<double, double>> resampleMax(double t0, double t1,
+                                                     std::size_t n) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;  // sorted by construction
+};
+
+}  // namespace iobts

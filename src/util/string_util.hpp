@@ -1,0 +1,27 @@
+// Small string helpers shared by the CLI-ish bench/example front-ends.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iobts {
+
+/// Split on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Left-pad with spaces to at least `width` characters.
+std::string padLeft(std::string_view text, std::size_t width);
+
+/// Right-pad with spaces to at least `width` characters.
+std::string padRight(std::string_view text, std::size_t width);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace iobts

@@ -1,0 +1,49 @@
+// Units used throughout the library.
+//
+// Conventions (match the paper):
+//   * byte counts       -> Bytes     (std::uint64_t)
+//   * bandwidth / rate  -> double bytes-per-second (BytesPerSec)
+//   * simulated time    -> double seconds
+//
+// Helpers format values the way the paper's plots do (MB/s, GB/s, ...)
+// and parse human-friendly strings like "4MiB" or "120GB/s" for CLI flags.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iobts {
+
+using Bytes = std::uint64_t;
+using BytesPerSec = double;
+using Seconds = double;
+
+// Decimal units (used for bandwidth, as in the paper: 120 GB/s).
+inline constexpr Bytes kKB = 1000ULL;
+inline constexpr Bytes kMB = 1000ULL * kKB;
+inline constexpr Bytes kGB = 1000ULL * kMB;
+inline constexpr Bytes kTB = 1000ULL * kGB;
+
+// Binary units (used for request/sub-request sizes: 4 MiB chunks).
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+
+/// "1.50 GB", "37 MB", "128 B" -- decimal, two significant decimals.
+std::string formatBytes(Bytes bytes);
+
+/// "1.50 GB/s", "850 MB/s".
+std::string formatBandwidth(BytesPerSec rate);
+
+/// "12.3 s", "450 ms", "8.1 us".
+std::string formatDuration(Seconds seconds);
+
+/// Parse "64", "64KiB", "4MiB", "1.5GB", "120GB/s" (suffix case-insensitive,
+/// optional "/s" ignored). Throws CheckError on malformed input.
+Bytes parseBytes(std::string_view text);
+
+/// Parse a bandwidth string; same grammar as parseBytes.
+BytesPerSec parseBandwidth(std::string_view text);
+
+}  // namespace iobts

@@ -1,0 +1,169 @@
+#include "workloads/hacc_io.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::workloads {
+
+Bytes haccBytesPerRankPerLoop(const HaccIoConfig& config) {
+  return config.particles_per_rank * kHaccBytesPerParticle;
+}
+
+pfs::ContentTag haccTag(int rank, int loop) {
+  std::uint64_t x = (static_cast<std::uint64_t>(rank) << 20) ^
+                    static_cast<std::uint64_t>(loop) ^ 0x9acc10ULL;
+  return splitmix64(x);
+}
+
+namespace {
+
+constexpr pfs::ContentTag kHeaderTag = 0x4ead0001;
+
+struct WriteChunk {
+  Bytes offset;
+  Bytes length;
+};
+
+std::vector<WriteChunk> splitPayload(Bytes data_offset, Bytes payload,
+                                     int requests) {
+  std::vector<WriteChunk> chunks;
+  const Bytes per = payload / requests;
+  Bytes cursor = data_offset;
+  for (int i = 0; i < requests; ++i) {
+    const Bytes len = (i == requests - 1) ? payload - per * (requests - 1)
+                                          : per;
+    chunks.push_back({cursor, len});
+    cursor += len;
+  }
+  return chunks;
+}
+
+/// The modified HACC-IO of Fig. 12: write overlaps verify, read overlaps the
+/// next compute, waits close each block.
+sim::Task<void> asyncLoop(mpisim::RankCtx& ctx, const HaccIoConfig& cfg,
+                          HaccIoStats* stats) {
+  auto file = ctx.open(cfg.path_prefix + "." + std::to_string(ctx.rank()));
+  const Bytes payload = haccBytesPerRankPerLoop(cfg);
+  const Bytes data_offset = cfg.header_bytes;
+  const auto chunks =
+      splitPayload(data_offset, payload, cfg.requests_per_write);
+  const Seconds memcpy_time =
+      static_cast<double>(payload) / cfg.memcpy_rate;
+
+  mpisim::Request read_req;
+  int read_loop = -1;
+
+  auto check_read = [&]() {
+    if (read_loop < 0) return;
+    const bool ok =
+        file.verify(data_offset, payload, haccTag(ctx.rank(), read_loop));
+    if (stats) {
+      if (ok) {
+        ++stats->verified_loops;
+      } else {
+        ++stats->verify_failures;
+      }
+    }
+  };
+
+  for (int loop = 0; loop < cfg.loops; ++loop) {
+    // -- compute block (fill arrays) ---------------------------------------
+    co_await ctx.bcast(cfg.bcast_bytes);
+    co_await ctx.compute(cfg.compute_seconds);
+    // End of compute block: wait for the previous loop's read-back so the
+    // verify block may use it; also checks the data before we overwrite it.
+    if (read_req.valid()) {
+      co_await ctx.wait(read_req);
+      check_read();
+      read_req = {};
+    }
+
+    // Header stays synchronous, then the arrays go out asynchronously.
+    co_await file.writeAt(0, cfg.header_bytes, kHeaderTag);
+    std::vector<mpisim::Request> writes;
+    writes.reserve(chunks.size());
+    for (const WriteChunk& chunk : chunks) {
+      writes.push_back(co_await file.iwriteAt(chunk.offset, chunk.length,
+                                              haccTag(ctx.rank(), loop)));
+    }
+
+    // -- verify block (compare previous data, memcpy the new copy) ---------
+    co_await ctx.bcast(cfg.bcast_bytes);
+    co_await ctx.compute(cfg.verify_seconds + memcpy_time);
+    // End of verify block: the write must have drained before we read back.
+    co_await ctx.waitAll(writes);
+
+    // Read-back overlaps the next loop's compute block.
+    read_req = co_await file.ireadAt(data_offset, payload);
+    read_loop = loop;
+  }
+
+  // Trailing verify: the last loop's read-back still overlaps one final
+  // compute-sized block before its wait (the same window the in-loop reads
+  // get; otherwise the wait would follow the submit immediately and the
+  // phase window would be empty).
+  co_await ctx.compute(cfg.compute_seconds);
+  co_await ctx.wait(read_req);
+  check_read();
+}
+
+/// Vanilla HACC-IO: blocking write_at/read_at, everything visible.
+sim::Task<void> syncLoop(mpisim::RankCtx& ctx, const HaccIoConfig& cfg,
+                         HaccIoStats* stats) {
+  auto file = ctx.open(cfg.path_prefix + "." + std::to_string(ctx.rank()));
+  const Bytes payload = haccBytesPerRankPerLoop(cfg);
+  const Bytes data_offset = cfg.header_bytes;
+  const auto chunks =
+      splitPayload(data_offset, payload, cfg.requests_per_write);
+  const Seconds memcpy_time =
+      static_cast<double>(payload) / cfg.memcpy_rate;
+
+  for (int loop = 0; loop < cfg.loops; ++loop) {
+    co_await ctx.bcast(cfg.bcast_bytes);
+    co_await ctx.compute(cfg.compute_seconds);
+
+    co_await file.writeAt(0, cfg.header_bytes, kHeaderTag);
+    for (const WriteChunk& chunk : chunks) {
+      co_await file.writeAt(chunk.offset, chunk.length,
+                            haccTag(ctx.rank(), loop));
+    }
+    co_await file.readAt(data_offset, payload);
+
+    co_await ctx.bcast(cfg.bcast_bytes);
+    co_await ctx.compute(cfg.verify_seconds + memcpy_time);
+    const bool ok =
+        file.verify(data_offset, payload, haccTag(ctx.rank(), loop));
+    if (stats) {
+      if (ok) {
+        ++stats->verified_loops;
+      } else {
+        ++stats->verify_failures;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+mpisim::World::RankProgram haccIoProgram(HaccIoConfig config,
+                                         HaccIoStats* stats) {
+  IOBTS_CHECK(config.loops > 0, "HACC-IO needs at least one loop");
+  IOBTS_CHECK(config.requests_per_write > 0,
+              "requests_per_write must be positive");
+  IOBTS_CHECK(config.particles_per_rank > 0, "need particles");
+  return [config, stats](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    if (config.async) {
+      co_await asyncLoop(ctx, config, stats);
+    } else {
+      co_await syncLoop(ctx, config, stats);
+    }
+  };
+}
+
+mpisim::World::RankProgram haccIoProgram(HaccIoConfig config) {
+  return haccIoProgram(config, nullptr);
+}
+
+}  // namespace iobts::workloads

@@ -1,0 +1,69 @@
+// HACC-IO (paper Sec. VI-B).
+//
+// HACC-IO mimics one I/O phase of HACC: fill per-particle arrays, write a
+// header plus the arrays to a per-rank file with explicit-offset MPI-IO,
+// read everything back and verify against the in-memory copy. The paper
+// wraps these blocks in an outer loop and converts the blocking
+// write_at/read_at into iwrite_at/iread_at so that (Fig. 12)
+//
+//   write(k)  overlaps  verify(k)      -- waited at the end of verify
+//   read(k)   overlaps  compute(k+1)   -- waited at the end of compute
+//
+// with a memcpy at the end of the verify block (data for the next verify)
+// and global broadcasts inside compute/verify "for more variability". The
+// header writes stay synchronous.
+//
+// The vanilla (sync) variant keeps blocking write/read, as in CORAL HACC-IO.
+#pragma once
+
+#include "mpisim/world.hpp"
+
+namespace iobts::workloads {
+
+/// Canonical HACC particle record: xx,yy,zz,vx,vy,vz,phi (float32),
+/// pid (int64), mask (uint8) = 38 bytes.
+inline constexpr Bytes kHaccBytesPerParticle = 38;
+
+struct HaccIoConfig {
+  Bytes particles_per_rank = 1'000'000;  // paper: 1e6
+  int loops = 10;                        // paper: 10
+  bool async = true;                     // modified (Fig. 12) vs vanilla
+  /// The nine arrays are written as one request by default; set >1 to split
+  /// into that many per-array requests (all submitted into the same phase).
+  int requests_per_write = 1;
+
+  // --- Calibration (virtual seconds per rank, see DESIGN.md §6) ----------
+  /// Compute block: fill the arrays + broadcast.
+  Seconds compute_seconds = 0.30;
+  /// Verify block: compare read-back data + memcpy the next copy.
+  Seconds verify_seconds = 0.25;
+  /// memcpy of the full particle arrays at the end of verify (memory rate).
+  BytesPerSec memcpy_rate = 8.0e9;
+
+  Bytes header_bytes = 64;  // synchronous header write per loop
+  Bytes bcast_bytes = 8;    // the added global broadcasts
+  std::string path_prefix = "/pfs/hacc";
+};
+
+/// Bytes of particle payload each rank writes/reads per loop.
+Bytes haccBytesPerRankPerLoop(const HaccIoConfig& config);
+
+/// Content tag for (rank, loop) -- lets verify detect stale loop data.
+pfs::ContentTag haccTag(int rank, int loop);
+
+/// Build the rank program. The returned callable can be launched on any
+/// World whose rank count matches the intended run.
+mpisim::World::RankProgram haccIoProgram(HaccIoConfig config);
+
+/// Counters a HACC-IO run exposes for test/bench assertions. The simulation
+/// is single-threaded, so plain counters suffice.
+struct HaccIoStats {
+  long verify_failures = 0;
+  long verified_loops = 0;
+};
+
+/// Variant wiring verification results into `stats` (must outlive the run).
+mpisim::World::RankProgram haccIoProgram(HaccIoConfig config,
+                                         HaccIoStats* stats);
+
+}  // namespace iobts::workloads

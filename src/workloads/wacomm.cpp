@@ -1,0 +1,82 @@
+#include "workloads/wacomm.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::workloads {
+
+Bytes wacommShareBytes(const WacommConfig& config, int rank, int ranks) {
+  IOBTS_CHECK(ranks > 0 && rank >= 0 && rank < ranks, "bad rank");
+  const long per = config.particles / ranks;
+  const long mine =
+      (rank == ranks - 1) ? config.particles - per * (ranks - 1) : per;
+  return static_cast<Bytes>(mine) * config.bytes_per_particle;
+}
+
+pfs::ContentTag wacommTag(int rank, int iteration) {
+  std::uint64_t x = (static_cast<std::uint64_t>(rank) << 24) ^
+                    static_cast<std::uint64_t>(iteration) ^ 0x3a90aaULL;
+  return splitmix64(x);
+}
+
+mpisim::World::RankProgram wacommProgram(WacommConfig config) {
+  IOBTS_CHECK(config.iterations > 0, "need at least one iteration");
+  IOBTS_CHECK(config.particles > 0, "need particles");
+  return [config](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    const int ranks = ctx.size();
+    const Seconds hour_compute =
+        config.iteration_fixed_seconds +
+        config.iteration_compute_core_seconds / static_cast<double>(ranks);
+    const Bytes share = wacommShareBytes(config, ctx.rank(), ranks);
+    const Bytes total_bytes =
+        static_cast<Bytes>(config.particles) * config.bytes_per_particle;
+    const Bytes my_offset =
+        static_cast<Bytes>(config.particles / ranks) *
+        config.bytes_per_particle * static_cast<Bytes>(ctx.rank());
+
+    // Rank 0 reads the particle restart file; everyone waits for the
+    // distribution (a bcast of the particle blocks).
+    if (ctx.rank() == 0) {
+      auto restart = ctx.open(config.path_prefix + ".restart");
+      co_await restart.readAt(0, total_bytes);
+    }
+    co_await ctx.bcast(share);
+
+    auto out = ctx.open(config.path_prefix + ".out");
+    mpisim::Request pending;
+
+    for (int hour = 0; hour < config.iterations; ++hour) {
+      // Advance the ensemble for one simulated hour (hierarchical OpenMP
+      // parallelism inside the rank is folded into this phase).
+      co_await ctx.compute(hour_compute);
+
+      // Optional mid-run particle injection (rank 0 re-reads input).
+      if (config.hourly_read && ctx.rank() == 0) {
+        auto inject = ctx.open(config.path_prefix + ".inject");
+        co_await inject.readAt(0, config.bytes_per_particle * 1024);
+      }
+
+      // Previous iteration's async write must drain before this slot of the
+      // file is rewritten.
+      if (pending.valid()) {
+        co_await ctx.wait(pending);
+        pending = {};
+      }
+
+      const bool last = (hour == config.iterations - 1);
+      const pfs::ContentTag tag = wacommTag(ctx.rank(), hour);
+      if (config.async && !last) {
+        // The modified WaComM++: write this hour's particles in the
+        // background of the next compute phase.
+        pending = co_await out.iwriteAt(my_offset, share, tag);
+      } else {
+        // Original behaviour / final write: synchronous (nothing left to
+        // overlap after the last iteration).
+        co_await out.writeAt(my_offset, share, tag);
+      }
+    }
+    if (pending.valid()) co_await ctx.wait(pending);
+  };
+}
+
+}  // namespace iobts::workloads

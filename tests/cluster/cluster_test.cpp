@@ -1,0 +1,185 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace iobts::cluster {
+namespace {
+
+ClusterConfig smallCluster(int nodes = 8, BytesPerSec bw = 1e6) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.pfs.read_capacity = bw;
+  cfg.pfs.write_capacity = bw;
+  return cfg;
+}
+
+JobSpec quickJob(std::string name, int nodes, JobIo io = JobIo::Sync) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.nodes = nodes;
+  spec.io = io;
+  spec.loops = 3;
+  spec.write_bytes_per_node = 100'000;  // 0.1 s per node-burst at 1 MB/s
+  spec.compute_seconds = 1.0;
+  return spec;
+}
+
+TEST(Cluster, SingleJobRunsToCompletion) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster());
+  const JobId id = cluster.submit(quickJob("a", 4));
+  cluster.start();
+  sim.run();
+  const JobResult& r = cluster.result(id);
+  EXPECT_TRUE(r.finished());
+  EXPECT_DOUBLE_EQ(r.start, 0.0);
+  EXPECT_GT(r.runtime(), 3.0);  // 3 compute loops + I/O
+  EXPECT_EQ(cluster.freeNodes(), 8);
+}
+
+TEST(Cluster, FcfsQueuesWhenFull) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster(8));
+  const JobId big = cluster.submit(quickJob("big", 8));
+  const JobId second = cluster.submit(quickJob("second", 2));
+  cluster.start();
+  sim.run();
+  // Strict FCFS: the 2-node job waits for the 8-node job to finish.
+  EXPECT_GE(cluster.result(second).start, cluster.result(big).end - 1e-9);
+}
+
+TEST(Cluster, SubmitTimeRespected) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster());
+  JobSpec spec = quickJob("late", 2);
+  spec.submit_time = 5.0;
+  const JobId id = cluster.submit(spec);
+  cluster.start();
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.result(id).submit, 5.0);
+  EXPECT_GE(cluster.result(id).start, 5.0);
+}
+
+TEST(Cluster, ParallelJobsShareBandwidthByNodes) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster(8, 1e6));
+  // Two I/O-heavy jobs, one 2x the nodes of the other.
+  JobSpec a = quickJob("heavy", 4);
+  a.write_bytes_per_node = 2'000'000;
+  a.compute_seconds = 0.1;
+  JobSpec b = quickJob("light", 2);
+  b.write_bytes_per_node = 4'000'000;
+  b.compute_seconds = 0.1;
+  const JobId ja = cluster.submit(a);
+  const JobId jb = cluster.submit(b);
+  cluster.start();
+  sim.run();
+  // Both moved the same total bytes (8 MB each over 3+1 write slots); the
+  // 4-node job should have seen roughly double the bandwidth while both
+  // were active. Check via the recorded series early in the run.
+  const double rate_a = cluster.jobWriteRateSeries(ja).at(0.5);
+  const double rate_b = cluster.jobWriteRateSeries(jb).at(0.5);
+  if (rate_a > 0.0 && rate_b > 0.0) {
+    EXPECT_NEAR(rate_a / rate_b, 2.0, 0.2);
+  }
+  EXPECT_TRUE(cluster.result(ja).finished());
+  EXPECT_TRUE(cluster.result(jb).finished());
+}
+
+TEST(Cluster, AsyncJobOverlapsIo) {
+  // Same spec, sync vs async: with I/O roughly half a compute phase long,
+  // the async job finishes sooner.
+  auto run_job = [](JobIo io) {
+    sim::Simulation sim;
+    Cluster cluster(sim, smallCluster(4, 1e6));
+    JobSpec spec = quickJob("j", 4, io);
+    spec.write_bytes_per_node = 125'000;  // 0.5 s per burst (4 nodes, 1 MB/s)
+    const JobId id = cluster.submit(spec);
+    cluster.start();
+    sim.run();
+    return cluster.result(id).runtime();
+  };
+  EXPECT_LT(run_job(JobIo::Async), run_job(JobIo::Sync));
+}
+
+TEST(Cluster, ContentionLimitingSparesBandwidthForSyncJobs) {
+  // The Fig. 1 mechanism in miniature: one async job + one sync job
+  // overlapping. Limiting the async job during contention must speed the
+  // sync job up without significantly slowing the async one.
+  // The cap only matters when the async job's node-proportional fair share
+  // exceeds its requirement: make it wide (12 of 16 nodes) but I/O-light.
+  auto run_pair = [](bool limit, Seconds& sync_runtime,
+                     Seconds& async_runtime) {
+    sim::Simulation sim;
+    Cluster cluster(sim, smallCluster(16, 1e6));
+    JobSpec async_spec = quickJob("async", 12, JobIo::Async);
+    async_spec.loops = 20;
+    async_spec.compute_seconds = 1.0;
+    async_spec.write_bytes_per_node = 50'000;  // needs ~0.6 MB/s, share 0.75
+    JobSpec sync_spec = quickJob("sync", 4, JobIo::Sync);
+    sync_spec.loops = 20;
+    sync_spec.compute_seconds = 0.2;
+    sync_spec.write_bytes_per_node = 150'000;   // sync: runtime ~ bandwidth
+    const JobId ja = cluster.submit(async_spec);
+    const JobId js = cluster.submit(sync_spec);
+    if (limit) cluster.enableContentionLimiting(ja, 1.2, 0.1);
+    cluster.start();
+    sim.run();
+    sync_runtime = cluster.result(js).runtime();
+    async_runtime = cluster.result(ja).runtime();
+  };
+  Seconds sync_free, async_free, sync_lim, async_lim;
+  run_pair(false, sync_free, async_free);
+  run_pair(true, sync_lim, async_lim);
+  EXPECT_LT(sync_lim, sync_free * 0.98);     // sync job profits
+  EXPECT_LT(async_lim, async_free * 1.25);   // async job barely pays
+}
+
+TEST(Cluster, ValidationErrors) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster(4));
+  EXPECT_THROW(cluster.submit(quickJob("too-big", 5)), CheckError);
+  const JobId sync_job = cluster.submit(quickJob("s", 2, JobIo::Sync));
+  EXPECT_THROW(cluster.enableContentionLimiting(sync_job), CheckError);
+  EXPECT_THROW(cluster.result(99), CheckError);
+  cluster.start();
+  EXPECT_THROW(cluster.start(), CheckError);
+  sim.run();
+}
+
+TEST(Cluster, EmptyClusterFinishesImmediately) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster());
+  cluster.start();
+  bool joined = false;
+  auto waiter = [&]() -> sim::Task<void> {
+    co_await cluster.join();
+    joined = true;
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(Cluster, JoinFiresAfterLastJob) {
+  sim::Simulation sim;
+  Cluster cluster(sim, smallCluster());
+  cluster.submit(quickJob("a", 2));
+  cluster.submit(quickJob("b", 2));
+  cluster.start();
+  sim::Time joined_at = sim::kNoTime;
+  auto waiter = [&]() -> sim::Task<void> {
+    co_await cluster.join();
+    joined_at = sim.now();
+  };
+  sim.spawn(waiter());
+  sim.run();
+  const double last_end =
+      std::max(cluster.result(0).end, cluster.result(1).end);
+  EXPECT_DOUBLE_EQ(joined_at, last_end);
+}
+
+}  // namespace
+}  // namespace iobts::cluster

@@ -1,0 +1,136 @@
+#include "cluster/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace iobts::cluster {
+namespace {
+
+ClusterConfig testCluster(int nodes, BytesPerSec bw) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.pfs.read_capacity = bw;
+  cfg.pfs.write_capacity = bw;
+  return cfg;
+}
+
+JobSpec asyncJob(std::string name, int nodes, int loops, double compute,
+                 Bytes bytes_per_node) {
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.nodes = nodes;
+  spec.io = JobIo::Async;
+  spec.loops = loops;
+  spec.compute_seconds = compute;
+  spec.write_bytes_per_node = bytes_per_node;
+  return spec;
+}
+
+TEST(Coordinator, ConfigValidation) {
+  sim::Simulation sim;
+  Cluster cluster(sim, testCluster(4, 1e6));
+  CoordinatorConfig cfg;
+  cfg.tolerance = 0.0;
+  EXPECT_THROW(GlobalCoordinator(cluster, cfg), CheckError);
+  cfg = {};
+  cfg.max_async_share = 1.5;
+  EXPECT_THROW(GlobalCoordinator(cluster, cfg), CheckError);
+  cfg = {};
+  cfg.relief_factor = 1.0;
+  EXPECT_THROW(GlobalCoordinator(cluster, cfg), CheckError);
+}
+
+TEST(Coordinator, CapsEveryRunningAsyncJob) {
+  sim::Simulation sim;
+  Cluster cluster(sim, testCluster(8, 1e6));
+  cluster.submit(asyncJob("a", 4, 12, 1.0, 50'000));
+  cluster.submit(asyncJob("b", 4, 12, 1.0, 50'000));
+  GlobalCoordinator coordinator(cluster, {});
+  cluster.start();
+  sim.spawn(coordinator.run(), {.name = "coordinator"});
+  sim.run();
+  EXPECT_TRUE(cluster.result(0).finished());
+  EXPECT_TRUE(cluster.result(1).finished());
+  // Caps are removed once everything finished.
+  EXPECT_FALSE(cluster.link().streamCap(cluster.jobStream(0)).has_value());
+  EXPECT_FALSE(cluster.link().streamCap(cluster.jobStream(1)).has_value());
+}
+
+TEST(Coordinator, SparesBandwidthForSyncNeighbourContinuously) {
+  // Unlike the per-job contention monitor, the coordinator caps the async
+  // job even before contention is detected -- the spared bandwidth shows up
+  // as a faster sync neighbour.
+  auto run_pair = [](bool coordinated, Seconds& sync_rt, Seconds& async_rt) {
+    sim::Simulation sim;
+    Cluster cluster(sim, testCluster(16, 1e6));
+    const JobId ja = cluster.submit(asyncJob("async", 12, 20, 1.0, 50'000));
+    JobSpec sync_spec;
+    sync_spec.name = "sync";
+    sync_spec.nodes = 4;
+    sync_spec.io = JobIo::Sync;
+    sync_spec.loops = 20;
+    sync_spec.compute_seconds = 0.2;
+    sync_spec.write_bytes_per_node = 150'000;
+    const JobId js = cluster.submit(sync_spec);
+    auto coordinator = std::make_unique<GlobalCoordinator>(
+        cluster, CoordinatorConfig{.poll_interval = 0.1});
+    cluster.start();
+    if (coordinated) {
+      sim.spawn(coordinator->run(), {.name = "coordinator"});
+    }
+    sim.run();
+    sync_rt = cluster.result(js).runtime();
+    async_rt = cluster.result(ja).runtime();
+  };
+  Seconds sync_free, async_free, sync_coord, async_coord;
+  run_pair(false, sync_free, async_free);
+  run_pair(true, sync_coord, async_coord);
+  EXPECT_LT(sync_coord, sync_free * 0.98);
+  EXPECT_LT(async_coord, async_free * 1.25);
+}
+
+TEST(Coordinator, AdmissionScalesCapsUnderOversubscription) {
+  // Two wide async jobs whose combined requirement exceeds the async budget:
+  // the coordinator must still cap both (scaled), and everything finishes.
+  sim::Simulation sim;
+  Cluster cluster(sim, testCluster(16, 1e5));  // slow PFS: 0.1 MB/s
+  cluster.submit(asyncJob("a", 8, 8, 1.0, 30'000));  // needs ~0.24 MB/s
+  cluster.submit(asyncJob("b", 8, 8, 1.0, 30'000));
+  GlobalCoordinator coordinator(
+      cluster, CoordinatorConfig{.poll_interval = 0.1, .max_async_share = 0.5});
+  cluster.start();
+  sim.spawn(coordinator.run(), {.name = "coordinator"});
+  sim.run();
+  EXPECT_TRUE(cluster.result(0).finished());
+  EXPECT_TRUE(cluster.result(1).finished());
+}
+
+TEST(Coordinator, ReliefLiftsTooTightCaps) {
+  // A shrinking compute phase makes the learned requirement obsolete: the
+  // applied cap is too low, waits appear, and the coordinator's relief must
+  // kick in (Fig. 14's "attain the required bandwidth" guarantee).
+  sim::Simulation sim;
+  Cluster cluster(sim, testCluster(4, 1e6));
+  // A job whose writes grow over time: early phases teach a low requirement.
+  JobSpec spec;
+  spec.name = "growing";
+  spec.nodes = 4;
+  spec.io = JobIo::Async;
+  spec.loops = 10;
+  spec.compute_seconds = 1.0;
+  spec.write_bytes_per_node = 200'000;  // heavy relative to 1 MB/s
+  const JobId id = cluster.submit(spec);
+  CoordinatorConfig cfg;
+  cfg.poll_interval = 0.1;
+  cfg.tolerance = 0.6;  // deliberately too tight: forces waits
+  GlobalCoordinator coordinator(cluster, cfg);
+  cluster.start();
+  sim.spawn(coordinator.run(), {.name = "coordinator"});
+  sim.run();
+  EXPECT_TRUE(cluster.result(id).finished());
+  EXPECT_GT(coordinator.reliefEvents(), 0);
+}
+
+}  // namespace
+}  // namespace iobts::cluster

@@ -1,0 +1,185 @@
+// Failure injection: how the stack behaves when things go wrong.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tmio/tracer.hpp"
+#include "workloads/hacc_io.hpp"
+
+namespace iobts {
+namespace {
+
+pfs::LinkConfig smallLink(BytesPerSec bw = 100.0) {
+  pfs::LinkConfig cfg;
+  cfg.read_capacity = bw;
+  cfg.write_capacity = bw;
+  return cfg;
+}
+
+TEST(FailureInjection, WorkloadExceptionAbortsRun) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  mpisim::WorldConfig cfg;
+  cfg.ranks = 4;
+  mpisim::World world(sim, link, store, cfg);
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(1.0);
+    if (ctx.rank() == 2) throw std::runtime_error("rank 2 exploded");
+    co_await ctx.compute(1.0);
+  });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(FailureInjection, ZeroCapacityChannelIsAnError) {
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.write_capacity = 0.0;  // no write path at all
+  link_cfg.read_capacity = 100.0;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+  mpisim::World world(sim, link, store, {});
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    co_await f.writeAt(0, 10, 1);
+  });
+  EXPECT_THROW(sim.run(), CheckError);
+}
+
+TEST(FailureInjection, DoubleWaitIsIdempotent) {
+  // MPI allows completing a request once; a second wait on our Request is a
+  // no-op rather than a hang or crash.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  mpisim::World world(sim, link, store, {});
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(req);
+    co_await ctx.wait(req);  // second completion: returns immediately
+    EXPECT_DOUBLE_EQ(ctx.now(), 2.0);
+  });
+  sim.run();
+}
+
+TEST(FailureInjection, CorruptionDetectedByVerify) {
+  // An external writer (another job, a bug) scribbles over a rank's file
+  // between the write and the read-back: HACC-IO's verify must catch it.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink(1e6));
+  pfs::FileStore store;
+  mpisim::WorldConfig cfg;
+  cfg.ranks = 1;
+  mpisim::World world(sim, link, store, cfg);
+  workloads::HaccIoConfig hacc;
+  hacc.particles_per_rank = 1000;
+  hacc.loops = 2;
+  hacc.compute_seconds = 0.5;
+  hacc.verify_seconds = 0.5;
+  hacc.path_prefix = "/pfs/corrupt";
+  workloads::HaccIoStats stats;
+  world.launch(workloads::haccIoProgram(hacc, &stats));
+  // Corrupt a byte range of loop 0's payload while the run is in flight.
+  auto vandal = [&]() -> sim::Task<void> {
+    co_await sim.delay(0.9);  // after loop 0's write, before its verify
+    store.write("/pfs/corrupt.0", 64 + 100, 64, /*foreign tag=*/0xBAD);
+  };
+  sim.spawn(vandal());
+  sim.run();
+  EXPECT_GT(stats.verify_failures, 0);
+  EXPECT_LT(stats.verify_failures, 2 * hacc.loops);  // loop 1 still clean
+}
+
+TEST(FailureInjection, TracerToleratesForeignWaits) {
+  // A wait for a request the tracer never saw submitted (e.g. the library
+  // was attached after the submit) must be ignored, like PMPI tools do.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  tmio::TracerConfig tcfg;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  tmio::Tracer tracer(tcfg);
+  mpisim::World world(sim, link, store, {}, &tracer);
+  tracer.attach(world);
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(req);
+    co_await ctx.wait(req);  // the duplicate wait is "foreign" to the phase
+  });
+  sim.run();
+  EXPECT_EQ(tracer.phaseRecords().size(), 1u);
+}
+
+TEST(FailureInjection, StrategyRecoversFromDegenerateWindow) {
+  // A wait immediately after the submit yields an (almost) zero window and
+  // a huge B; the next sane phase must bring the limit back down instead of
+  // wedging the rank.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink(1e6));
+  pfs::FileStore store;
+  tmio::TracerConfig tcfg;
+  tcfg.strategy = tmio::StrategyKind::Direct;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  tmio::Tracer tracer(tcfg);
+  mpisim::World world(sim, link, store, {}, &tracer);
+  tracer.attach(world);
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto r0 = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.wait(r0);  // degenerate: zero-length window
+    for (int j = 0; j < 2; ++j) {
+      auto r = co_await f.iwriteAt(0, 1000, 1);
+      co_await ctx.compute(1.0);
+      co_await ctx.wait(r);
+    }
+  });
+  sim.run();
+  ASSERT_EQ(tracer.phaseRecords().size(), 3u);
+  EXPECT_GT(tracer.phaseRecords()[0].required, 1e6);   // the spike
+  EXPECT_NEAR(tracer.phaseRecords()[2].required, 1000.0, 100.0);  // recovered
+}
+
+TEST(FailureInjection, NonFatalRankFailureObservable) {
+  // Fleet-style supervision: spawn the world from a wrapper that tolerates
+  // one rank's failure and reports it instead of aborting the simulation.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  mpisim::WorldConfig cfg;
+  cfg.ranks = 1;
+  mpisim::World world(sim, link, store, cfg);
+  bool failure_seen = false;
+  auto supervisor = [&]() -> sim::Task<void> {
+    world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+      co_await ctx.compute(0.5);
+      throw std::runtime_error("injected");
+    });
+    try {
+      co_await world.join();
+    } catch (...) {
+    }
+    co_return;
+  };
+  sim.spawn(supervisor(), {.fatal_errors = false});
+  try {
+    sim.run();
+  } catch (const std::runtime_error&) {
+    failure_seen = true;  // the rank process is fatal by design
+  }
+  EXPECT_TRUE(failure_seen);
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,254 @@
+// End-to-end assertions of the paper's core claims on small configurations.
+// Each test is a miniature of one evaluation finding; the bench/ binaries
+// run the full-scale versions.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "tmio/report.hpp"
+#include "tmio/tracer.hpp"
+#include "workloads/hacc_io.hpp"
+#include "workloads/wacomm.hpp"
+
+namespace iobts {
+namespace {
+
+struct RunMetrics {
+  double elapsed = 0.0;
+  double exploit_pct = 0.0;
+  double lost_rank_seconds = 0.0;
+  double peak_T = 0.0;
+  double peak_B = 0.0;
+  double min_required = 0.0;
+  double overhead_pct = 0.0;
+};
+
+RunMetrics runHacc(tmio::StrategyKind strategy, int ranks,
+            double link_capacity = 2e9, double tolerance = 1.1,
+            bool model_overhead = false) {
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.read_capacity = link_capacity;
+  link_cfg.write_capacity = link_capacity;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+
+  tmio::TracerConfig tcfg;
+  tcfg.strategy = strategy;
+  tcfg.params.tolerance = tolerance;
+  if (!model_overhead) {
+    tcfg.overhead.intercept_per_call = 0.0;
+    tcfg.overhead.finalize_base = 0.0;
+    tcfg.overhead.finalize_per_stage = 0.0;
+    tcfg.overhead.finalize_per_record = 0.0;
+    tcfg.overhead.finalize_per_rank = 0.0;
+  }
+  tmio::Tracer tracer(tcfg);
+
+  mpisim::WorldConfig wcfg;
+  wcfg.ranks = ranks;
+  mpisim::World world(sim, link, store, wcfg, &tracer);
+  tracer.attach(world);
+
+  workloads::HaccIoConfig hacc;
+  hacc.particles_per_rank = 100'000;  // 3.8 MB per rank per loop
+  hacc.loops = 6;
+  hacc.compute_seconds = 0.4;
+  hacc.verify_seconds = 0.35;
+  workloads::HaccIoStats stats;
+  world.launch(workloads::haccIoProgram(hacc, &stats));
+  sim.run();
+  EXPECT_EQ(stats.verify_failures, 0);
+
+  RunMetrics out;
+  out.elapsed = world.elapsed();
+  const tmio::ExploitBreakdown e = tmio::exploitBreakdown(tracer, world);
+  out.exploit_pct = e.async_write_exploit + e.async_read_exploit;
+  for (int r = 0; r < ranks; ++r) {
+    out.lost_rank_seconds +=
+        tracer.rankSplit(r).write_lost + tracer.rankSplit(r).read_lost;
+  }
+  {
+    // Peak throughput after the first limit application (phase 0 is always
+    // unlimited); whole-run peak for untraced/none runs.
+    const StepSeries T = tracer.appThroughputSeries(pfs::Channel::Write);
+    const double limit_start = tracer.firstLimitTime();
+    for (const auto& [time, value] : T.points()) {
+      if (limit_start >= 0.0 && time < limit_start) continue;
+      out.peak_T = std::max(out.peak_T, value);
+    }
+  }
+  out.peak_B = tracer.appRequiredSeries(pfs::Channel::Write).maxValue();
+  out.min_required = tracer.minimalRequiredBandwidth();
+  const tmio::RuntimeSummary summary = tmio::runtimeSummary(world);
+  out.overhead_pct =
+      summary.total > 0.0 ? 100.0 * summary.overhead / summary.total : 0.0;
+  return out;
+}
+
+// Claim (Sec. II / Fig. 11): limiting flattens I/O bursts -- the peak
+// throughput drops to the vicinity of the limit -- while the runtime is
+// unchanged and nothing blocks.
+TEST(PaperClaims, LimitingFlattensBurstsWithoutSlowdown) {
+  const RunMetrics none = runHacc(tmio::StrategyKind::None, 8);
+  const RunMetrics direct = runHacc(tmio::StrategyKind::Direct, 8);
+  EXPECT_NEAR(direct.elapsed, none.elapsed, none.elapsed * 0.02);
+  EXPECT_LT(direct.peak_T, none.peak_T * 0.25);  // burst flattened
+  EXPECT_NEAR(direct.lost_rank_seconds, 0.0, 1e-6);
+}
+
+// Claim (Figs. 7/10/11): exploitation of compute phases by async I/O is far
+// higher with limiting than without.
+TEST(PaperClaims, LimitingRaisesExploitation) {
+  const RunMetrics none = runHacc(tmio::StrategyKind::None, 8);
+  const RunMetrics direct = runHacc(tmio::StrategyKind::Direct, 8);
+  EXPECT_GT(direct.exploit_pct, 5.0 * std::max(1.0, none.exploit_pct));
+}
+
+// Claim (Sec. IV-B): up-only keeps limits at or above direct's for the same
+// trace, so its throughput can only be higher (less exploitation).
+TEST(PaperClaims, UpOnlyIsTheSaferStrategy) {
+  const RunMetrics direct = runHacc(tmio::StrategyKind::Direct, 4);
+  const RunMetrics uponly = runHacc(tmio::StrategyKind::UpOnly, 4);
+  EXPECT_GE(uponly.peak_T, direct.peak_T * 0.99);
+  EXPECT_NEAR(uponly.lost_rank_seconds, 0.0, 1e-6);
+}
+
+// Claim (Fig. 13 discussion): with tol = 1.1 and a steady workload, all
+// three strategies keep waits near zero.
+TEST(PaperClaims, AllStrategiesAvoidWaitsOnSteadyWorkloads) {
+  for (const auto strategy :
+       {tmio::StrategyKind::Direct, tmio::StrategyKind::UpOnly,
+        tmio::StrategyKind::Adaptive}) {
+    const RunMetrics r = runHacc(strategy, 4);
+    EXPECT_NEAR(r.lost_rank_seconds, 0.0, 1e-6)
+        << tmio::strategyName(strategy);
+  }
+}
+
+// Claim (Sec. VI-B): the application-level required bandwidth grows with
+// the rank count.
+TEST(PaperClaims, RequiredBandwidthGrowsWithRanks) {
+  const RunMetrics r2 = runHacc(tmio::StrategyKind::None, 2, /*capacity=*/20e9);
+  const RunMetrics r8 = runHacc(tmio::StrategyKind::None, 8, /*capacity=*/20e9);
+  EXPECT_GT(r8.min_required, r2.min_required * 2.0);
+}
+
+// Claim (Sec. IV-D / Figs. 5-6): TMIO's total overhead stays below 9 % and
+// grows with the rank count through the finalize gather.
+TEST(PaperClaims, TracerOverheadSmallAndGrowing) {
+  const RunMetrics r2 = runHacc(tmio::StrategyKind::Direct, 2, 2e9, 1.1,
+                         /*model_overhead=*/true);
+  const RunMetrics r16 = runHacc(tmio::StrategyKind::Direct, 16, 4e9, 1.1,
+                          /*model_overhead=*/true);
+  EXPECT_LT(r2.overhead_pct, 9.0);
+  EXPECT_LT(r16.overhead_pct, 9.0);
+  EXPECT_GT(r16.overhead_pct, r2.overhead_pct);
+}
+
+// Claim (Sec. II, Fig. 3): an async application's runtime is insensitive to
+// bandwidth above its requirement, unlike a synchronous one.
+TEST(PaperClaims, AsyncRuntimeInsensitiveAboveRequirement) {
+  auto elapsed_at = [](bool async, double capacity) {
+    sim::Simulation sim;
+    pfs::LinkConfig link_cfg;
+    link_cfg.read_capacity = capacity;
+    link_cfg.write_capacity = capacity;
+    pfs::SharedLink link(sim, link_cfg);
+    pfs::FileStore store;
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = 2;
+    mpisim::World world(sim, link, store, wcfg);
+    workloads::HaccIoConfig hacc;
+    hacc.particles_per_rank = 1'000'000;  // 38 MB: I/O is a real fraction
+    hacc.loops = 4;
+    hacc.async = async;
+    world.launch(workloads::haccIoProgram(hacc));
+    sim.run();
+    return world.elapsed();
+  };
+  // Halving a generous bandwidth: the async variant barely moves, the sync
+  // variant visibly slows down.
+  const double async_hi = elapsed_at(true, 800e6);
+  const double async_lo = elapsed_at(true, 400e6);
+  const double sync_hi = elapsed_at(false, 800e6);
+  const double sync_lo = elapsed_at(false, 400e6);
+  EXPECT_LT(async_lo / async_hi, 1.05);
+  EXPECT_GT(sync_lo / sync_hi, 1.15);
+}
+
+// Claim (Fig. 1): limiting an async job during contention speeds up
+// bandwidth-bound neighbours without hurting the async job.
+TEST(PaperClaims, ContentionLimitingHelpsNeighbours) {
+  auto run_pair = [](bool limit) {
+    sim::Simulation sim;
+    cluster::ClusterConfig config;
+    config.nodes = 16;
+    config.pfs.read_capacity = 1e6;
+    config.pfs.write_capacity = 1e6;
+    cluster::Cluster cl(sim, config);
+    cluster::JobSpec sync_spec;
+    sync_spec.name = "sync";
+    sync_spec.nodes = 4;
+    sync_spec.io = cluster::JobIo::Sync;
+    sync_spec.loops = 20;
+    sync_spec.compute_seconds = 0.2;
+    sync_spec.write_bytes_per_node = 150'000;  // bandwidth-bound bursts
+    cluster::JobSpec async_spec;
+    async_spec.name = "async";
+    async_spec.nodes = 12;  // wide: fair share 0.75 MB/s, needs ~0.3
+    async_spec.io = cluster::JobIo::Async;
+    async_spec.loops = 20;
+    async_spec.compute_seconds = 1.0;
+    async_spec.write_bytes_per_node = 50'000;
+    const auto ja = cl.submit(async_spec);
+    const auto js = cl.submit(sync_spec);
+    if (limit) cl.enableContentionLimiting(ja, 1.2, 0.1);
+    cl.start();
+    sim.run();
+    return std::pair<double, double>(cl.result(js).runtime(),
+                                     cl.result(ja).runtime());
+  };
+  const auto [sync_free, async_free] = run_pair(false);
+  const auto [sync_lim, async_lim] = run_pair(true);
+  EXPECT_LT(sync_lim, sync_free * 0.98);    // neighbour profits
+  EXPECT_LT(async_lim, async_free * 1.10);  // async pays at most a little
+}
+
+// Claim (Sec. VI-A): the WaComM++ modification (async per-iteration writes)
+// does not slow the application even when the writes are throttled hard.
+TEST(PaperClaims, WacommLimitedRuntimeUnchanged) {
+  auto run_wacomm = [](tmio::StrategyKind strategy) {
+    sim::Simulation sim;
+    pfs::LinkConfig link_cfg;
+    link_cfg.read_capacity = 1e9;
+    link_cfg.write_capacity = 1e9;
+    pfs::SharedLink link(sim, link_cfg);
+    pfs::FileStore store;
+    tmio::TracerConfig tcfg;
+    tcfg.strategy = strategy;
+    tcfg.overhead.intercept_per_call = 0.0;
+    tcfg.overhead.finalize_base = 0.0;
+    tcfg.overhead.finalize_per_stage = 0.0;
+    tcfg.overhead.finalize_per_record = 0.0;
+    tcfg.overhead.finalize_per_rank = 0.0;
+    tmio::Tracer tracer(tcfg);
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = 8;
+    mpisim::World world(sim, link, store, wcfg, &tracer);
+    tracer.attach(world);
+    workloads::WacommConfig cfg;
+    cfg.particles = 100'000;
+    cfg.bytes_per_particle = 512;
+    cfg.iterations = 10;
+    cfg.iteration_compute_core_seconds = 8.0;
+    world.launch(workloads::wacommProgram(cfg));
+    sim.run();
+    return world.elapsed();
+  };
+  const double none = run_wacomm(tmio::StrategyKind::None);
+  const double uponly = run_wacomm(tmio::StrategyKind::UpOnly);
+  EXPECT_NEAR(uponly, none, none * 0.03);
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mpisim/world.hpp"
+
+namespace iobts::mpisim {
+namespace {
+
+/// Records every hook invocation with its timestamp.
+class RecordingHooks : public IoHooks {
+ public:
+  explicit RecordingHooks(sim::Simulation& simulation, Seconds overhead = 0.0,
+                          Seconds finalize_cost = 0.0)
+      : sim_(simulation), overhead_(overhead), finalize_cost_(finalize_cost) {}
+
+  Seconds interceptOverhead() const override { return overhead_; }
+
+  void onSubmit(const RequestInfo& info) override {
+    log("submit", info);
+    submits.push_back(info);
+  }
+  void onComplete(const RequestInfo& info) override {
+    log("complete", info);
+    completes.push_back(info);
+  }
+  void onWaitEnter(const RequestInfo& info) override {
+    log("wait_enter", info);
+    wait_enters.push_back({info, sim_.now()});
+  }
+  void onWaitExit(const RequestInfo& info, Seconds blocked) override {
+    log("wait_exit", info);
+    wait_exits.push_back({info, blocked});
+  }
+  void onSyncStart(const RequestInfo& info) override { log("sync_start", info); }
+  void onSyncEnd(const RequestInfo& info) override { log("sync_end", info); }
+  Seconds onFinalize(int rank) override {
+    events.push_back("finalize r" + std::to_string(rank));
+    ++finalizes;
+    return finalize_cost_;
+  }
+
+  std::vector<std::string> events;
+  std::vector<RequestInfo> submits;
+  std::vector<RequestInfo> completes;
+  std::vector<std::pair<RequestInfo, sim::Time>> wait_enters;
+  std::vector<std::pair<RequestInfo, Seconds>> wait_exits;
+  int finalizes = 0;
+
+ private:
+  void log(const char* kind, const RequestInfo& info) {
+    events.push_back(std::string(kind) + " " + ioOpName(info.op) + " r" +
+                     std::to_string(info.rank) + " id" +
+                     std::to_string(info.id));
+  }
+
+  sim::Simulation& sim_;
+  Seconds overhead_;
+  Seconds finalize_cost_;
+};
+
+struct HookHarness {
+  explicit HookHarness(Seconds overhead = 0.0, Seconds finalize_cost = 0.0,
+                       WorldConfig cfg = {})
+      : hooks(sim, overhead, finalize_cost),
+        link(sim, linkCfg()),
+        world(sim, link, store, cfg, &hooks) {}
+
+  static pfs::LinkConfig linkCfg() {
+    pfs::LinkConfig cfg;
+    cfg.read_capacity = 100.0;
+    cfg.write_capacity = 100.0;
+    return cfg;
+  }
+
+  void run(World::RankProgram program) {
+    world.launch(std::move(program));
+    sim.run();
+  }
+
+  sim::Simulation sim;
+  RecordingHooks hooks;
+  pfs::SharedLink link;
+  pfs::FileStore store;
+  World world;
+};
+
+TEST(Hooks, AsyncLifecycleEventOrder) {
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(req);
+  });
+  const std::vector<std::string> expected{
+      "submit MPI_File_iwrite_at r0 id0",
+      "complete MPI_File_iwrite_at r0 id0",
+      "wait_enter MPI_File_iwrite_at r0 id0",
+      "wait_exit MPI_File_iwrite_at r0 id0",
+      "finalize r0",
+  };
+  EXPECT_EQ(h.hooks.events, expected);
+}
+
+TEST(Hooks, SubmitCarriesTsAndBytes) {
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(1.5);
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(64, 512, 1);
+    co_await ctx.wait(req);
+  });
+  ASSERT_EQ(h.hooks.submits.size(), 1u);
+  const RequestInfo& info = h.hooks.submits[0];
+  EXPECT_DOUBLE_EQ(info.submit_time, 1.5);
+  EXPECT_EQ(info.bytes, 512u);
+  EXPECT_EQ(info.offset, 64u);
+  EXPECT_FALSE(info.completed);  // snapshot at submit time
+}
+
+TEST(Hooks, WaitEnterTimestampIsTe) {
+  // te of Eq. (1) = the moment the matching wait is *reached*, independent
+  // of how long the wait then blocks.
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 1000, 1);  // 10 s of I/O
+    co_await ctx.compute(3.0);
+    co_await ctx.wait(req);  // reached at t=3, returns at t=10
+  });
+  ASSERT_EQ(h.hooks.wait_enters.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.hooks.wait_enters[0].second, 3.0);
+  ASSERT_EQ(h.hooks.wait_exits.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.hooks.wait_exits[0].second, 7.0);  // blocked time
+}
+
+TEST(Hooks, CompleteCarriesIoWindow) {
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(1.0);
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 200, 1);  // 2 s at 100 B/s
+    co_await ctx.compute(5.0);
+    co_await ctx.wait(req);
+  });
+  ASSERT_EQ(h.hooks.completes.size(), 1u);
+  const RequestInfo& info = h.hooks.completes[0];
+  EXPECT_DOUBLE_EQ(info.io_start, 1.0);
+  EXPECT_DOUBLE_EQ(info.io_end, 3.0);
+  EXPECT_TRUE(info.completed);
+}
+
+TEST(Hooks, SyncOpsUseSyncEvents) {
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    co_await f.writeAt(0, 100, 1);
+  });
+  const std::vector<std::string> expected{
+      "sync_start MPI_File_write_at r0 id0",
+      "complete MPI_File_write_at r0 id0",
+      "sync_end MPI_File_write_at r0 id0",
+      "finalize r0",
+  };
+  EXPECT_EQ(h.hooks.events, expected);
+}
+
+TEST(Hooks, InterceptOverheadChargedToRank) {
+  HookHarness h(/*overhead=*/0.25);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);  // +0.25 overhead
+    co_await ctx.wait(req);                     // +0.25 overhead
+  });
+  EXPECT_DOUBLE_EQ(h.world.rankTimes(0).overhead_peri, 0.5);
+}
+
+TEST(Hooks, FinalizeOverheadChargedAsPost) {
+  HookHarness h(/*overhead=*/0.0, /*finalize_cost=*/1.5);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(1.0);
+  });
+  EXPECT_DOUBLE_EQ(h.world.rankTimes(0).overhead_post, 1.5);
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 2.5);
+  EXPECT_EQ(h.hooks.finalizes, 1);
+}
+
+TEST(Hooks, EveryRankFinalizes) {
+  WorldConfig cfg;
+  cfg.ranks = 5;
+  HookHarness h(0.0, 0.0, cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> { co_await ctx.compute(0.1); });
+  EXPECT_EQ(h.hooks.finalizes, 5);
+}
+
+TEST(Hooks, NoHooksMeansNoOverhead) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, HookHarness::linkCfg());
+  pfs::FileStore store;
+  World world(sim, link, store, {});
+  world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.wait(req);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(world.rankTimes(0).overhead_peri, 0.0);
+}
+
+TEST(Hooks, RequestIdsAreUniquePerRank) {
+  HookHarness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto r1 = co_await f.iwriteAt(0, 10, 1);
+    auto r2 = co_await f.iwriteAt(10, 10, 1);
+    co_await ctx.wait(r1);
+    co_await ctx.wait(r2);
+  });
+  ASSERT_EQ(h.hooks.submits.size(), 2u);
+  EXPECT_NE(h.hooks.submits[0].id, h.hooks.submits[1].id);
+}
+
+}  // namespace
+}  // namespace iobts::mpisim

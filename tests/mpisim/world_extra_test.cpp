@@ -1,0 +1,161 @@
+// Additional mpisim coverage: shared streams, collective byte costs,
+// Simulation::post, and report breakdown units.
+#include <gtest/gtest.h>
+
+#include "mpisim/world.hpp"
+#include "tmio/report.hpp"
+#include "tmio/tracer.hpp"
+#include "util/check.hpp"
+
+namespace iobts::mpisim {
+namespace {
+
+pfs::LinkConfig smallLink(BytesPerSec bw = 100.0) {
+  pfs::LinkConfig cfg;
+  cfg.read_capacity = bw;
+  cfg.write_capacity = bw;
+  return cfg;
+}
+
+TEST(SimulationPost, CallbacksInterleaveDeterministically) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  sim.post(2.0, [&] { order.push_back(2); });
+  sim.post(1.0, [&] { order.push_back(1); });
+  sim.post(1.0, [&] { order.push_back(11); });  // same time: FIFO
+  auto proc = [&]() -> sim::Task<void> {
+    co_await sim.delay(1.5);
+    order.push_back(15);
+  };
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 15, 2}));
+}
+
+TEST(SimulationPost, NullCallbackThrows) {
+  sim::Simulation sim;
+  EXPECT_THROW(sim.post(1.0, nullptr), CheckError);
+  EXPECT_THROW(sim.post(-1.0, [] {}), CheckError);
+}
+
+TEST(WorldExtra, SharedStreamMakesRanksOneFairShareEntity) {
+  // Two worlds on one link: one with per-rank streams (4 streams), one with
+  // a shared stream (1 stream). Fair share: 4/5 vs 1/5 of the link.
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink(100.0));
+  pfs::FileStore store;
+
+  WorldConfig per_rank_cfg;
+  per_rank_cfg.ranks = 4;
+  per_rank_cfg.name = "per-rank";
+  World per_rank(sim, link, store, per_rank_cfg);
+
+  const auto job_stream = link.createStream("whole-job", 1.0);
+  WorldConfig shared_cfg;
+  shared_cfg.ranks = 4;
+  shared_cfg.name = "shared";
+  shared_cfg.shared_stream = job_stream;
+  World shared(sim, link, store, shared_cfg);
+
+  auto program = [](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out/" + std::to_string(ctx.rank()));
+    co_await f.writeAt(ctx.rank() * 1000, 200, 1);
+  };
+  per_rank.launch(program);
+  shared.launch(program);
+  sim.run();
+  // per-rank world: 4 streams x weight 1 = 80 B/s aggregate -> 800 B in 10 s.
+  // shared world: 1 stream = 20 B/s -> its 800 B finish last.
+  EXPECT_GT(shared.elapsed(), per_rank.elapsed() * 1.5);
+}
+
+TEST(WorldExtra, CollectiveByteCostScales) {
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.collective_alpha = 0.0;
+  cfg.collective_beta_per_byte = 1e-6;  // 1 us per byte per stage
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  World world(sim, link, store, cfg);
+  world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.bcast(1000);  // 1 stage x 1000 B x 1 us
+  });
+  sim.run();
+  EXPECT_NEAR(world.elapsed(), 1e-3, 1e-12);
+}
+
+TEST(WorldExtra, FileOpsOnDefaultConstructedFileThrow) {
+  File file;
+  EXPECT_THROW(file.verify(0, 1, 1), CheckError);
+  EXPECT_THROW(file.size(), CheckError);
+}
+
+TEST(WorldExtra, WaitAllSkipsInvalidRequests) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  World world(sim, link, store, {});
+  world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    std::vector<Request> reqs(3);  // two holes around one real request
+    reqs[1] = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.waitAll(reqs);
+    EXPECT_TRUE(reqs[1].test());
+  });
+  sim.run();
+}
+
+TEST(WorldExtra, RuntimeSummaryUnitsConsistent) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  pfs::FileStore store;
+  tmio::TracerConfig tcfg;
+  tcfg.overhead.intercept_per_call = 0.01;
+  tcfg.overhead.finalize_base = 0.1;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  tmio::Tracer tracer(tcfg);
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  World world(sim, link, store, cfg, &tracer);
+  tracer.attach(world);
+  world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out." + std::to_string(ctx.rank()));
+    auto r = co_await f.iwriteAt(0, 50, 1);
+    co_await ctx.compute(1.0);
+    co_await ctx.wait(r);
+  });
+  sim.run();
+  const tmio::RuntimeSummary s = tmio::runtimeSummary(world);
+  // Two intercepts (0.02) + finalize (0.1) per rank; summary averages ranks.
+  EXPECT_NEAR(s.overhead, 0.12, 1e-9);
+  EXPECT_NEAR(s.total, s.app + s.overhead, 1e-9);
+  EXPECT_GT(s.total, 1.0);
+}
+
+TEST(WorldExtra, BurstBufferWorldDrainsAtFinalize) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink(100.0));
+  pfs::FileStore store;
+  WorldConfig cfg;
+  pfs::BurstBufferConfig bb;
+  bb.capacity = 10'000;
+  bb.absorb_rate = 10'000.0;
+  cfg.burst_buffer = bb;
+  World world(sim, link, store, cfg);
+  world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    co_await f.writeAt(0, 1000, 7);  // absorbs in 0.1 s
+    // No explicit flush: finalize must drain the remaining ~900 B.
+  });
+  sim.run();
+  EXPECT_TRUE(store.verify("/out", 0, 1000, 7));
+  EXPECT_EQ(link.bytesMoved(pfs::Channel::Write), 1000u);
+  // Elapsed covers the full drain: 1000 B at 100 B/s.
+  EXPECT_GE(world.elapsed(), 10.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace iobts::mpisim

@@ -1,0 +1,369 @@
+#include "mpisim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace iobts::mpisim {
+namespace {
+
+struct Harness {
+  explicit Harness(WorldConfig cfg = {}, pfs::LinkConfig link_cfg = smallLink(),
+                   IoHooks* hooks = nullptr)
+      : link(sim, link_cfg), world(sim, link, store, cfg, hooks) {}
+
+  static pfs::LinkConfig smallLink() {
+    pfs::LinkConfig cfg;
+    cfg.read_capacity = 100.0;  // 100 B/s for readable arithmetic
+    cfg.write_capacity = 100.0;
+    return cfg;
+  }
+
+  void run(World::RankProgram program) {
+    world.launch(std::move(program));
+    sim.run();
+  }
+
+  sim::Simulation sim;
+  pfs::SharedLink link;
+  pfs::FileStore store;
+  World world;
+};
+
+TEST(World, SingleRankComputeOnly) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(2.0);
+  });
+  EXPECT_TRUE(h.world.finished());
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 2.0);
+  EXPECT_DOUBLE_EQ(h.world.rankTimes(0).compute, 2.0);
+}
+
+TEST(World, BlockingWriteTakesTransferTime) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    co_await f.writeAt(0, 200, 7);  // 200 B at 100 B/s = 2 s
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 2.0);
+  EXPECT_DOUBLE_EQ(h.world.rankTimes(0).sync_io, 2.0);
+  EXPECT_TRUE(h.store.verify("/out", 0, 200, 7));
+}
+
+TEST(World, AsyncWriteFullyHiddenBehindCompute) {
+  Harness h;
+  RankTimes times;
+  h.run([&](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);  // needs 1 s at full rate
+    co_await ctx.compute(5.0);                  // window is 5 s
+    co_await ctx.wait(req);
+    times = ctx.times();
+  });
+  // The wait must not block: I/O finished long before.
+  EXPECT_DOUBLE_EQ(times.wait_blocked, 0.0);
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 5.0);
+  EXPECT_TRUE(h.store.verify("/out", 0, 100, 1));
+}
+
+TEST(World, AsyncWriteSlowerThanComputeBlocksInWait) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 1000, 1);  // needs 10 s
+    co_await ctx.compute(4.0);                   // window only 4 s
+    co_await ctx.wait(req);
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 10.0);
+  EXPECT_DOUBLE_EQ(h.world.rankTimes(0).wait_blocked, 6.0);
+}
+
+TEST(World, RequestTestPollsWithoutBlocking) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);  // 1 s
+    EXPECT_FALSE(req.test());
+    co_await ctx.compute(2.0);
+    EXPECT_TRUE(req.test());
+    co_await ctx.wait(req);
+  });
+}
+
+TEST(World, IoLimitStretchesAsyncWrite) {
+  WorldConfig cfg;
+  cfg.pacer.subrequest_size = 10;  // 10-byte sub-requests
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    ctx.setIoLimit(10.0);  // 10 B/s, a tenth of the link
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);  // paced: 10 s
+    co_await ctx.compute(12.0);
+    co_await ctx.wait(req);
+    EXPECT_DOUBLE_EQ(ctx.times().wait_blocked, 0.0);
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 12.0);
+  // The I/O thread stretched the write to ~10 s.
+  const auto& series = h.link.totalRateSeries(pfs::Channel::Write);
+  EXPECT_NEAR(series.integrate(0.0, 12.0), 100.0, 1e-6);
+  EXPECT_LE(series.maxValue(), 100.0 + 1e-9);
+}
+
+TEST(World, ClearingLimitRestoresFullRate) {
+  WorldConfig cfg;
+  cfg.pacer.subrequest_size = 10;
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    ctx.setIoLimit(10.0);
+    auto r1 = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.compute(11.0);
+    co_await ctx.wait(r1);
+    ctx.setIoLimit(std::nullopt);
+    auto r2 = co_await f.iwriteAt(100, 100, 1);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(r2);
+    EXPECT_DOUBLE_EQ(ctx.times().wait_blocked, 0.0);
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 13.0);
+}
+
+TEST(World, EngineSerializesRequestsFifo) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto r1 = co_await f.iwriteAt(0, 100, 1);    // 1 s
+    auto r2 = co_await f.iwriteAt(100, 100, 2);  // next 1 s
+    co_await ctx.compute(0.5);
+    EXPECT_FALSE(r1.test());
+    co_await ctx.compute(1.0);  // t = 1.5
+    EXPECT_TRUE(r1.test());
+    EXPECT_FALSE(r2.test());
+    co_await ctx.wait(r1);
+    co_await ctx.wait(r2);
+    EXPECT_DOUBLE_EQ(ctx.now(), 2.0);  // serialized: 2 x 1 s
+  });
+}
+
+TEST(World, WaitAllCompletesEverything) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    std::vector<Request> reqs;
+    for (int i = 0; i < 3; ++i) {
+      reqs.push_back(co_await f.iwriteAt(i * 100, 100, 1));
+    }
+    co_await ctx.waitAll(reqs);
+    for (const auto& r : reqs) EXPECT_TRUE(r.test());
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 3.0);
+}
+
+TEST(World, TwoRanksShareThePfs) {
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out." + std::to_string(ctx.rank()));
+    co_await f.writeAt(0, 100, 1);  // both write 100 B concurrently
+  });
+  // 200 B through a 100 B/s link -> 2 s.
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 2.0);
+}
+
+TEST(World, BarrierSynchronizesRanks) {
+  WorldConfig cfg;
+  cfg.ranks = 4;
+  cfg.collective_alpha = 0.0;  // pure synchronization
+  Harness h(cfg);
+  std::vector<double> after(4);
+  h.run([&](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(static_cast<double>(ctx.rank()));
+    co_await ctx.barrier();
+    after[ctx.rank()] = ctx.now();
+  });
+  for (const double t : after) EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+TEST(World, CollectiveCostScalesWithLog2Ranks) {
+  WorldConfig cfg;
+  cfg.ranks = 8;
+  cfg.collective_alpha = 1e-3;
+  cfg.collective_beta_per_byte = 0.0;
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> { co_await ctx.barrier(); });
+  // 8 ranks -> 3 stages -> 3 ms.
+  EXPECT_NEAR(h.world.elapsed(), 3e-3, 1e-12);
+}
+
+TEST(World, AllreduceCostsTwoTreeSweeps) {
+  WorldConfig cfg;
+  cfg.ranks = 4;
+  cfg.collective_alpha = 1e-3;
+  cfg.collective_beta_per_byte = 0.0;
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> { co_await ctx.allreduce(); });
+  EXPECT_NEAR(h.world.elapsed(), 4e-3, 1e-12);  // 2 * 2 stages
+}
+
+TEST(World, CommTimeAccounted) {
+  WorldConfig cfg;
+  cfg.ranks = 2;
+  cfg.collective_alpha = 1e-3;
+  Harness h(cfg);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    if (ctx.rank() == 1) co_await ctx.compute(1.0);
+    co_await ctx.barrier();
+  });
+  // Rank 0 waits 1 s in the barrier + 1 ms cost.
+  EXPECT_NEAR(h.world.rankTimes(0).comm, 1.0 + 1e-3, 1e-12);
+  EXPECT_NEAR(h.world.rankTimes(1).comm, 1e-3, 1e-12);
+}
+
+TEST(World, ComputeJitterIsDeterministicPerSeed) {
+  auto run_once = [] {
+    WorldConfig cfg;
+    cfg.compute_jitter_sigma = 0.2;
+    cfg.seed = 99;
+    Harness h(cfg);
+    h.run([](RankCtx& ctx) -> sim::Task<void> {
+      co_await ctx.compute(1.0);
+    });
+    return h.world.elapsed();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, 1.0);  // jitter moved it
+}
+
+TEST(World, ReadAtMovesBytesOnReadChannel) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/data");
+    co_await f.writeAt(0, 100, 5);
+    co_await f.readAt(0, 100);
+    EXPECT_TRUE(f.verify(0, 100, 5));
+    EXPECT_EQ(f.size(), 100u);
+  });
+  EXPECT_EQ(h.link.bytesMoved(pfs::Channel::Read), 100u);
+  EXPECT_EQ(h.link.bytesMoved(pfs::Channel::Write), 100u);
+}
+
+TEST(World, IreadCompletesAndWaits) {
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/data");
+    co_await f.writeAt(0, 100, 5);
+    auto req = co_await f.ireadAt(0, 100);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(req);
+    EXPECT_DOUBLE_EQ(ctx.times().wait_blocked, 0.0);
+  });
+}
+
+TEST(World, FinalizeDrainsOutstandingRequests) {
+  // A request that is never waited on must still be executed before the
+  // world finishes (the I/O thread drains its queue at MPI_Finalize).
+  Harness h;
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    (void)co_await f.iwriteAt(0, 500, 9);
+    co_return;  // no wait
+  });
+  EXPECT_TRUE(h.store.verify("/out", 0, 500, 9));
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 5.0);
+}
+
+TEST(World, LaunchTwiceThrows) {
+  Harness h;
+  auto program = [](RankCtx&) -> sim::Task<void> { co_return; };
+  h.world.launch(program);
+  EXPECT_THROW(h.world.launch(program), CheckError);
+}
+
+TEST(World, AccessorsValidateRank) {
+  Harness h;
+  EXPECT_THROW(h.world.rankTimes(1), CheckError);
+  EXPECT_THROW(h.world.setRankLimit(-1, 1.0), CheckError);
+}
+
+TEST(World, ElapsedBeforeCompletionThrows) {
+  Harness h;
+  EXPECT_THROW(h.world.elapsed(), CheckError);
+}
+
+TEST(World, JoinUsableFromCoroutine) {
+  Harness h;
+  bool joined = false;
+  h.world.launch([](RankCtx& ctx) -> sim::Task<void> {
+    co_await ctx.compute(3.0);
+  });
+  auto watcher = [&]() -> sim::Task<void> {
+    co_await h.world.join();
+    joined = true;
+    EXPECT_DOUBLE_EQ(h.sim.now(), 3.0);
+  };
+  h.sim.spawn(watcher());
+  h.sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(World, ExternalRankLimitControl) {
+  WorldConfig cfg;
+  cfg.pacer.subrequest_size = 10;
+  Harness h(cfg);
+  h.world.setRankLimit(0, 20.0);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    EXPECT_TRUE(ctx.ioLimit().has_value());
+    auto f = ctx.open("/out");
+    auto req = co_await f.iwriteAt(0, 100, 1);  // paced at 20 B/s -> 5 s
+    co_await ctx.wait(req);
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 5.0);
+}
+
+TEST(World, LimitDoesNotPaceBlockingOps) {
+  // The paper's extension limits asynchronous MPI-IO only; a blocking
+  // write's duration feeds straight into the runtime.
+  WorldConfig cfg;
+  cfg.pacer.subrequest_size = 10;
+  Harness h(cfg);
+  h.world.setRankLimit(0, 20.0);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    co_await f.writeAt(0, 100, 1);  // full link speed: 1 s
+  });
+  EXPECT_DOUBLE_EQ(h.world.elapsed(), 1.0);
+}
+
+TEST(World, ManyRanksAsyncPattern) {
+  WorldConfig cfg;
+  cfg.ranks = 32;
+  pfs::LinkConfig link;
+  link.read_capacity = 3200.0;
+  link.write_capacity = 3200.0;
+  Harness h(cfg, link);
+  h.run([](RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out." + std::to_string(ctx.rank()));
+    Request pending;
+    for (int loop = 0; loop < 3; ++loop) {
+      co_await ctx.compute(1.0);
+      if (pending.valid()) co_await ctx.wait(pending);
+      pending = co_await f.iwriteAt(loop * 100, 100, loop + 1);
+    }
+    co_await ctx.wait(pending);
+  });
+  // 32 ranks * 100 B = 3200 B per phase at 3200 B/s -> each write hides in
+  // the next 1 s compute; three loops -> ~3 s + trailing wait ~1 s.
+  EXPECT_NEAR(h.world.elapsed(), 4.0, 0.1);
+  for (int r = 0; r < 32; ++r) {
+    EXPECT_TRUE(h.store.verify("/out." + std::to_string(r), 200, 100, 3));
+  }
+}
+
+}  // namespace
+}  // namespace iobts::mpisim

@@ -1,0 +1,154 @@
+#include "pfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iobts::pfs {
+namespace {
+
+TEST(FileStore, CreateRemoveExists) {
+  FileStore fs;
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_TRUE(fs.create("/a"));
+  EXPECT_FALSE(fs.create("/a"));  // already there
+  EXPECT_TRUE(fs.exists("/a"));
+  EXPECT_TRUE(fs.remove("/a"));
+  EXPECT_FALSE(fs.remove("/a"));
+  EXPECT_FALSE(fs.exists("/a"));
+}
+
+TEST(FileStore, WriteAutoCreates) {
+  FileStore fs;
+  fs.write("/f", 0, 100, 0xAB);
+  EXPECT_TRUE(fs.exists("/f"));
+  EXPECT_EQ(fs.size("/f"), 100u);
+}
+
+TEST(FileStore, SizeIsFurthestExtentEnd) {
+  FileStore fs;
+  fs.write("/f", 1000, 24, 1);
+  EXPECT_EQ(fs.size("/f"), 1024u);
+  EXPECT_EQ(fs.size("/missing"), 0u);
+}
+
+TEST(FileStore, ReadReturnsClippedExtents) {
+  FileStore fs;
+  fs.write("/f", 0, 100, 7);
+  const auto r = fs.read("/f", 40, 20);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (Extent{40, 20, 7}));
+}
+
+TEST(FileStore, ReadAcrossHoleSkipsIt) {
+  FileStore fs;
+  fs.write("/f", 0, 10, 1);
+  fs.write("/f", 20, 10, 2);
+  const auto r = fs.read("/f", 0, 30);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (Extent{0, 10, 1}));
+  EXPECT_EQ(r[1], (Extent{20, 10, 2}));
+}
+
+TEST(FileStore, OverwriteSplitsOldExtent) {
+  FileStore fs;
+  fs.write("/f", 0, 100, 1);
+  fs.write("/f", 30, 40, 2);  // middle overwrite
+  const auto r = fs.read("/f", 0, 100);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (Extent{0, 30, 1}));
+  EXPECT_EQ(r[1], (Extent{30, 40, 2}));
+  EXPECT_EQ(r[2], (Extent{70, 30, 1}));
+}
+
+TEST(FileStore, OverwriteSpanningMultipleExtents) {
+  FileStore fs;
+  fs.write("/f", 0, 10, 1);
+  fs.write("/f", 10, 10, 2);
+  fs.write("/f", 20, 10, 3);
+  fs.write("/f", 5, 20, 9);  // covers tail of 1, all of 2, head of 3
+  const auto r = fs.read("/f", 0, 30);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], (Extent{0, 5, 1}));
+  EXPECT_EQ(r[1], (Extent{5, 20, 9}));
+  EXPECT_EQ(r[2], (Extent{25, 5, 3}));
+}
+
+TEST(FileStore, ExactOverwriteReplaces) {
+  FileStore fs;
+  fs.write("/f", 0, 10, 1);
+  fs.write("/f", 0, 10, 2);
+  const auto r = fs.read("/f", 0, 10);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].tag, 2u);
+}
+
+TEST(FileStore, VerifyFullCoverage) {
+  FileStore fs;
+  fs.write("/f", 0, 64, 0xFEED);
+  EXPECT_TRUE(fs.verify("/f", 0, 64, 0xFEED));
+  EXPECT_TRUE(fs.verify("/f", 10, 20, 0xFEED));
+  EXPECT_FALSE(fs.verify("/f", 0, 65, 0xFEED));   // beyond the end
+  EXPECT_FALSE(fs.verify("/f", 0, 64, 0xBEEF));   // wrong tag
+}
+
+TEST(FileStore, VerifyDetectsHole) {
+  FileStore fs;
+  fs.write("/f", 0, 10, 1);
+  fs.write("/f", 20, 10, 1);
+  EXPECT_FALSE(fs.verify("/f", 0, 30, 1));
+  EXPECT_TRUE(fs.verify("/f", 0, 10, 1));
+  EXPECT_TRUE(fs.verify("/f", 20, 10, 1));
+}
+
+TEST(FileStore, VerifyDetectsPartialOverwrite) {
+  FileStore fs;
+  fs.write("/f", 0, 100, 1);
+  fs.write("/f", 50, 10, 2);
+  EXPECT_FALSE(fs.verify("/f", 0, 100, 1));
+  EXPECT_TRUE(fs.verify("/f", 50, 10, 2));
+  EXPECT_TRUE(fs.verify("/f", 0, 50, 1));
+}
+
+TEST(FileStore, VerifyZeroLengthAlwaysTrue) {
+  FileStore fs;
+  EXPECT_TRUE(fs.verify("/missing", 0, 0, 1));
+}
+
+TEST(FileStore, ZeroLengthWriteOnlyCreates) {
+  FileStore fs;
+  fs.write("/f", 100, 0, 1);
+  EXPECT_TRUE(fs.exists("/f"));
+  EXPECT_EQ(fs.size("/f"), 0u);
+}
+
+TEST(FileStore, TotalBytesSumsLiveExtents) {
+  FileStore fs;
+  fs.write("/a", 0, 100, 1);
+  fs.write("/b", 0, 50, 1);
+  EXPECT_EQ(fs.totalBytes(), 150u);
+  fs.write("/a", 0, 100, 2);  // overwrite, not duplicate
+  EXPECT_EQ(fs.totalBytes(), 150u);
+}
+
+TEST(FileStore, AdjacentWritesDontInterfere) {
+  FileStore fs;
+  fs.write("/f", 0, 10, 1);
+  fs.write("/f", 10, 10, 2);  // exactly adjacent
+  EXPECT_TRUE(fs.verify("/f", 0, 10, 1));
+  EXPECT_TRUE(fs.verify("/f", 10, 10, 2));
+}
+
+TEST(FileStore, ManyRanksDistinctFiles) {
+  // HACC-IO pattern: one file per rank, header + arrays.
+  FileStore fs;
+  for (int rank = 0; rank < 64; ++rank) {
+    const std::string path = "/scratch/hacc." + std::to_string(rank);
+    fs.write(path, 0, 64, 0x4ead);                      // header
+    fs.write(path, 64, 38'000'000, 1000u + rank);        // particle arrays
+  }
+  EXPECT_EQ(fs.fileCount(), 64u);
+  EXPECT_TRUE(fs.verify("/scratch/hacc.7", 64, 38'000'000, 1007u));
+  EXPECT_FALSE(fs.verify("/scratch/hacc.7", 64, 38'000'000, 1008u));
+}
+
+}  // namespace
+}  // namespace iobts::pfs

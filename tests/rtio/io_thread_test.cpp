@@ -1,0 +1,189 @@
+#include "rtio/io_thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace iobts::rtio {
+namespace {
+
+// Wall-clock assertions use generous tolerances: CI machines stall.
+constexpr double kRateTolerance = 0.35;  // +-35 %
+
+TEST(IoThread, CompletesUnlimitedOperation) {
+  IoThread io;
+  std::atomic<Bytes> written{0};
+  auto h = io.submit(1 * kMiB, [&](Bytes, Bytes size) { written += size; });
+  h.wait();
+  EXPECT_TRUE(h.test());
+  EXPECT_EQ(written.load(), 1 * kMiB);
+  const OpStats stats = h.stats();
+  EXPECT_EQ(stats.bytes, 1 * kMiB);
+  EXPECT_EQ(stats.subrequests, 1u);  // unlimited -> no split
+  EXPECT_DOUBLE_EQ(stats.slept_seconds, 0.0);
+}
+
+TEST(IoThread, SubrequestsCoverOperationExactly) {
+  IoThread io(throttle::PacerConfig{.subrequest_size = 64 * kKiB});
+  io.setLimit(512.0 * kMiB);
+  std::vector<std::pair<Bytes, Bytes>> pieces;
+  std::mutex m;
+  auto h = io.submit(1 * kMiB + 100, [&](Bytes offset, Bytes size) {
+    std::lock_guard<std::mutex> lock(m);
+    pieces.emplace_back(offset, size);
+  });
+  h.wait();
+  ASSERT_FALSE(pieces.empty());
+  Bytes cursor = 0;
+  for (const auto& [offset, size] : pieces) {
+    EXPECT_EQ(offset, cursor);
+    EXPECT_LE(size, 64 * kKiB);
+    cursor += size;
+  }
+  EXPECT_EQ(cursor, 1 * kMiB + 100);
+  EXPECT_EQ(h.stats().subrequests, pieces.size());
+}
+
+TEST(IoThread, PacesToTheLimit) {
+  IoThread io(throttle::PacerConfig{.subrequest_size = 128 * kKiB});
+  const BytesPerSec limit = 20.0 * kMiB;  // -> 2 MiB takes ~100 ms
+  io.setLimit(limit);
+  auto h = io.submit(2 * kMiB, [](Bytes, Bytes) { /* instant sink */ });
+  h.wait();
+  const double achieved = h.stats().achievedRate();
+  EXPECT_LT(achieved, limit * (1.0 + kRateTolerance));
+  EXPECT_GT(achieved, limit * (1.0 - kRateTolerance));
+  EXPECT_GT(h.stats().slept_seconds, 0.0);  // Case A fired
+}
+
+TEST(IoThread, UnlimitedIsFasterThanLimited) {
+  auto run = [](std::optional<BytesPerSec> limit) {
+    IoThread io(throttle::PacerConfig{.subrequest_size = 128 * kKiB});
+    io.setLimit(limit);
+    auto h = io.submit(2 * kMiB, [](Bytes, Bytes) {});
+    h.wait();
+    return h.stats().durationSeconds();
+  };
+  const double unlimited = run(std::nullopt);
+  const double limited = run(40.0 * kMiB);  // ~50 ms floor
+  EXPECT_LT(unlimited, limited);
+  EXPECT_GT(limited, 0.02);
+}
+
+TEST(IoThread, FifoOrderAcrossOperations) {
+  IoThread io;
+  std::vector<int> order;
+  std::mutex m;
+  auto a = io.submit(16, [&](Bytes, Bytes) {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(1);
+  });
+  auto b = io.submit(16, [&](Bytes, Bytes) {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(2);
+  });
+  b.wait();
+  a.wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(IoThread, DestructorDrainsQueue) {
+  std::atomic<int> executed{0};
+  {
+    IoThread io;
+    for (int i = 0; i < 10; ++i) {
+      io.submit(8, [&](Bytes, Bytes) { ++executed; });
+    }
+    // No waits: the destructor must finish the queue.
+  }
+  EXPECT_EQ(executed.load(), 10);
+}
+
+TEST(IoThread, CaseBDeficitAbsorbsSlowSubrequests) {
+  // A sink slower than the limit: no sleeps should be injected (Case B).
+  IoThread io(throttle::PacerConfig{.subrequest_size = 256 * kKiB});
+  io.setLimit(1.0 * kGiB);  // very generous limit
+  auto h = io.submit(1 * kMiB, [](Bytes, Bytes) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  h.wait();
+  EXPECT_DOUBLE_EQ(h.stats().slept_seconds, 0.0);
+}
+
+TEST(IoThread, LimitChangeMidStreamApplies) {
+  IoThread io(throttle::PacerConfig{.subrequest_size = 64 * kKiB});
+  io.setLimit(10.0 * kMiB);  // slow: 1 MiB would take ~100 ms
+  auto slow = io.submit(512 * kKiB, [](Bytes, Bytes) {});
+  io.setLimit(std::nullopt);  // lift the limit; tail should speed up
+  auto fast = io.submit(512 * kKiB, [](Bytes, Bytes) {});
+  slow.wait();
+  fast.wait();
+  EXPECT_GT(fast.stats().achievedRate(), 100.0 * kMiB);
+}
+
+TEST(IoThread, ZeroByteOperationCompletes) {
+  IoThread io;
+  int calls = 0;
+  auto h = io.submit(0, [&](Bytes, Bytes size) {
+    EXPECT_EQ(size, 0u);
+    ++calls;
+  });
+  h.wait();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(IoThread, RealMemoryCopySink) {
+  // End-to-end: actually move bytes, verify contents and pacing.
+  const Bytes total = 1 * kMiB;
+  std::vector<std::uint8_t> src(total);
+  for (Bytes i = 0; i < total; ++i) src[i] = static_cast<std::uint8_t>(i);
+  std::vector<std::uint8_t> dst(total, 0);
+
+  IoThread io(throttle::PacerConfig{.subrequest_size = 128 * kKiB});
+  io.setLimit(50.0 * kMiB);  // ~20 ms floor
+  auto h = io.submit(total, [&](Bytes offset, Bytes size) {
+    std::memcpy(dst.data() + offset, src.data() + offset, size);
+  });
+  h.wait();
+  EXPECT_EQ(dst, src);
+  EXPECT_LE(h.stats().achievedRate(), 50.0 * kMiB * (1.0 + kRateTolerance));
+}
+
+TEST(IoThread, InvalidUsesThrow) {
+  IoThread io;
+  EXPECT_THROW(io.setLimit(0.0), CheckError);
+  EXPECT_THROW(io.submit(1, nullptr), CheckError);
+  OpHandle empty;
+  EXPECT_THROW(empty.wait(), CheckError);
+  EXPECT_THROW(empty.test(), CheckError);
+  auto h = io.submit(8, [](Bytes, Bytes) {});
+  h.wait();
+  EXPECT_NO_THROW(h.stats());
+}
+
+// Pacing property across several limits (wall-clock, coarse bounds only).
+class IoThreadPacing : public ::testing::TestWithParam<double> {};
+
+TEST_P(IoThreadPacing, AchievedRateNearLimit) {
+  const BytesPerSec limit = GetParam();
+  IoThread io(throttle::PacerConfig{.subrequest_size = 64 * kKiB});
+  io.setLimit(limit);
+  const Bytes total = static_cast<Bytes>(limit * 0.1);  // ~100 ms of traffic
+  auto h = io.submit(total, [](Bytes, Bytes) {});
+  h.wait();
+  const double achieved = h.stats().achievedRate();
+  EXPECT_LT(achieved, limit * (1.0 + kRateTolerance));
+  EXPECT_GT(achieved, limit * (1.0 - kRateTolerance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, IoThreadPacing,
+                         ::testing::Values(10.0 * kMiB, 40.0 * kMiB,
+                                           160.0 * kMiB));
+
+}  // namespace
+}  // namespace iobts::rtio

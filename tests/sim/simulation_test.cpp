@@ -1,0 +1,274 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace iobts::sim {
+namespace {
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, DelayAdvancesVirtualTime) {
+  Simulation sim;
+  Time seen = kNoTime;
+  auto proc = [&]() -> Task<void> {
+    co_await sim.delay(2.5);
+    seen = sim.now();
+  };
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, EventsRunInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto proc = [&](int id, Time dt) -> Task<void> {
+    co_await sim.delay(dt);
+    order.push_back(id);
+  };
+  sim.spawn(proc(3, 3.0));
+  sim.spawn(proc(1, 1.0));
+  sim.spawn(proc(2, 2.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimestampsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  auto proc = [&](int id) -> Task<void> {
+    co_await sim.delay(1.0);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(proc(i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulation, ZeroDelayYields) {
+  Simulation sim;
+  std::vector<int> order;
+  auto a = [&]() -> Task<void> {
+    order.push_back(1);
+    co_await sim.delay(0.0);
+    order.push_back(3);
+  };
+  auto b = [&]() -> Task<void> {
+    order.push_back(2);
+    co_return;
+  };
+  sim.spawn(a());
+  sim.spawn(b());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  auto proc = [&]() -> Task<void> { co_await sim.delay(-1.0); };
+  sim.spawn(proc());
+  EXPECT_THROW(sim.run(), CheckError);
+}
+
+TEST(Simulation, RunUntilStopsAtLimit) {
+  Simulation sim;
+  int fired = 0;
+  auto proc = [&](Time dt) -> Task<void> {
+    co_await sim.delay(dt);
+    ++fired;
+  };
+  sim.spawn(proc(1.0));
+  sim.spawn(proc(5.0));
+  sim.runUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, SpawnedProcessErrorRethrownFromRun) {
+  Simulation sim;
+  auto proc = []() -> Task<void> {
+    throw std::runtime_error("boom");
+    co_return;
+  };
+  sim.spawn(proc());
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, NonFatalErrorObservedViaJoin) {
+  Simulation sim;
+  auto failing = []() -> Task<void> {
+    throw std::runtime_error("expected");
+    co_return;
+  };
+  auto handle = sim.spawn(failing(), {.fatal_errors = false});
+  bool caught = false;
+  auto watcher = [&]() -> Task<void> {
+    try {
+      co_await handle.join();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  sim.spawn(watcher());
+  sim.run();
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(handle.finished());
+  EXPECT_TRUE(handle.failed());
+}
+
+TEST(Simulation, JoinWaitsForCompletion) {
+  Simulation sim;
+  Time join_time = kNoTime;
+  auto worker = [&]() -> Task<void> { co_await sim.delay(4.0); };
+  auto handle = sim.spawn(worker(), {.name = "worker"});
+  auto waiter = [&]() -> Task<void> {
+    co_await handle.join();
+    join_time = sim.now();
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_DOUBLE_EQ(join_time, 4.0);
+  EXPECT_EQ(handle.name(), "worker");
+}
+
+TEST(Simulation, JoinAfterCompletionReturnsImmediately) {
+  Simulation sim;
+  auto worker = [&]() -> Task<void> { co_return; };
+  auto handle = sim.spawn(worker());
+  sim.run();
+  EXPECT_TRUE(handle.finished());
+  bool joined = false;
+  auto waiter = [&]() -> Task<void> {
+    co_await handle.join();
+    joined = true;
+  };
+  sim.spawn(waiter());
+  sim.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(Simulation, LiveProcessesReaped) {
+  Simulation sim;
+  auto proc = [&]() -> Task<void> { co_await sim.delay(1.0); };
+  sim.spawn(proc());
+  sim.spawn(proc());
+  EXPECT_EQ(sim.liveProcesses(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+TEST(Simulation, EventsProcessedCounter) {
+  Simulation sim;
+  auto proc = [&]() -> Task<void> {
+    co_await sim.delay(1.0);
+    co_await sim.delay(1.0);
+  };
+  sim.spawn(proc());
+  sim.run();
+  // spawn resume + two delay resumes
+  EXPECT_EQ(sim.eventsProcessed(), 3u);
+}
+
+TEST(Simulation, DestructionWithPendingProcessesIsClean) {
+  // Destroying the simulation with suspended coroutines must not leak or
+  // crash (ASAN-friendly).
+  auto sim = std::make_unique<Simulation>();
+  auto proc = [&]() -> Task<void> {
+    co_await sim->delay(1000.0);
+    ADD_FAILURE() << "must not resume";
+  };
+  sim->spawn(proc());
+  sim->runUntil(1.0);
+  sim.reset();  // no crash
+  SUCCEED();
+}
+
+TEST(Simulation, SequenceRunsTasksInOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto step = [&](int id, Time dt) -> Task<void> {
+    co_await sim.delay(dt);
+    order.push_back(id);
+  };
+  std::vector<Task<void>> tasks;
+  tasks.push_back(step(1, 3.0));
+  tasks.push_back(step(2, 1.0));
+  auto root = [&]() -> Task<void> { co_await sequence(std::move(tasks)); };
+  sim.spawn(root());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);  // sequential: 3 + 1
+}
+
+TEST(Simulation, AllOfRunsConcurrently) {
+  Simulation sim;
+  int done = 0;
+  auto step = [&](Time dt) -> Task<void> {
+    co_await sim.delay(dt);
+    ++done;
+  };
+  std::vector<Task<void>> tasks;
+  tasks.push_back(step(3.0));
+  tasks.push_back(step(1.0));
+  auto root = [&]() -> Task<void> { co_await allOf(sim, std::move(tasks)); };
+  sim.spawn(root());
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // concurrent: max(3, 1)
+}
+
+TEST(Simulation, AllOfPropagatesFirstFailureAfterAllFinish) {
+  Simulation sim;
+  int completed = 0;
+  auto good = [&]() -> Task<void> {
+    co_await sim.delay(5.0);
+    ++completed;
+  };
+  auto bad = [&]() -> Task<void> {
+    co_await sim.delay(1.0);
+    throw std::runtime_error("bad");
+  };
+  std::vector<Task<void>> tasks;
+  tasks.push_back(good());
+  tasks.push_back(bad());
+  bool caught = false;
+  auto root = [&]() -> Task<void> {
+    try {
+      co_await allOf(sim, std::move(tasks));
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  };
+  sim.spawn(root());
+  sim.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(completed, 1);  // the good task still ran to completion
+}
+
+TEST(Simulation, ManyProcessesScale) {
+  Simulation sim;
+  int done = 0;
+  auto proc = [&](int i) -> Task<void> {
+    co_await sim.delay(0.001 * i);
+    ++done;
+  };
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) sim.spawn(proc(i));
+  sim.run();
+  EXPECT_EQ(done, kN);
+}
+
+}  // namespace
+}  // namespace iobts::sim

@@ -1,0 +1,208 @@
+#include "tmio/ftio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::tmio {
+namespace {
+
+TEST(Fft, SizeMustBePowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fftRadix2(data), CheckError);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fftRadix2(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantSignalIsPureDC) {
+  std::vector<std::complex<double>> data(16, {2.0, 0.0});
+  fftRadix2(data);
+  EXPECT_NEAR(data[0].real(), 32.0, 1e-9);
+  for (std::size_t k = 1; k < data.size(); ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SineConcentratesAtItsBin) {
+  constexpr std::size_t kN = 64;
+  constexpr int kCycles = 5;
+  std::vector<std::complex<double>> data(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    data[i] = std::sin(2.0 * std::numbers::pi * kCycles *
+                       static_cast<double>(i) / kN);
+  }
+  fftRadix2(data);
+  // Energy at bins 5 and 59 (=N-5) only.
+  for (std::size_t k = 0; k <= kN / 2; ++k) {
+    if (k == kCycles) {
+      EXPECT_GT(std::abs(data[k]), 1.0);
+    } else {
+      EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(5, "fft-parseval");
+  constexpr std::size_t kN = 128;
+  std::vector<std::complex<double>> data(kN);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.uniform(-1.0, 1.0), 0.0};
+    time_energy += std::norm(x);
+  }
+  fftRadix2(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / kN, time_energy, 1e-9 * kN);
+}
+
+TEST(PowerSpectrum, HalfSpectrumLength) {
+  const auto p = powerSpectrum(std::vector<double>(32, 1.0));
+  EXPECT_EQ(p.size(), 17u);
+}
+
+
+TEST(Autocorrelation, PeriodicImpulseTrainPeaksAtPeriod) {
+  std::vector<double> samples(64, 0.0);
+  for (std::size_t i = 0; i < 64; i += 8) samples[i] = 1.0;
+  double mean = 8.0 / 64.0;
+  for (auto& s : samples) s -= mean;
+  const auto r = autocorrelation(samples);
+  // Peak at lag 8 nearly as high as lag 0.
+  EXPECT_NEAR(r[8], r[0], r[0] * 0.01 + 1e-9);
+  EXPECT_LT(r[3], r[8] * 0.5);
+}
+
+TEST(Autocorrelation, SizeValidation) {
+  EXPECT_THROW(autocorrelation(std::vector<double>(10, 1.0)), CheckError);
+}
+
+StepSeries squareWave(double period, double duty, double amplitude,
+                      int cycles) {
+  StepSeries s;
+  for (int c = 0; c < cycles; ++c) {
+    const double t = c * period;
+    s.add(t, amplitude);
+    s.add(t + duty * period, 0.0);
+  }
+  return s;
+}
+
+TEST(Ftio, DetectsSquareWavePeriod) {
+  // 2-second-period I/O bursts over 64 s: the classic checkpoint pattern.
+  const StepSeries signal = squareWave(2.0, 0.3, 100e6, 32);
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeSeries(signal, 0.0, 64.0);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.period, 2.0, 0.1);
+  EXPECT_NEAR(result.frequency, 0.5, 0.05);
+  EXPECT_GT(result.confidence, 0.25);
+}
+
+TEST(Ftio, FlatSignalIsAperiodic) {
+  StepSeries flat;
+  flat.add(0.0, 50.0);
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeSeries(flat, 0.0, 10.0);
+  EXPECT_FALSE(result.periodic);
+  EXPECT_DOUBLE_EQ(result.period, 0.0);
+}
+
+TEST(Ftio, WhiteNoiseIsAperiodic) {
+  Rng rng(7, "ftio-noise");
+  StepSeries noisy;
+  for (int i = 0; i < 512; ++i) {
+    noisy.add(i * 0.1, rng.uniform(0.0, 100.0));
+  }
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeSeries(noisy, 0.0, 51.2);
+  EXPECT_FALSE(result.periodic);
+}
+
+TEST(Ftio, PeriodicSignalSurvivesNoise) {
+  Rng rng(11, "ftio-noisy-periodic");
+  StepSeries s;
+  for (int i = 0; i < 512; ++i) {
+    const double t = i * 0.125;  // 64 s window
+    const bool burst = std::fmod(t, 4.0) < 1.0;  // 4 s period
+    s.add(t, (burst ? 100.0 : 0.0) + rng.uniform(0.0, 15.0));
+  }
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeSeries(s, 0.0, 64.0);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.period, 4.0, 0.3);
+}
+
+TEST(Ftio, AnalyzeEventsFindsCadence) {
+  std::vector<double> events;
+  for (int i = 0; i < 40; ++i) events.push_back(3.0 * i + 10.0);
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeEvents(events);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.period, 3.0, 0.2);
+}
+
+TEST(Ftio, AnalyzeEventsJitterTolerant) {
+  Rng rng(13, "ftio-jitter");
+  std::vector<double> events;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back(5.0 * i + rng.uniform(-0.25, 0.25));
+  }
+  FtioAnalyzer ftio;
+  const auto result = ftio.analyzeEvents(events);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.period, 5.0, 0.4);
+}
+
+TEST(Ftio, TooFewEventsIsAperiodic) {
+  FtioAnalyzer ftio;
+  EXPECT_FALSE(ftio.analyzeEvents({1.0, 2.0, 3.0}).periodic);
+  EXPECT_FALSE(ftio.analyzeEvents({}).periodic);
+}
+
+TEST(Ftio, PredictNextAddsPeriod) {
+  PeriodicityResult r;
+  r.periodic = true;
+  r.period = 2.5;
+  EXPECT_DOUBLE_EQ(FtioAnalyzer::predictNext(r, 10.0), 12.5);
+  PeriodicityResult aperiodic;
+  EXPECT_THROW(FtioAnalyzer::predictNext(aperiodic, 0.0), CheckError);
+}
+
+TEST(Ftio, ConfigValidation) {
+  FtioAnalyzer::Config cfg;
+  cfg.bins = 100;  // not a power of two
+  EXPECT_THROW(FtioAnalyzer{cfg}, CheckError);
+  cfg.bins = 256;
+  cfg.min_confidence = 0.0;
+  EXPECT_THROW(FtioAnalyzer{cfg}, CheckError);
+}
+
+TEST(Ftio, PeriodResolutionScalesWithBins) {
+  const StepSeries signal = squareWave(1.0, 0.4, 10.0, 100);
+  FtioAnalyzer::Config coarse;
+  coarse.bins = 128;
+  FtioAnalyzer::Config fine;
+  fine.bins = 2048;
+  const auto rc = FtioAnalyzer(coarse).analyzeSeries(signal, 0.0, 100.0);
+  const auto rf = FtioAnalyzer(fine).analyzeSeries(signal, 0.0, 100.0);
+  ASSERT_TRUE(rc.periodic);
+  ASSERT_TRUE(rf.periodic);
+  EXPECT_LE(std::fabs(rf.period - 1.0), std::fabs(rc.period - 1.0) + 1e-9);
+}
+
+}  // namespace
+}  // namespace iobts::tmio

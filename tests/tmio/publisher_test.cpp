@@ -1,0 +1,178 @@
+#include "tmio/publisher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tmio/tracer.hpp"
+#include "util/check.hpp"
+
+namespace iobts::tmio {
+namespace {
+
+Json sampleRecord(int rank) {
+  JsonObject obj;
+  obj["kind"] = "phase";
+  obj["rank"] = rank;
+  obj["B"] = 1.5e9;
+  return Json(obj);
+}
+
+TEST(Publisher, MemorySinkRetainsRecords) {
+  MetricsPublisher pub;
+  auto sink = std::make_unique<MemorySink>();
+  MemorySink* mem = sink.get();
+  pub.addSink(std::move(sink));
+  pub.publish(sampleRecord(0));
+  pub.publish(sampleRecord(1));
+  ASSERT_EQ(mem->records().size(), 2u);
+  EXPECT_EQ(mem->records()[1].asObject().at("rank").asNumber(), 1.0);
+}
+
+TEST(Publisher, FanOutReachesAllSinks) {
+  MetricsPublisher pub;
+  auto a = std::make_unique<MemorySink>();
+  auto b = std::make_unique<MemorySink>();
+  MemorySink* pa = a.get();
+  MemorySink* pb = b.get();
+  pub.addSink(std::move(a));
+  pub.addSink(std::move(b));
+  EXPECT_EQ(pub.sinkCount(), 2u);
+  pub.publish(sampleRecord(7));
+  EXPECT_EQ(pa->records().size(), 1u);
+  EXPECT_EQ(pb->records().size(), 1u);
+}
+
+TEST(Publisher, NullSinkRejected) {
+  MetricsPublisher pub;
+  EXPECT_THROW(pub.addSink(nullptr), CheckError);
+}
+
+TEST(Publisher, JsonlFileSinkWritesLines) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("iobts_pub_" + std::to_string(::getpid()) + ".jsonl");
+  {
+    MetricsPublisher pub;
+    pub.addSink(std::make_unique<JsonlFileSink>(path.string()));
+    pub.publish(sampleRecord(3));
+    pub.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"rank\":3"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Publisher, JsonlFileSinkBadPathThrows) {
+  EXPECT_THROW(JsonlFileSink("/no-such-dir-xyz/file.jsonl"), CheckError);
+}
+
+TEST(Publisher, TcpRoundTripOverLoopback) {
+  TcpJsonlServer server;
+  ASSERT_GT(server.port(), 0);
+  MetricsPublisher pub;
+  pub.addSink(std::make_unique<TcpJsonlSink>("127.0.0.1", server.port()));
+  for (int i = 0; i < 5; ++i) pub.publish(sampleRecord(i));
+  ASSERT_TRUE(server.waitForLines(5));
+  const auto lines = server.lines();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[4].find("\"rank\":4"), std::string::npos);
+}
+
+TEST(Publisher, TcpConnectFailureThrows) {
+  // Port 1 on loopback is virtually never listening.
+  EXPECT_THROW(TcpJsonlSink("127.0.0.1", 1), CheckError);
+  EXPECT_THROW(TcpJsonlSink("not-an-ip", 80), CheckError);
+}
+
+// End-to-end: the tracer streams records online while the simulation runs.
+TEST(Publisher, TracerStreamsRecordsOnline) {
+  MetricsPublisher pub;
+  auto sink = std::make_unique<MemorySink>();
+  MemorySink* mem = sink.get();
+  pub.addSink(std::move(sink));
+
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.read_capacity = 100.0;
+  link_cfg.write_capacity = 100.0;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+  TracerConfig tcfg;
+  tcfg.strategy = StrategyKind::UpOnly;
+  tcfg.publisher = &pub;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  Tracer tracer(tcfg);
+  mpisim::World world(sim, link, store, {}, &tracer);
+  tracer.attach(world);
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    for (int j = 0; j < 3; ++j) {
+      auto r = co_await f.iwriteAt(0, 100, 1);
+      co_await ctx.compute(2.0);
+      co_await ctx.wait(r);
+    }
+  });
+  sim.run();
+
+  // 3 phases + 3 throughput windows + limit changes.
+  int phases = 0;
+  int throughputs = 0;
+  int limits = 0;
+  for (const Json& rec : mem->records()) {
+    const auto& kind = rec.asObject().at("kind").asString();
+    phases += kind == "phase";
+    throughputs += kind == "throughput";
+    limits += kind == "limit";
+  }
+  EXPECT_EQ(phases, 3);
+  EXPECT_EQ(throughputs, 3);
+  EXPECT_GE(limits, 1);
+}
+
+// End-to-end over a real socket: tracer -> TCP -> server.
+TEST(Publisher, TracerToTcpServer) {
+  TcpJsonlServer server;
+  MetricsPublisher pub;
+  pub.addSink(std::make_unique<TcpJsonlSink>("127.0.0.1", server.port()));
+
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.read_capacity = 100.0;
+  link_cfg.write_capacity = 100.0;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+  TracerConfig tcfg;
+  tcfg.publisher = &pub;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  Tracer tracer(tcfg);
+  mpisim::World world(sim, link, store, {}, &tracer);
+  tracer.attach(world);
+  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto f = ctx.open("/out");
+    auto r = co_await f.iwriteAt(0, 100, 1);
+    co_await ctx.compute(2.0);
+    co_await ctx.wait(r);
+  });
+  sim.run();
+
+  ASSERT_TRUE(server.waitForLines(2));  // phase + throughput
+  bool saw_phase = false;
+  for (const auto& line : server.lines()) {
+    saw_phase = saw_phase || line.find("\"kind\":\"phase\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_phase);
+}
+
+}  // namespace
+}  // namespace iobts::tmio

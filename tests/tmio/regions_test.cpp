@@ -1,0 +1,116 @@
+#include "tmio/regions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::tmio {
+namespace {
+
+TEST(Regions, EmptyInput) {
+  const auto series = sweepRegions({});
+  EXPECT_TRUE(series.empty());
+}
+
+TEST(Regions, SingleInterval) {
+  const auto series = sweepRegions({{1.0, 3.0, 5.0}});
+  EXPECT_DOUBLE_EQ(series.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(series.at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.at(2.9), 5.0);
+  EXPECT_DOUBLE_EQ(series.at(3.0), 0.0);
+}
+
+TEST(Regions, PaperFigure4Example) {
+  // Three ranks' phase-0 bandwidths with the overlap pattern of Fig. 4:
+  //   B00 spans [2, 9), B10 spans [1, 6), B20 spans [3, 8).
+  // Five regions form; their values are the running sums.
+  const double B00 = 10.0, B10 = 20.0, B20 = 30.0;
+  const auto series = sweepRegions({
+      {2.0, 9.0, B00},
+      {1.0, 6.0, B10},
+      {3.0, 8.0, B20},
+  });
+  // Region 1 [1,2): B10
+  EXPECT_DOUBLE_EQ(series.at(1.5), B10);
+  // Region 2 [2,3): B10 + B00
+  EXPECT_DOUBLE_EQ(series.at(2.5), B10 + B00);
+  // Region 3 [3,6): B10 + B00 + B20  (the global max)
+  EXPECT_DOUBLE_EQ(series.at(4.0), B00 + B10 + B20);
+  // Region 4 [6,8): B00 + B20
+  EXPECT_DOUBLE_EQ(series.at(7.0), B00 + B20);
+  // Region 5 [8,9): B00
+  EXPECT_DOUBLE_EQ(series.at(8.5), B00);
+  // After all data was handled: 0.
+  EXPECT_DOUBLE_EQ(series.at(9.5), 0.0);
+  // The minimal application-level requirement is the max region sum.
+  EXPECT_DOUBLE_EQ(series.maxValue(), B00 + B10 + B20);
+}
+
+TEST(Regions, DisjointIntervalsDropToZeroBetween) {
+  const auto series = sweepRegions({{0.0, 1.0, 4.0}, {2.0, 3.0, 6.0}});
+  EXPECT_DOUBLE_EQ(series.at(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(series.at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(series.at(2.5), 6.0);
+  EXPECT_DOUBLE_EQ(series.at(3.5), 0.0);
+}
+
+TEST(Regions, IdenticalIntervalsSum) {
+  const auto series = sweepRegions({{0.0, 2.0, 1.0}, {0.0, 2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(series.at(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(series.at(2.0), 0.0);
+}
+
+TEST(Regions, ZeroLengthIntervalIgnored) {
+  const auto series = sweepRegions({{1.0, 1.0, 100.0}, {0.0, 2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(series.maxValue(), 1.0);
+}
+
+TEST(Regions, TouchingIntervalsHandOver) {
+  const auto series = sweepRegions({{0.0, 1.0, 5.0}, {1.0, 2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(series.at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(series.at(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(series.at(1.5), 7.0);
+  EXPECT_DOUBLE_EQ(series.at(2.0), 0.0);
+}
+
+TEST(Regions, BackwardsIntervalThrows) {
+  EXPECT_THROW(sweepRegions({{2.0, 1.0, 1.0}}), CheckError);
+}
+
+TEST(Regions, FinalValueIsExactlyZero) {
+  // Float residue must be snapped to zero once all intervals close.
+  const auto series =
+      sweepRegions({{0.0, 1.0, 0.1}, {0.0, 1.0, 0.2}, {0.0, 1.0, 0.3}});
+  EXPECT_DOUBLE_EQ(series.points().back().second, 0.0);
+}
+
+// Property: the sweep equals a brute-force point evaluation.
+class RegionsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionsProperty, MatchesBruteForce) {
+  Rng rng(GetParam(), "regions-prop");
+  std::vector<Interval> intervals;
+  const std::size_t n = 1 + rng.uniformInt(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 100.0);
+    const double len = rng.uniform(0.0, 30.0);
+    intervals.push_back({a, a + len, rng.uniform(0.5, 10.0)});
+  }
+  const auto series = sweepRegions(intervals);
+  Rng probe_rng(GetParam() + 1000, "regions-probe");
+  for (int probe = 0; probe < 200; ++probe) {
+    const double t = probe_rng.uniform(-5.0, 140.0);
+    double expected = 0.0;
+    for (const auto& iv : intervals) {
+      if (t >= iv.start && t < iv.end) expected += iv.value;
+    }
+    EXPECT_NEAR(series.at(t), expected, 1e-9) << "at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, RegionsProperty,
+                         ::testing::Range<std::uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace iobts::tmio

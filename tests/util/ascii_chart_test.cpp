@@ -1,0 +1,101 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace iobts {
+namespace {
+
+TEST(LineChart, EmptyChartSaysNoData) {
+  LineChart chart(40, 10);
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(LineChart, PlotsAllSeriesGlyphs) {
+  LineChart chart(40, 10);
+  chart.addSeries("T", {{0, 0}, {1, 1}, {2, 4}});
+  chart.addSeries("B", {{0, 4}, {1, 3}, {2, 0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("T"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+}
+
+TEST(LineChart, TitleAppears) {
+  LineChart chart(20, 5);
+  chart.setTitle("Fig. 8 reproduction");
+  chart.addSeries("x", {{0, 1}});
+  EXPECT_NE(chart.render().find("Fig. 8 reproduction"), std::string::npos);
+}
+
+TEST(LineChart, FixedYRangeClipsOutliers) {
+  LineChart chart(20, 5);
+  chart.setYRange(0.0, 10.0);
+  chart.addSeries("s", {{0, 5}, {1, 1000}});  // outlier silently clipped
+  const std::string out = chart.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(LineChart, InvalidYRangeThrows) {
+  LineChart chart(20, 5);
+  EXPECT_THROW(chart.setYRange(5.0, 5.0), CheckError);
+}
+
+TEST(StackedBars, RendersPercentages) {
+  StackedBars bars(40);
+  bars.setSegments({"sync", "lost", "exploit", "compute"});
+  bars.addBar("96 ranks", {10.0, 5.0, 25.0, 60.0});
+  const std::string out = bars.render();
+  EXPECT_NE(out.find("96 ranks"), std::string::npos);
+  EXPECT_NE(out.find("sync=10.0%"), std::string::npos);
+  EXPECT_NE(out.find("compute=60.0%"), std::string::npos);
+}
+
+TEST(StackedBars, SegmentCountMismatchThrows) {
+  StackedBars bars(40);
+  bars.setSegments({"a", "b"});
+  EXPECT_THROW(bars.addBar("x", {1.0}), CheckError);
+}
+
+TEST(StackedBars, TooManySegmentsThrows) {
+  StackedBars bars(40);
+  EXPECT_THROW(bars.setSegments(std::vector<std::string>(20, "s")), CheckError);
+}
+
+TEST(StackedBars, BarNeverOverflowsWidth) {
+  StackedBars bars(10);
+  bars.setSegments({"a", "b"});
+  bars.addBar("x", {80.0, 80.0});  // sums > 100; must not overflow the canvas
+  const std::string out = bars.render();
+  // Each line between the pipes is exactly 10 chars.
+  const auto open = out.find('|');
+  const auto close = out.find('|', open + 1);
+  EXPECT_EQ(close - open - 1, 10u);
+}
+
+TEST(GanttChart, RowsAndAxis) {
+  GanttChart g(40, 100.0);
+  g.addRow("job 0", 0.0, 50.0);
+  g.addRow("job 1", 25.0, 100.0);
+  const std::string out = g.render();
+  EXPECT_NE(out.find("job 0"), std::string::npos);
+  EXPECT_NE(out.find("[0.0, 50.0]"), std::string::npos);
+  EXPECT_NE(out.find("100.0 s"), std::string::npos);
+}
+
+TEST(GanttChart, BackwardsIntervalThrows) {
+  GanttChart g(40, 10.0);
+  EXPECT_THROW(g.addRow("bad", 5.0, 1.0), CheckError);
+}
+
+TEST(GanttChart, ZeroLengthIntervalStillVisible) {
+  GanttChart g(40, 10.0);
+  g.addRow("blip", 5.0, 5.0);
+  EXPECT_NE(g.render().find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+#include <fstream>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace iobts {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("iobts_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string readBack() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"t", "rank", "value"});
+    csv.row({"0.5", "3", "hello"});
+    EXPECT_EQ(csv.rowsWritten(), 1u);
+  }
+  EXPECT_EQ(readBack(), "t,rank,value\n0.5,3,hello\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"a", "b"});
+    csv.row({"x,y", "he said \"hi\""});
+  }
+  EXPECT_EQ(readBack(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv(path_);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), CheckError);
+}
+
+TEST_F(CsvTest, NumericRow) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"x", "y"});
+    csv.rowNumeric({1.5, 2.0});
+  }
+  EXPECT_EQ(readBack(), "x,y\n1.5,2\n");
+}
+
+TEST_F(CsvTest, NoHeaderAllowed) {
+  {
+    CsvWriter csv(path_);
+    csv.row({"a"});
+    csv.row({"b", "c"});  // width unconstrained without header
+  }
+  EXPECT_EQ(readBack(), "a\nb,c\n");
+}
+
+TEST_F(CsvTest, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), CheckError);
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesPrintWithoutExponent) {
+  EXPECT_EQ(Json(1000000.0).dump(), "1000000");
+  EXPECT_EQ(Json(9216).dump(), "9216");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects) {
+  JsonObject obj;
+  obj["rank"] = 3;
+  obj["bw"] = 1.25e9;
+  obj["tags"] = JsonArray{Json("a"), Json("b")};
+  const Json j(obj);
+  EXPECT_EQ(j.dump(), "{\"bw\":1250000000,\"rank\":3,\"tags\":[\"a\",\"b\"]}");
+}
+
+TEST(Json, DeterministicKeyOrder) {
+  JsonObject obj;
+  obj["zeta"] = 1;
+  obj["alpha"] = 2;
+  EXPECT_EQ(Json(obj).dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json(JsonArray{}).dump(), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(), "{}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonObject obj;
+  obj["a"] = 1;
+  const std::string pretty = Json(obj).pretty();
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, TypePredicatesAndAccessors) {
+  const Json j(JsonArray{Json(1), Json("x")});
+  ASSERT_TRUE(j.isArray());
+  EXPECT_TRUE(j.asArray()[0].isNumber());
+  EXPECT_TRUE(j.asArray()[1].isString());
+  EXPECT_EQ(j.asArray()[1].asString(), "x");
+}
+
+}  // namespace
+}  // namespace iobts

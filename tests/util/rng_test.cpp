@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace iobts {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NamedStreamsAreIndependent) {
+  Rng a(7, "pfs-noise");
+  Rng b(7, "compute-jitter");
+  EXPECT_NE(a.next(), b.next());
+  // Same name -> same stream.
+  Rng c(7, "pfs-noise");
+  Rng d(7, "pfs-noise");
+  EXPECT_EQ(c.next(), d.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalFactorPositiveMedianOne) {
+  Rng rng(19);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double f = rng.lognormalFactor(0.3);
+    EXPECT_GT(f, 0.0);
+    below += (f < 1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(Rng, LognormalSigmaZeroIsIdentity) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.lognormalFactor(0.0), 1.0);
+}
+
+TEST(Rng, HashNameStable) {
+  // Compile-time too.
+  static_assert(hashName("abc") == hashName("abc"));
+  static_assert(hashName("abc") != hashName("abd"));
+  EXPECT_EQ(hashName("pfs"), hashName("pfs"));
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,59 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iobts {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterSingleField) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(startsWith("--csv=out", "--csv"));
+  EXPECT_FALSE(startsWith("-c", "--csv"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(padLeft("7", 3), "  7");
+  EXPECT_EQ(padRight("7", 3), "7  ");
+  EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(strfmt("no args"), "no args");
+}
+
+TEST(Strfmt, LongOutput) {
+  const std::string s = strfmt("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,158 @@
+#include "workloads/wacomm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tmio/tracer.hpp"
+#include "util/check.hpp"
+
+namespace iobts::workloads {
+namespace {
+
+WacommConfig tinyConfig() {
+  WacommConfig cfg;
+  cfg.particles = 4000;
+  cfg.iterations = 5;
+  cfg.iteration_compute_core_seconds = 4.0;  // 1 s/iter at 4 ranks
+  cfg.path_prefix = "/pfs/test_wacomm";
+  return cfg;
+}
+
+pfs::LinkConfig testLink(BytesPerSec capacity = 1e6) {
+  pfs::LinkConfig link;
+  link.read_capacity = capacity;
+  link.write_capacity = capacity;
+  return link;
+}
+
+struct Harness {
+  explicit Harness(int ranks, pfs::LinkConfig link_cfg = testLink(),
+               tmio::TracerConfig* tracer_cfg = nullptr)
+      : link(sim, link_cfg) {
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = ranks;
+    if (tracer_cfg) tracer = std::make_unique<tmio::Tracer>(*tracer_cfg);
+    world = std::make_unique<mpisim::World>(sim, link, store, wcfg,
+                                            tracer.get());
+    if (tracer) tracer->attach(*world);
+  }
+
+  void go(const WacommConfig& cfg) {
+    world->launch(wacommProgram(cfg));
+    sim.run();
+  }
+
+  sim::Simulation sim;
+  pfs::SharedLink link;
+  pfs::FileStore store;
+  std::unique_ptr<tmio::Tracer> tracer;
+  std::unique_ptr<mpisim::World> world;
+};
+
+TEST(Wacomm, SharesPartitionAllParticles) {
+  WacommConfig cfg = tinyConfig();
+  cfg.particles = 1001;  // deliberately not divisible
+  Bytes total = 0;
+  for (int r = 0; r < 7; ++r) total += wacommShareBytes(cfg, r, 7);
+  EXPECT_EQ(total, 1001u * cfg.bytes_per_particle);
+}
+
+TEST(Wacomm, ShareValidation) {
+  EXPECT_THROW(wacommShareBytes(tinyConfig(), 5, 4), CheckError);
+  EXPECT_THROW(wacommShareBytes(tinyConfig(), -1, 4), CheckError);
+}
+
+TEST(Wacomm, TagsDistinct) {
+  EXPECT_NE(wacommTag(0, 1), wacommTag(1, 0));
+  EXPECT_NE(wacommTag(2, 3), wacommTag(2, 4));
+}
+
+TEST(Wacomm, RunWritesEveryRanksShare) {
+  Harness run(4);
+  const WacommConfig cfg = tinyConfig();
+  run.go(cfg);
+  // The output file holds the final iteration of every rank.
+  const std::string out = cfg.path_prefix + ".out";
+  Bytes offset = 0;
+  for (int r = 0; r < 4; ++r) {
+    const Bytes share = wacommShareBytes(cfg, r, 4);
+    EXPECT_TRUE(run.store.verify(out, offset, share,
+                                 wacommTag(r, cfg.iterations - 1)))
+        << "rank " << r;
+    offset += share;
+  }
+}
+
+TEST(Wacomm, StrongScalingShrinksPerRankCompute) {
+  const WacommConfig cfg = tinyConfig();
+  Harness small(2, testLink(1e9));
+  small.go(cfg);
+  Harness large(8, testLink(1e9));
+  large.go(cfg);
+  EXPECT_LT(large.world->elapsed(), small.world->elapsed());
+}
+
+TEST(Wacomm, AsyncWritesMostlyHidden) {
+  tmio::TracerConfig tcfg;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  Harness run(4, testLink(10e6), &tcfg);
+  const WacommConfig cfg = tinyConfig();
+  run.go(cfg);
+  // iterations-1 async write phases per rank (the last write is sync).
+  int write_phases = 0;
+  for (const auto& p : run.tracer->phaseRecords()) {
+    if (p.channel == pfs::Channel::Write) ++write_phases;
+  }
+  EXPECT_EQ(write_phases, 4 * (cfg.iterations - 1));
+  // Fast enough link: nothing lost.
+  double lost = 0.0;
+  for (int r = 0; r < 4; ++r) lost += run.tracer->rankSplit(r).write_lost;
+  EXPECT_NEAR(lost, 0.0, 1e-6);
+}
+
+TEST(Wacomm, SyncVariantHasNoAsyncPhases) {
+  tmio::TracerConfig tcfg;
+  tcfg.overhead.intercept_per_call = 0.0;
+  tcfg.overhead.finalize_base = 0.0;
+  tcfg.overhead.finalize_per_stage = 0.0;
+  tcfg.overhead.finalize_per_record = 0.0;
+  tcfg.overhead.finalize_per_rank = 0.0;
+  Harness run(2, testLink(), &tcfg);
+  WacommConfig cfg = tinyConfig();
+  cfg.async = false;
+  run.go(cfg);
+  EXPECT_TRUE(run.tracer->phaseRecords().empty());
+  EXPECT_GT(run.tracer->rankSplit(0).sync_write, 0.0);
+}
+
+TEST(Wacomm, HourlyReadAddsReadTraffic) {
+  Harness plain(2);
+  plain.go(tinyConfig());
+  const Bytes base_reads = plain.link.bytesMoved(pfs::Channel::Read);
+  Harness reading(2);
+  WacommConfig cfg = tinyConfig();
+  cfg.hourly_read = true;
+  reading.go(cfg);
+  EXPECT_GT(reading.link.bytesMoved(pfs::Channel::Read), base_reads);
+}
+
+TEST(Wacomm, Rank0ReadsRestart) {
+  Harness run(3);
+  const WacommConfig cfg = tinyConfig();
+  run.go(cfg);
+  EXPECT_EQ(run.link.bytesMoved(pfs::Channel::Read),
+            static_cast<Bytes>(cfg.particles) * cfg.bytes_per_particle);
+}
+
+TEST(Wacomm, InvalidConfigThrows) {
+  EXPECT_THROW(wacommProgram(WacommConfig{.particles = 0}), CheckError);
+  WacommConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(wacommProgram(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace iobts::workloads

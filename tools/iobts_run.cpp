@@ -1,0 +1,184 @@
+// iobts_run -- command-line driver for the simulated TMIO stack.
+//
+// Runs one of the bundled workloads under a chosen limiting strategy and
+// prints the paper's metrics (required bandwidth, throughput, exploitation,
+// overhead), optionally dumping raw records.
+//
+//   iobts_run --workload hacc|wacomm --ranks N --strategy none|direct|
+//             up-only|adaptive|mfu [--tol X] [--loops N] [--particles N]
+//             [--write-bw 106GB] [--read-bw 120GB] [--noise SIGMA]
+//             [--burst-buffer] [--jsonl FILE] [--csv PREFIX] [--chart]
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "mpisim/world.hpp"
+#include "tmio/ftio.hpp"
+#include "tmio/report.hpp"
+#include "tmio/tracer.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/string_util.hpp"
+#include "workloads/hacc_io.hpp"
+#include "workloads/wacomm.hpp"
+
+using namespace iobts;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "hacc";
+  int ranks = 16;
+  std::string strategy = "direct";
+  double tolerance = 1.1;
+  int loops = 0;      // 0 = workload default
+  long particles = 0; // 0 = workload default
+  BytesPerSec write_bw = 106e9;
+  BytesPerSec read_bw = 120e9;
+  double noise = 0.0;
+  bool burst_buffer = false;
+  std::optional<std::string> jsonl;
+  std::optional<std::string> csv;
+  bool chart = false;
+  bool ftio = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload hacc|wacomm] [--ranks N]\n"
+      "          [--strategy none|direct|up-only|adaptive|mfu] [--tol X]\n"
+      "          [--loops N] [--particles N] [--write-bw 106GB]\n"
+      "          [--read-bw 120GB] [--noise SIGMA] [--burst-buffer]\n"
+      "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n",
+      argv0);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workload") opt.workload = next(i);
+    else if (arg == "--ranks") opt.ranks = std::atoi(next(i));
+    else if (arg == "--strategy") opt.strategy = next(i);
+    else if (arg == "--tol") opt.tolerance = std::atof(next(i));
+    else if (arg == "--loops") opt.loops = std::atoi(next(i));
+    else if (arg == "--particles") opt.particles = std::atol(next(i));
+    else if (arg == "--write-bw") opt.write_bw = parseBandwidth(next(i));
+    else if (arg == "--read-bw") opt.read_bw = parseBandwidth(next(i));
+    else if (arg == "--noise") opt.noise = std::atof(next(i));
+    else if (arg == "--burst-buffer") opt.burst_buffer = true;
+    else if (arg == "--jsonl") opt.jsonl = next(i);
+    else if (arg == "--csv") opt.csv = next(i);
+    else if (arg == "--chart") opt.chart = true;
+    else if (arg == "--ftio") opt.ftio = true;
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (opt.ranks <= 0) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.write_capacity = opt.write_bw;
+  link_cfg.read_capacity = opt.read_bw;
+  link_cfg.noise_sigma = opt.noise;
+  pfs::SharedLink link(sim, link_cfg);
+  pfs::FileStore store;
+
+  tmio::TracerConfig tracer_cfg;
+  tracer_cfg.strategy = tmio::parseStrategy(opt.strategy);
+  tracer_cfg.params.tolerance = opt.tolerance;
+  tmio::Tracer tracer(tracer_cfg);
+
+  mpisim::WorldConfig world_cfg;
+  world_cfg.ranks = opt.ranks;
+  if (opt.burst_buffer) world_cfg.burst_buffer = pfs::BurstBufferConfig{};
+  mpisim::World world(sim, link, store, world_cfg, &tracer);
+  tracer.attach(world);
+
+  if (opt.workload == "hacc") {
+    workloads::HaccIoConfig cfg;
+    if (opt.loops > 0) cfg.loops = opt.loops;
+    if (opt.particles > 0) {
+      cfg.particles_per_rank = static_cast<Bytes>(opt.particles);
+    }
+    world.launch(workloads::haccIoProgram(cfg));
+  } else if (opt.workload == "wacomm") {
+    workloads::WacommConfig cfg;
+    if (opt.loops > 0) cfg.iterations = opt.loops;
+    if (opt.particles > 0) cfg.particles = opt.particles;
+    world.launch(workloads::wacommProgram(cfg));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+    return 2;
+  }
+  sim.run();
+
+  const tmio::RuntimeSummary runtime = tmio::runtimeSummary(world);
+  const tmio::ExploitBreakdown e = tmio::exploitBreakdown(tracer, world);
+  std::printf("workload=%s ranks=%d strategy=%s tol=%.2f\n",
+              opt.workload.c_str(), opt.ranks, opt.strategy.c_str(),
+              opt.tolerance);
+  std::printf("elapsed            %.3f s (app %.3f s, tracer overhead %.3f s)\n",
+              runtime.total, runtime.app, runtime.overhead);
+  std::printf("required bandwidth %s (application-level minimum, Eq. 3)\n",
+              formatBandwidth(tracer.minimalRequiredBandwidth()).c_str());
+  std::printf("peak throughput    %s\n",
+              formatBandwidth(
+                  tracer.appThroughputSeries(pfs::Channel::Write).maxValue())
+                  .c_str());
+  std::printf("async exploit      %.1f %%   async lost %.1f %%   sync I/O "
+              "%.1f %%\n",
+              e.async_write_exploit + e.async_read_exploit,
+              e.async_write_lost + e.async_read_lost,
+              e.sync_write + e.sync_read);
+  std::printf("phases traced      %zu   limit changes %zu\n",
+              tracer.phaseRecords().size(), tracer.limitChanges().size());
+
+  if (opt.ftio) {
+    tmio::FtioAnalyzer ftio;
+    const auto result = ftio.analyzeSeries(
+        tracer.appThroughputSeries(pfs::Channel::Write), 0.0, runtime.total);
+    if (result.periodic) {
+      std::printf("I/O periodicity    %.3f s period (confidence %.2f)\n",
+                  result.period, result.confidence);
+    } else {
+      std::printf("I/O periodicity    none detected\n");
+    }
+  }
+
+  if (opt.chart) {
+    LineChart chart(90, 14);
+    chart.setTitle("write channel: T / B / B_L (MB/s)");
+    auto pts = [&](const StepSeries& s) {
+      auto v = s.resampleMax(0.0, runtime.total, 90);
+      for (auto& [t, y] : v) y /= 1e6;
+      return v;
+    };
+    chart.addSeries("T", pts(tracer.appThroughputSeries(pfs::Channel::Write)));
+    chart.addSeries("B", pts(tracer.appRequiredSeries(pfs::Channel::Write)));
+    if (tracer_cfg.strategy != tmio::StrategyKind::None) {
+      chart.addSeries("B_L", pts(tracer.appLimitSeries(pfs::Channel::Write)));
+    }
+    std::printf("%s", chart.render().c_str());
+  }
+
+  if (opt.jsonl) tracer.writeJsonl(*opt.jsonl);
+  if (opt.csv) tracer.writeCsv(*opt.csv);
+  return 0;
+}
