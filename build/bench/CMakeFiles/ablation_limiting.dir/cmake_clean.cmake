@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_limiting.dir/ablation_limiting.cpp.o"
+  "CMakeFiles/ablation_limiting.dir/ablation_limiting.cpp.o.d"
+  "ablation_limiting"
+  "ablation_limiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_limiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

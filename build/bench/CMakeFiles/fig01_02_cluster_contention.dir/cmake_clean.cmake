@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_cluster_contention.dir/fig01_02_cluster_contention.cpp.o"
+  "CMakeFiles/fig01_02_cluster_contention.dir/fig01_02_cluster_contention.cpp.o.d"
+  "fig01_02_cluster_contention"
+  "fig01_02_cluster_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_cluster_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_regions_demo.dir/fig04_regions_demo.cpp.o"
+  "CMakeFiles/fig04_regions_demo.dir/fig04_regions_demo.cpp.o.d"
+  "fig04_regions_demo"
+  "fig04_regions_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_regions_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

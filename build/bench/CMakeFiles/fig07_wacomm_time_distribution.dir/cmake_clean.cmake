@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_wacomm_time_distribution.dir/fig07_wacomm_time_distribution.cpp.o"
+  "CMakeFiles/fig07_wacomm_time_distribution.dir/fig07_wacomm_time_distribution.cpp.o.d"
+  "fig07_wacomm_time_distribution"
+  "fig07_wacomm_time_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_wacomm_time_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

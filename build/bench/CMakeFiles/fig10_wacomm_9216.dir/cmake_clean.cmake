@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wacomm_9216.dir/fig10_wacomm_9216.cpp.o"
+  "CMakeFiles/fig10_wacomm_9216.dir/fig10_wacomm_9216.cpp.o.d"
+  "fig10_wacomm_9216"
+  "fig10_wacomm_9216.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wacomm_9216.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hacc_time_distribution.dir/fig11_hacc_time_distribution.cpp.o"
+  "CMakeFiles/fig11_hacc_time_distribution.dir/fig11_hacc_time_distribution.cpp.o.d"
+  "fig11_hacc_time_distribution"
+  "fig11_hacc_time_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hacc_time_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hacc_9216_strategies.dir/fig13_hacc_9216_strategies.cpp.o"
+  "CMakeFiles/fig13_hacc_9216_strategies.dir/fig13_hacc_9216_strategies.cpp.o.d"
+  "fig13_hacc_9216_strategies"
+  "fig13_hacc_9216_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hacc_9216_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_hacc_9216_strategies.
+# This may be replaced when dependencies are built.

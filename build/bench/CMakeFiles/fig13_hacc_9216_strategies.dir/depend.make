@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_hacc_9216_strategies.
+# This may be replaced when dependencies are built.

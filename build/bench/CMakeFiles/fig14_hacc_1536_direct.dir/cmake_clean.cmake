@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hacc_1536_direct.dir/fig14_hacc_1536_direct.cpp.o"
+  "CMakeFiles/fig14_hacc_1536_direct.dir/fig14_hacc_1536_direct.cpp.o.d"
+  "fig14_hacc_1536_direct"
+  "fig14_hacc_1536_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hacc_1536_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

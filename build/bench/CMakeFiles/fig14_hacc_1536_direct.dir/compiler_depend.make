@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_hacc_1536_direct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/iobts_bench_common.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/iobts_bench_common.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtio/CMakeFiles/iobts_rtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/iobts_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/iobts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmio/CMakeFiles/iobts_tmio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/iobts_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/iobts_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iobts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/throttle/CMakeFiles/iobts_throttle.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iobts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/iobts_bench_common.dir/bench_common.cpp.o.d"
+  "libiobts_bench_common.a"
+  "libiobts_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiobts_bench_common.a"
+)

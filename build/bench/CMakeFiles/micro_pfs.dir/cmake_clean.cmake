@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pfs.dir/micro_pfs.cpp.o"
+  "CMakeFiles/micro_pfs.dir/micro_pfs.cpp.o.d"
+  "micro_pfs"
+  "micro_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

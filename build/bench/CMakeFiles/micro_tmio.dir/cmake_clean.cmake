@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tmio.dir/micro_tmio.cpp.o"
+  "CMakeFiles/micro_tmio.dir/micro_tmio.cpp.o.d"
+  "micro_tmio"
+  "micro_tmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

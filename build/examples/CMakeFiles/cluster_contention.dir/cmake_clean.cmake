@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_contention.dir/cluster_contention.cpp.o"
+  "CMakeFiles/cluster_contention.dir/cluster_contention.cpp.o.d"
+  "cluster_contention"
+  "cluster_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftio_demo.dir/ftio_demo.cpp.o"
+  "CMakeFiles/ftio_demo.dir/ftio_demo.cpp.o.d"
+  "ftio_demo"
+  "ftio_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftio_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_io_demo.dir/hacc_io_demo.cpp.o"
+  "CMakeFiles/hacc_io_demo.dir/hacc_io_demo.cpp.o.d"
+  "hacc_io_demo"
+  "hacc_io_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_io_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_metrics.dir/online_metrics.cpp.o"
+  "CMakeFiles/online_metrics.dir/online_metrics.cpp.o.d"
+  "online_metrics"
+  "online_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

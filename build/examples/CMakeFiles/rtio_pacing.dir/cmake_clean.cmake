@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtio_pacing.dir/rtio_pacing.cpp.o"
+  "CMakeFiles/rtio_pacing.dir/rtio_pacing.cpp.o.d"
+  "rtio_pacing"
+  "rtio_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtio_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

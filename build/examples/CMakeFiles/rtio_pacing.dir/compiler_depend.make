@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtio_pacing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wacomm_demo.dir/wacomm_demo.cpp.o"
+  "CMakeFiles/wacomm_demo.dir/wacomm_demo.cpp.o.d"
+  "wacomm_demo"
+  "wacomm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wacomm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

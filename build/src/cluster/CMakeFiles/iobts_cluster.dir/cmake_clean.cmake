@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/iobts_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/iobts_cluster.dir/coordinator.cpp.o"
+  "CMakeFiles/iobts_cluster.dir/coordinator.cpp.o.d"
+  "libiobts_cluster.a"
+  "libiobts_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

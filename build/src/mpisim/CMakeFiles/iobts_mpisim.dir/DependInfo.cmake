@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/adio_engine.cpp" "src/mpisim/CMakeFiles/iobts_mpisim.dir/adio_engine.cpp.o" "gcc" "src/mpisim/CMakeFiles/iobts_mpisim.dir/adio_engine.cpp.o.d"
+  "/root/repo/src/mpisim/types.cpp" "src/mpisim/CMakeFiles/iobts_mpisim.dir/types.cpp.o" "gcc" "src/mpisim/CMakeFiles/iobts_mpisim.dir/types.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "src/mpisim/CMakeFiles/iobts_mpisim.dir/world.cpp.o" "gcc" "src/mpisim/CMakeFiles/iobts_mpisim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/iobts_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/throttle/CMakeFiles/iobts_throttle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iobts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iobts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_mpisim.dir/adio_engine.cpp.o"
+  "CMakeFiles/iobts_mpisim.dir/adio_engine.cpp.o.d"
+  "CMakeFiles/iobts_mpisim.dir/types.cpp.o"
+  "CMakeFiles/iobts_mpisim.dir/types.cpp.o.d"
+  "CMakeFiles/iobts_mpisim.dir/world.cpp.o"
+  "CMakeFiles/iobts_mpisim.dir/world.cpp.o.d"
+  "libiobts_mpisim.a"
+  "libiobts_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/burst_buffer.cpp" "src/pfs/CMakeFiles/iobts_pfs.dir/burst_buffer.cpp.o" "gcc" "src/pfs/CMakeFiles/iobts_pfs.dir/burst_buffer.cpp.o.d"
+  "/root/repo/src/pfs/fair_share.cpp" "src/pfs/CMakeFiles/iobts_pfs.dir/fair_share.cpp.o" "gcc" "src/pfs/CMakeFiles/iobts_pfs.dir/fair_share.cpp.o.d"
+  "/root/repo/src/pfs/file_store.cpp" "src/pfs/CMakeFiles/iobts_pfs.dir/file_store.cpp.o" "gcc" "src/pfs/CMakeFiles/iobts_pfs.dir/file_store.cpp.o.d"
+  "/root/repo/src/pfs/shared_link.cpp" "src/pfs/CMakeFiles/iobts_pfs.dir/shared_link.cpp.o" "gcc" "src/pfs/CMakeFiles/iobts_pfs.dir/shared_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iobts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/throttle/CMakeFiles/iobts_throttle.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iobts_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

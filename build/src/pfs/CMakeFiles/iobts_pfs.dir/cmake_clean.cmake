@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_pfs.dir/burst_buffer.cpp.o"
+  "CMakeFiles/iobts_pfs.dir/burst_buffer.cpp.o.d"
+  "CMakeFiles/iobts_pfs.dir/fair_share.cpp.o"
+  "CMakeFiles/iobts_pfs.dir/fair_share.cpp.o.d"
+  "CMakeFiles/iobts_pfs.dir/file_store.cpp.o"
+  "CMakeFiles/iobts_pfs.dir/file_store.cpp.o.d"
+  "CMakeFiles/iobts_pfs.dir/shared_link.cpp.o"
+  "CMakeFiles/iobts_pfs.dir/shared_link.cpp.o.d"
+  "libiobts_pfs.a"
+  "libiobts_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_rtio.dir/io_thread.cpp.o"
+  "CMakeFiles/iobts_rtio.dir/io_thread.cpp.o.d"
+  "libiobts_rtio.a"
+  "libiobts_rtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_rtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_sim.dir/simulation.cpp.o"
+  "CMakeFiles/iobts_sim.dir/simulation.cpp.o.d"
+  "libiobts_sim.a"
+  "libiobts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_throttle.dir/pacer.cpp.o"
+  "CMakeFiles/iobts_throttle.dir/pacer.cpp.o.d"
+  "libiobts_throttle.a"
+  "libiobts_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

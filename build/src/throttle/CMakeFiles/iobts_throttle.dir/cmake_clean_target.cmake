@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiobts_throttle.a"
+)

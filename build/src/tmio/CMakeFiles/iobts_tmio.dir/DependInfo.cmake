@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmio/ftio.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/ftio.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/ftio.cpp.o.d"
+  "/root/repo/src/tmio/publisher.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/publisher.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/publisher.cpp.o.d"
+  "/root/repo/src/tmio/regions.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/regions.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/regions.cpp.o.d"
+  "/root/repo/src/tmio/report.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/report.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/report.cpp.o.d"
+  "/root/repo/src/tmio/strategy.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/strategy.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/strategy.cpp.o.d"
+  "/root/repo/src/tmio/tracer.cpp" "src/tmio/CMakeFiles/iobts_tmio.dir/tracer.cpp.o" "gcc" "src/tmio/CMakeFiles/iobts_tmio.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/iobts_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/iobts_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iobts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iobts_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/throttle/CMakeFiles/iobts_throttle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_tmio.dir/ftio.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/ftio.cpp.o.d"
+  "CMakeFiles/iobts_tmio.dir/publisher.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/publisher.cpp.o.d"
+  "CMakeFiles/iobts_tmio.dir/regions.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/regions.cpp.o.d"
+  "CMakeFiles/iobts_tmio.dir/report.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/report.cpp.o.d"
+  "CMakeFiles/iobts_tmio.dir/strategy.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/strategy.cpp.o.d"
+  "CMakeFiles/iobts_tmio.dir/tracer.cpp.o"
+  "CMakeFiles/iobts_tmio.dir/tracer.cpp.o.d"
+  "libiobts_tmio.a"
+  "libiobts_tmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_tmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

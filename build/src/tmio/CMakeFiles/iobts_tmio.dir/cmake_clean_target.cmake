@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiobts_tmio.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/iobts_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/csv.cpp.o"
+  "CMakeFiles/iobts_util.dir/csv.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/json.cpp.o"
+  "CMakeFiles/iobts_util.dir/json.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/log.cpp.o"
+  "CMakeFiles/iobts_util.dir/log.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/rng.cpp.o"
+  "CMakeFiles/iobts_util.dir/rng.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/stats.cpp.o"
+  "CMakeFiles/iobts_util.dir/stats.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/string_util.cpp.o"
+  "CMakeFiles/iobts_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/iobts_util.dir/units.cpp.o"
+  "CMakeFiles/iobts_util.dir/units.cpp.o.d"
+  "libiobts_util.a"
+  "libiobts_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

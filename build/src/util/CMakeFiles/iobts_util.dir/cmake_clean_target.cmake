@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiobts_util.a"
+)

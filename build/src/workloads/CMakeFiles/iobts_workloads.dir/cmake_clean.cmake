@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_workloads.dir/hacc_io.cpp.o"
+  "CMakeFiles/iobts_workloads.dir/hacc_io.cpp.o.d"
+  "CMakeFiles/iobts_workloads.dir/wacomm.cpp.o"
+  "CMakeFiles/iobts_workloads.dir/wacomm.cpp.o.d"
+  "libiobts_workloads.a"
+  "libiobts_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

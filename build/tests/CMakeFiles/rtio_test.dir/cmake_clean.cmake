@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtio_test.dir/rtio/io_thread_test.cpp.o"
+  "CMakeFiles/rtio_test.dir/rtio/io_thread_test.cpp.o.d"
+  "rtio_test"
+  "rtio_test.pdb"
+  "rtio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

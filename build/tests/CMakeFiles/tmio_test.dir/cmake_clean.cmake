@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmio_test.dir/tmio/ftio_test.cpp.o"
+  "CMakeFiles/tmio_test.dir/tmio/ftio_test.cpp.o.d"
+  "CMakeFiles/tmio_test.dir/tmio/publisher_test.cpp.o"
+  "CMakeFiles/tmio_test.dir/tmio/publisher_test.cpp.o.d"
+  "CMakeFiles/tmio_test.dir/tmio/regions_test.cpp.o"
+  "CMakeFiles/tmio_test.dir/tmio/regions_test.cpp.o.d"
+  "CMakeFiles/tmio_test.dir/tmio/strategy_test.cpp.o"
+  "CMakeFiles/tmio_test.dir/tmio/strategy_test.cpp.o.d"
+  "CMakeFiles/tmio_test.dir/tmio/tracer_test.cpp.o"
+  "CMakeFiles/tmio_test.dir/tmio/tracer_test.cpp.o.d"
+  "tmio_test"
+  "tmio_test.pdb"
+  "tmio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

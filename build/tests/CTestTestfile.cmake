@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_test[1]_include.cmake")
+include("/root/repo/build/tests/throttle_test[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_test[1]_include.cmake")
+include("/root/repo/build/tests/tmio_test[1]_include.cmake")
+include("/root/repo/build/tests/rtio_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

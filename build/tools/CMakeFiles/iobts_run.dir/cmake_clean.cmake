@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iobts_run.dir/iobts_run.cpp.o"
+  "CMakeFiles/iobts_run.dir/iobts_run.cpp.o.d"
+  "iobts_run"
+  "iobts_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iobts_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
