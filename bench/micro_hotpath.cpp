@@ -1,0 +1,195 @@
+// Hot-path micro-benchmarks: the event-kernel callback path and the
+// SharedLink fair-share re-solve under contention.
+//
+// Every figure harness drives these two paths millions of times (9216-rank
+// runs re-solve the allocation on each join/completion/cap change), so this
+// suite tracks them explicitly. Results are recorded into BENCH_hotpath.json
+// via tools/run_hotpath_bench.sh; see DESIGN.md "Hot-path architecture".
+//
+// The benchmarks deliberately use only the stable public API so the same
+// source measures any revision of the kernel/PFS internals.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/fair_share.hpp"
+#include "pfs/shared_link.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace iobts {
+namespace {
+
+// --- Event kernel ----------------------------------------------------------
+
+// Posted callbacks with a capture larger than std::function's inline buffer
+// (16 bytes on libstdc++): the allocation cost of the callback path.
+void BM_PostCallbackChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) {
+      const double a = static_cast<double>(i);
+      const double b = a * 2.0;
+      const std::uint64_t c = static_cast<std::uint64_t>(i);
+      sim.post(static_cast<sim::Time>(i % 64),
+               [&acc, a, b, c] { acc += c + static_cast<std::uint64_t>(a + b); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PostCallbackChurn)->Arg(10000)->Arg(100000);
+
+// Sustained queue churn: a rolling window of pending callbacks, so event
+// storage is continually acquired and released (pool-reuse steady state).
+void BM_RollingCallbackWindow(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  constexpr int kTotal = 100000;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t fired = 0;
+    // Each callback re-posts itself until kTotal events have fired, keeping
+    // `window` events pending at all times.
+    struct Reposter {
+      sim::Simulation* sim;
+      std::uint64_t* fired;
+      int remaining;
+      double pad[3] = {0, 0, 0};  // push capture past any 16-byte SSO
+      void operator()() {
+        ++*fired;
+        if (remaining > 0) {
+          Reposter next = *this;
+          --next.remaining;
+          sim->post(1.0, next);
+        }
+      }
+    };
+    for (int w = 0; w < window; ++w) {
+      sim.post(1.0, Reposter{&sim, &fired, kTotal / window});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kTotal);
+}
+BENCHMARK(BM_RollingCallbackWindow)->Arg(64)->Arg(4096);
+
+// --- SharedLink resolve ----------------------------------------------------
+
+sim::Task<void> oneTransfer(pfs::SharedLink& link, pfs::StreamId stream,
+                            Bytes bytes) {
+  co_await link.transfer(pfs::Channel::Write, stream, bytes);
+}
+
+// Staggered completions: n streams with distinct transfer sizes, so every
+// completion lands at a distinct instant and triggers its own re-solve over
+// the remaining actives -- O(n) resolves of O(n) streams each. This is the
+// "contended-resolve throughput" number tracked in BENCH_hotpath.json.
+void BM_ContendedResolveStaggered(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    pfs::LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    cfg.record_total = false;
+    pfs::SharedLink link(sim, cfg);
+    for (int i = 0; i < n; ++i) {
+      const auto s = link.createStream("s" + std::to_string(i));
+      sim.spawn(oneTransfer(link, s, static_cast<Bytes>(i + 1) * 4 * kMiB));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(link.bytesMoved(pfs::Channel::Write));
+  }
+  // Items = resolves performed (one per join batch + one per completion).
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ContendedResolveStaggered)->Arg(96)->Arg(512)->Arg(1536);
+
+// Same-instant batch drain: n equal transfers all complete in one sweep.
+// Guards the completion path's complexity (the seed erased from the middle
+// of the active vector, turning batch drains quadratic).
+void BM_SameInstantDrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    pfs::LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    cfg.record_total = false;
+    pfs::SharedLink link(sim, cfg);
+    for (int i = 0; i < n; ++i) {
+      const auto s = link.createStream("s" + std::to_string(i));
+      sim.spawn(oneTransfer(link, s, 16 * kMiB));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(link.bytesMoved(pfs::Channel::Write));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SameInstantDrain)->Arg(1024)->Arg(10000);
+
+// Cap churn on long-lived transfers: re-solves triggered by setStreamCap
+// while membership stays constant (the cluster coordinator's usage pattern).
+void BM_CapChurnResolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kChanges = 512;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    pfs::LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    cfg.record_total = false;
+    pfs::SharedLink link(sim, cfg);
+    std::vector<pfs::StreamId> streams;
+    streams.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto s = link.createStream("s" + std::to_string(i));
+      streams.push_back(s);
+      sim.spawn(oneTransfer(link, s, static_cast<Bytes>(1) * kGiB));
+    }
+    auto churn = [&]() -> sim::Task<void> {
+      Rng rng(11, "cap-churn");
+      for (int c = 0; c < kChanges; ++c) {
+        co_await sim.delay(1e-3);
+        const auto s = streams[rng.uniformInt(streams.size())];
+        link.setStreamCap(s, rng.uniform(0.5e9, 2.0e9));
+      }
+    };
+    sim.spawn(churn());
+    sim.run();
+    benchmark::DoNotOptimize(link.bytesMoved(pfs::Channel::Write));
+  }
+  state.SetItemsProcessed(state.iterations() * kChanges);
+}
+BENCHMARK(BM_CapChurnResolve)->Arg(96)->Arg(1536);
+
+// --- fairShare solver ------------------------------------------------------
+
+// Raw solver throughput at figure scale (9216 items mirrors the largest
+// rank count in the paper's evaluation).
+void BM_FairShareLarge(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7, "bench-hotpath-fairshare");
+  std::vector<pfs::FairShareItem> items(n);
+  for (auto& item : items) {
+    item.weight = rng.uniform(0.5, 4.0);
+    if (rng.uniform() < 0.5) item.cap = rng.uniform(1.0, 100.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pfs::fairShare(items, 1000.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FairShareLarge)->Arg(9216);
+
+}  // namespace
+}  // namespace iobts
+
+BENCHMARK_MAIN();

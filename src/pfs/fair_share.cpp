@@ -9,51 +9,63 @@
 
 namespace iobts::pfs {
 
-FairShareResult fairShare(const std::vector<FairShareItem>& items,
-                          BytesPerSec capacity) {
+FairShareStats fairShareInto(std::span<const FairShareItem> items,
+                             BytesPerSec capacity, FairShareScratch& scratch,
+                             std::vector<BytesPerSec>& allocation) {
   IOBTS_CHECK(capacity >= 0.0, "capacity must be non-negative");
-  FairShareResult result;
-  result.allocation.assign(items.size(), 0.0);
-  if (items.empty() || capacity == 0.0) return result;
+  FairShareStats stats;
+  allocation.assign(items.size(), 0.0);
+  if (items.empty() || capacity == 0.0) return stats;
+
+  // Validate and precompute each item's cap/weight ratio once (the
+  // comparator below would otherwise recompute two divisions per comparison,
+  // and a NaN ratio would break strict weak ordering).
+  scratch.ratio.resize(items.size());
+  double active_weight = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    IOBTS_CHECK(!std::isnan(item.weight), "weights must not be NaN");
+    IOBTS_CHECK(item.weight >= 0.0, "weights must be non-negative");
+    if (item.cap) {
+      IOBTS_CHECK(!std::isnan(*item.cap), "caps must not be NaN");
+      IOBTS_CHECK(*item.cap >= 0.0, "caps must be non-negative");
+    }
+    active_weight += item.weight;
+    if (!item.cap) {
+      scratch.ratio[i] = std::numeric_limits<double>::infinity();
+    } else if (item.weight <= 0.0) {
+      scratch.ratio[i] = 0.0;  // zero weight: saturates at once
+    } else {
+      scratch.ratio[i] = *item.cap / item.weight;
+    }
+  }
 
   // Order item indices by cap/weight ratio ascending; uncapped items last.
-  std::vector<std::size_t> order(items.size());
-  std::iota(order.begin(), order.end(), 0);
-  auto ratio = [&](std::size_t i) {
-    const auto& item = items[i];
-    if (!item.cap) return std::numeric_limits<double>::infinity();
-    if (item.weight <= 0.0) return 0.0;  // zero weight: saturates at once
-    return *item.cap / item.weight;
-  };
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return ratio(a) < ratio(b);
+  scratch.order.resize(items.size());
+  std::iota(scratch.order.begin(), scratch.order.end(), 0u);
+  std::stable_sort(scratch.order.begin(), scratch.order.end(),
+                   [&ratio = scratch.ratio](std::uint32_t a, std::uint32_t b) {
+                     return ratio[a] < ratio[b];
                    });
 
   double remaining = capacity;
-  double active_weight = 0.0;
-  for (const auto& item : items) {
-    IOBTS_CHECK(item.weight >= 0.0, "weights must be non-negative");
-    IOBTS_CHECK(!item.cap || *item.cap >= 0.0, "caps must be non-negative");
-    active_weight += item.weight;
-  }
 
   // Progressive filling: walk items in ratio order; an item saturates at its
   // cap when cap <= lambda * weight for the prospective lambda.
   double lambda = 0.0;
   std::size_t k = 0;
-  for (; k < order.size(); ++k) {
-    const std::size_t i = order[k];
+  for (; k < scratch.order.size(); ++k) {
+    const std::size_t i = scratch.order[k];
     const auto& item = items[i];
     if (item.weight <= 0.0) {
-      result.allocation[i] = 0.0;
+      allocation[i] = 0.0;
       continue;
     }
     const double prospective_lambda =
         active_weight > 0.0 ? remaining / active_weight : 0.0;
     if (item.cap && *item.cap <= prospective_lambda * item.weight) {
       // Saturates below the fill level: pin at cap.
-      result.allocation[i] = *item.cap;
+      allocation[i] = *item.cap;
       remaining -= *item.cap;
       active_weight -= item.weight;
       if (remaining < 0.0) remaining = 0.0;
@@ -63,27 +75,37 @@ FairShareResult fairShare(const std::vector<FairShareItem>& items,
       break;
     }
   }
-  for (; k < order.size(); ++k) {
-    const std::size_t i = order[k];
+  for (; k < scratch.order.size(); ++k) {
+    const std::size_t i = scratch.order[k];
     const auto& item = items[i];
     if (item.weight <= 0.0) {
-      result.allocation[i] = 0.0;
+      allocation[i] = 0.0;
       continue;
     }
     double alloc = lambda * item.weight;
     if (item.cap) alloc = std::min(alloc, *item.cap);
-    result.allocation[i] = alloc;
+    allocation[i] = alloc;
   }
 
-  result.fill_level = lambda;
-  result.total = std::accumulate(result.allocation.begin(),
-                                 result.allocation.end(), 0.0);
+  stats.fill_level = lambda;
+  stats.total = std::accumulate(allocation.begin(), allocation.end(), 0.0);
   // Guard against floating-point overshoot.
-  if (result.total > capacity && result.total > 0.0) {
-    const double scale = capacity / result.total;
-    for (auto& a : result.allocation) a *= scale;
-    result.total = capacity;
+  if (stats.total > capacity && stats.total > 0.0) {
+    const double scale = capacity / stats.total;
+    for (auto& a : allocation) a *= scale;
+    stats.total = capacity;
   }
+  return stats;
+}
+
+FairShareResult fairShare(const std::vector<FairShareItem>& items,
+                          BytesPerSec capacity) {
+  FairShareResult result;
+  FairShareScratch scratch;
+  const FairShareStats stats =
+      fairShareInto(items, capacity, scratch, result.allocation);
+  result.total = stats.total;
+  result.fill_level = stats.fill_level;
   return result;
 }
 

@@ -9,9 +9,20 @@
 // level lambda; items whose cap is below lambda*weight saturate at their cap;
 // the rest receive lambda*weight. Work-conserving: the full capacity is
 // distributed unless every item is cap-saturated.
+//
+// Two entry points share one implementation:
+//   * fairShare()      -- convenience API returning freshly allocated vectors;
+//   * fairShareInto()  -- hot-path API writing into caller-owned buffers.
+// The hot path (SharedLink::resolve) re-solves on every transfer join /
+// completion / cap change, so fairShareInto keeps per-call allocations at
+// zero: the caller passes a FairShareScratch whose buffers (sort order,
+// precomputed cap/weight ratios) are reused across solves. Both produce
+// bit-identical allocations.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "util/units.hpp"
@@ -29,8 +40,29 @@ struct FairShareResult {
   double fill_level = 0.0;              // final lambda (rate per unit weight)
 };
 
-/// Allocate `capacity` across `items`. Capacity and weights must be
-/// non-negative; zero-weight items receive min(cap, 0) = 0.
+/// Reusable buffers for fairShareInto; grows to the largest item count seen
+/// and never shrinks, so steady-state solves do not allocate.
+struct FairShareScratch {
+  std::vector<std::uint32_t> order;  // item indices sorted by cap/weight
+  std::vector<double> ratio;         // precomputed cap/weight per item
+};
+
+/// Totals of a solve performed by fairShareInto (the allocations themselves
+/// land in the caller's buffer).
+struct FairShareStats {
+  BytesPerSec total = 0.0;
+  double fill_level = 0.0;
+};
+
+/// Allocate `capacity` across `items`, writing per-item allocations into
+/// `allocation` (resized to items.size(); existing capacity is reused).
+/// Weights and caps must be non-negative and non-NaN; zero-weight items
+/// receive 0. Allocation-free once scratch/output capacities are warm.
+FairShareStats fairShareInto(std::span<const FairShareItem> items,
+                             BytesPerSec capacity, FairShareScratch& scratch,
+                             std::vector<BytesPerSec>& allocation);
+
+/// Convenience wrapper over fairShareInto returning owned vectors.
 FairShareResult fairShare(const std::vector<FairShareItem>& items,
                           BytesPerSec capacity);
 

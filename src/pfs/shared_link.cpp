@@ -53,6 +53,31 @@ struct SharedLink::ChannelState {
   Bytes bytes_moved = 0;
   StepSeries total_series;
   bool contended = false;
+
+  // --- Incremental-resolve bookkeeping ----------------------------------
+  // The solve inputs (stream membership, caps, weights, noise caps) are
+  // versioned; a resolve whose inputs match the last solved version only
+  // settles progress and reschedules the sweep (rates cannot have changed).
+  std::uint64_t input_version = 1;
+  std::uint64_t solved_version = 0;
+
+  // Persistent scratch for the two-level solve. The stream->group slot map
+  // is epoch-stamped so it is valid without an O(total streams) clear per
+  // resolve; all other buffers are reused across resolves (allocation-free
+  // once warm).
+  std::uint32_t grouping_epoch = 0;
+  std::vector<std::uint32_t> slot_epoch;    // per stream id
+  std::vector<std::uint32_t> slot;          // per stream id -> group index
+  std::vector<StreamId> group_streams;      // group index -> stream id
+  std::vector<std::uint32_t> group_count;   // transfers per group
+  std::vector<std::uint32_t> group_offset;  // prefix offsets into `grouped`
+  std::vector<Transfer*> grouped;           // transfers, grouped by stream
+  std::vector<FairShareItem> level1;
+  std::vector<BytesPerSec> level1_alloc;
+  std::vector<FairShareItem> level2;
+  std::vector<BytesPerSec> level2_alloc;
+  FairShareScratch fair_share_scratch;
+  std::vector<std::unique_ptr<Transfer>> completed_scratch;
 };
 
 SharedLink::SharedLink(sim::Simulation& simulation, LinkConfig config)
@@ -87,6 +112,7 @@ const SharedLink::ChannelState& SharedLink::chan(
 
 StreamId SharedLink::createStream(std::string name, double weight) {
   IOBTS_CHECK(weight > 0.0, "stream weight must be positive");
+  IOBTS_CHECK(!std::isnan(weight), "stream weight must not be NaN");
   auto stream = std::make_unique<Stream>();
   stream->name = std::move(name);
   stream->weight = weight;
@@ -94,13 +120,21 @@ StreamId SharedLink::createStream(std::string name, double weight) {
   return static_cast<StreamId>(streams_.size() - 1);
 }
 
+void SharedLink::noteSolveInputChanged(Channel channel) {
+  ++chan(channel).input_version;
+}
+
 void SharedLink::setStreamCap(StreamId stream,
                               std::optional<BytesPerSec> cap) {
   IOBTS_CHECK(stream < streams_.size(), "unknown stream");
   IOBTS_CHECK(!cap || *cap >= 0.0, "cap must be non-negative");
+  IOBTS_CHECK(!cap || !std::isnan(*cap), "cap must not be NaN");
   streams_[stream]->cap = cap;
   for (std::size_t c = 0; c < kChannels; ++c) {
-    if (streams_[stream]->active[c] > 0) markDirty(static_cast<Channel>(c));
+    if (streams_[stream]->active[c] > 0) {
+      noteSolveInputChanged(static_cast<Channel>(c));
+      markDirty(static_cast<Channel>(c));
+    }
   }
 }
 
@@ -112,9 +146,13 @@ std::optional<BytesPerSec> SharedLink::streamCap(StreamId stream) const {
 void SharedLink::setStreamWeight(StreamId stream, double weight) {
   IOBTS_CHECK(stream < streams_.size(), "unknown stream");
   IOBTS_CHECK(weight > 0.0, "stream weight must be positive");
+  IOBTS_CHECK(!std::isnan(weight), "stream weight must not be NaN");
   streams_[stream]->weight = weight;
   for (std::size_t c = 0; c < kChannels; ++c) {
-    if (streams_[stream]->active[c] > 0) markDirty(static_cast<Channel>(c));
+    if (streams_[stream]->active[c] > 0) {
+      noteSolveInputChanged(static_cast<Channel>(c));
+      markDirty(static_cast<Channel>(c));
+    }
   }
 }
 
@@ -131,6 +169,13 @@ const std::string& SharedLink::streamName(StreamId stream) const {
 void SharedLink::setRecordStream(StreamId stream, bool record) {
   IOBTS_CHECK(stream < streams_.size(), "unknown stream");
   streams_[stream]->record = record;
+  auto& recorded = recorded_streams_;
+  const auto it = std::find(recorded.begin(), recorded.end(), stream);
+  if (record && it == recorded.end()) {
+    recorded.push_back(stream);
+  } else if (!record && it != recorded.end()) {
+    recorded.erase(it);
+  }
 }
 
 sim::Task<TransferResult> SharedLink::transfer(Channel channel,
@@ -162,6 +207,7 @@ sim::Task<TransferResult> SharedLink::transfer(Channel channel,
   }
   cs.active.push_back(std::move(transfer_obj));
   ++streams_[stream]->active[static_cast<int>(channel)];
+  noteSolveInputChanged(channel);
   markDirty(channel);
 
   co_await t.done.wait();
@@ -201,106 +247,43 @@ void SharedLink::resolve(Channel channel) {
     t->last_settle = now;
   }
 
-  // 2. Complete drained transfers (fires waiters at the current time).
-  for (std::size_t i = 0; i < cs.active.size();) {
-    Transfer& t = *cs.active[i];
-    if (t.remaining <= kDrainEpsilonBytes) {
-      cs.bytes_moved += t.total;
-      Stream& s = *streams_[t.stream];
-      s.bytes_moved += t.total;
-      --s.active[static_cast<int>(channel)];
-      t.done.fire();
-      cs.active.erase(cs.active.begin() + static_cast<long>(i));
+  // 2. Complete drained transfers: stable in-place compaction of the
+  // survivors (O(n) even when thousands drain in the same sweep; the
+  // previous erase-from-the-middle made batch drains quadratic). Completed
+  // transfers are collected and fired in their original active order so the
+  // (time, seq) resume order of waiting coroutines is unchanged.
+  auto& active = cs.active;
+  std::size_t write_pos = 0;
+  for (std::size_t read_pos = 0; read_pos < active.size(); ++read_pos) {
+    if (active[read_pos]->remaining <= kDrainEpsilonBytes) {
+      cs.completed_scratch.push_back(std::move(active[read_pos]));
     } else {
-      ++i;
+      if (write_pos != read_pos) active[write_pos] = std::move(active[read_pos]);
+      ++write_pos;
     }
   }
-
-  // 3. Re-solve the two-level weighted max-min allocation.
-  //    Level 1: streams (weight = stream weight, cap = stream cap combined
-  //    with the sum of its transfers' noise caps).
-  //    Level 2: a stream's transfers split its allocation equally, subject
-  //    to per-transfer noise caps.
-  std::vector<StreamId> stream_ids;
-  std::vector<std::vector<Transfer*>> stream_transfers;
-  {
-    std::vector<int> slot(streams_.size(), -1);
-    for (auto& t : cs.active) {
-      if (slot[t->stream] < 0) {
-        slot[t->stream] = static_cast<int>(stream_ids.size());
-        stream_ids.push_back(t->stream);
-        stream_transfers.emplace_back();
-      }
-      stream_transfers[static_cast<std::size_t>(slot[t->stream])].push_back(
-          t.get());
+  if (!cs.completed_scratch.empty()) {
+    active.resize(write_pos);
+    for (const auto& t : cs.completed_scratch) {
+      cs.bytes_moved += t->total;
+      Stream& s = *streams_[t->stream];
+      s.bytes_moved += t->total;
+      --s.active[static_cast<int>(channel)];
+      t->done.fire();
     }
+    cs.completed_scratch.clear();
+    ++cs.input_version;
   }
 
-  // Congestion: aggregate efficiency drops with concurrent writers.
-  double effective_capacity = cs.capacity;
-  if (config_.congestion_gamma > 0.0 && cs.active.size() > 1) {
-    effective_capacity /=
-        1.0 + config_.congestion_gamma *
-                  static_cast<double>(cs.active.size() - 1);
+  // 3. Re-solve the two-level allocation -- but only if the solve inputs
+  // (membership, caps, weights) changed since the last solve. A resolve
+  // with unchanged inputs (e.g. a coalesced dirty notification arriving
+  // right after a sweep already resolved at this instant) cannot change any
+  // rate, so settle + sweep rescheduling is sufficient.
+  if (cs.input_version != cs.solved_version || config_.force_full_resolve) {
+    solveRates(cs, channel, now);
+    cs.solved_version = cs.input_version;
   }
-
-  double total_rate = 0.0;
-  double total_demand = 0.0;
-  if (!stream_ids.empty()) {
-    std::vector<FairShareItem> level1(stream_ids.size());
-    for (std::size_t k = 0; k < stream_ids.size(); ++k) {
-      const Stream& s = *streams_[stream_ids[k]];
-      level1[k].weight = s.weight;
-      std::optional<BytesPerSec> cap = s.cap;
-      if (config_.client_rate_cap > 0.0) {
-        const BytesPerSec client_cap = config_.client_rate_cap * s.weight;
-        cap = cap ? std::min(*cap, client_cap) : client_cap;
-      }
-      if (config_.noise_sigma > 0.0) {
-        double noise_sum = 0.0;
-        for (const Transfer* t : stream_transfers[k]) {
-          noise_sum += t->noise_cap.value_or(cs.capacity);
-        }
-        cap = cap ? std::min(*cap, noise_sum) : noise_sum;
-      }
-      level1[k].cap = cap;
-      total_demand += cap ? std::min(*cap, cs.capacity) : cs.capacity;
-    }
-    const FairShareResult shares = fairShare(level1, effective_capacity);
-
-    for (std::size_t k = 0; k < stream_ids.size(); ++k) {
-      auto& transfers = stream_transfers[k];
-      std::vector<FairShareItem> level2(transfers.size());
-      for (std::size_t j = 0; j < transfers.size(); ++j) {
-        level2[j].weight = 1.0;
-        level2[j].cap = transfers[j]->noise_cap;
-      }
-      const FairShareResult rates =
-          fairShare(level2, shares.allocation[k]);
-      for (std::size_t j = 0; j < transfers.size(); ++j) {
-        transfers[j]->rate = rates.allocation[j];
-      }
-      total_rate += rates.total;
-      Stream& s = *streams_[stream_ids[k]];
-      if (s.record) {
-        s.rate_series[static_cast<int>(channel)].add(now, rates.total);
-      }
-    }
-  }
-  // Opted-in streams with no active transfers drop to zero in the record.
-  for (auto& sp : streams_) {
-    Stream& s = *sp;
-    if (s.record && s.active[static_cast<int>(channel)] == 0) {
-      auto& series = s.rate_series[static_cast<int>(channel)];
-      if (!series.empty() && series.points().back().second != 0.0) {
-        series.add(now, 0.0);
-      }
-    }
-  }
-
-  cs.contended =
-      stream_ids.size() >= 2 && total_demand > cs.capacity * 1.000001;
-  if (config_.record_total) cs.total_series.add(now, total_rate);
 
   // 4. Schedule the next completion sweep.
   sim::Time next = std::numeric_limits<double>::infinity();
@@ -319,6 +302,118 @@ void SharedLink::resolve(Channel channel) {
                      << cs.active.size()
                      << " active transfers but zero aggregate rate";
   }
+}
+
+void SharedLink::solveRates(ChannelState& cs, Channel channel,
+                            sim::Time now) {
+  // Group active transfers by stream, first-appearance order, using the
+  // epoch-stamped slot map (no per-resolve O(total streams) clear) and flat
+  // reused buffers (no per-resolve vector-of-vectors).
+  //    Level 1: streams (weight = stream weight, cap = stream cap combined
+  //    with the sum of its transfers' noise caps).
+  //    Level 2: a stream's transfers split its allocation equally, subject
+  //    to per-transfer noise caps.
+  const std::uint32_t epoch = ++cs.grouping_epoch;
+  if (cs.slot_epoch.size() < streams_.size()) {
+    cs.slot_epoch.resize(streams_.size(), 0);
+    cs.slot.resize(streams_.size(), 0);
+  }
+  cs.group_streams.clear();
+  cs.group_count.clear();
+  for (const auto& t : cs.active) {
+    if (cs.slot_epoch[t->stream] != epoch) {
+      cs.slot_epoch[t->stream] = epoch;
+      cs.slot[t->stream] = static_cast<std::uint32_t>(cs.group_streams.size());
+      cs.group_streams.push_back(t->stream);
+      cs.group_count.push_back(0);
+    }
+    ++cs.group_count[cs.slot[t->stream]];
+  }
+  const std::size_t n_groups = cs.group_streams.size();
+  cs.group_offset.resize(n_groups + 1);
+  cs.group_offset[0] = 0;
+  for (std::size_t k = 0; k < n_groups; ++k) {
+    cs.group_offset[k + 1] = cs.group_offset[k] + cs.group_count[k];
+  }
+  cs.grouped.resize(cs.active.size());
+  {
+    // group_count doubles as the per-group fill cursor during placement.
+    std::fill(cs.group_count.begin(), cs.group_count.end(), 0u);
+    for (const auto& t : cs.active) {
+      const std::uint32_t g = cs.slot[t->stream];
+      cs.grouped[cs.group_offset[g] + cs.group_count[g]++] = t.get();
+    }
+  }
+
+  // Congestion: aggregate efficiency drops with concurrent writers.
+  double effective_capacity = cs.capacity;
+  if (config_.congestion_gamma > 0.0 && cs.active.size() > 1) {
+    effective_capacity /=
+        1.0 + config_.congestion_gamma *
+                  static_cast<double>(cs.active.size() - 1);
+  }
+
+  double total_rate = 0.0;
+  double total_demand = 0.0;
+  if (n_groups > 0) {
+    cs.level1.resize(n_groups);
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      const Stream& s = *streams_[cs.group_streams[k]];
+      cs.level1[k].weight = s.weight;
+      std::optional<BytesPerSec> cap = s.cap;
+      if (config_.client_rate_cap > 0.0) {
+        const BytesPerSec client_cap = config_.client_rate_cap * s.weight;
+        cap = cap ? std::min(*cap, client_cap) : client_cap;
+      }
+      if (config_.noise_sigma > 0.0) {
+        double noise_sum = 0.0;
+        for (std::uint32_t j = cs.group_offset[k]; j < cs.group_offset[k + 1];
+             ++j) {
+          noise_sum += cs.grouped[j]->noise_cap.value_or(cs.capacity);
+        }
+        cap = cap ? std::min(*cap, noise_sum) : noise_sum;
+      }
+      cs.level1[k].cap = cap;
+      total_demand += cap ? std::min(*cap, cs.capacity) : cs.capacity;
+    }
+    fairShareInto(cs.level1, effective_capacity, cs.fair_share_scratch,
+                  cs.level1_alloc);
+
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      const std::uint32_t begin = cs.group_offset[k];
+      const std::uint32_t count = cs.group_offset[k + 1] - begin;
+      cs.level2.resize(count);
+      for (std::uint32_t j = 0; j < count; ++j) {
+        cs.level2[j].weight = 1.0;
+        cs.level2[j].cap = cs.grouped[begin + j]->noise_cap;
+      }
+      const FairShareStats rates =
+          fairShareInto(cs.level2, cs.level1_alloc[k], cs.fair_share_scratch,
+                        cs.level2_alloc);
+      for (std::uint32_t j = 0; j < count; ++j) {
+        cs.grouped[begin + j]->rate = cs.level2_alloc[j];
+      }
+      total_rate += rates.total;
+      Stream& s = *streams_[cs.group_streams[k]];
+      if (s.record) {
+        s.rate_series[static_cast<int>(channel)].add(now, rates.total);
+      }
+    }
+  }
+  // Opted-in streams with no active transfers drop to zero in the record.
+  for (const StreamId sid : recorded_streams_) {
+    Stream& s = *streams_[sid];
+    if (s.active[static_cast<int>(channel)] == 0) {
+      auto& series = s.rate_series[static_cast<int>(channel)];
+      if (!series.empty() && series.points().back().second != 0.0) {
+        series.add(now, 0.0);
+      }
+    }
+  }
+
+  cs.contended =
+      n_groups >= 2 && total_demand > cs.capacity * 1.000001;
+  if (config_.record_total) cs.total_series.add(now, total_rate);
 }
 
 BytesPerSec SharedLink::capacity(Channel channel) const noexcept {

@@ -71,6 +71,12 @@ struct LinkConfig {
   std::uint64_t seed = 1;
   /// Record the total allocated rate per channel as a StepSeries (Fig. 2).
   bool record_total = true;
+  /// Debug/test knob: disable the incremental-resolve short-circuit so every
+  /// resolve re-runs the full two-level solve even when no stream's
+  /// membership, cap, or weight changed since the last solve. The
+  /// equivalence test suite runs both settings against identical op
+  /// sequences and asserts identical allocations and event ordering.
+  bool force_full_resolve = false;
 };
 
 struct TransferResult {
@@ -141,17 +147,29 @@ class SharedLink {
   ChannelState& chan(Channel channel) noexcept;
   const ChannelState& chan(Channel channel) const noexcept;
 
-  /// Settle progress, complete drained transfers, re-solve rates, reschedule
-  /// the completion sweep.
+  /// Settle progress, complete drained transfers, re-solve rates (skipped
+  /// when nothing changed since the last solve), reschedule the completion
+  /// sweep.
   void resolve(Channel channel);
+
+  /// The two-level weighted max-min solve over the channel's active
+  /// transfers (allocation-free: reuses the channel's scratch buffers).
+  void solveRates(ChannelState& cs, Channel channel, sim::Time now);
 
   /// Request a (possibly quantized) resolve.
   void markDirty(Channel channel);
+
+  /// Record that the channel's solve inputs changed (membership, caps,
+  /// weights); the next resolve must re-run the full solve.
+  void noteSolveInputChanged(Channel channel);
 
   sim::Simulation& sim_;
   LinkConfig config_;
   Rng noise_rng_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  /// Streams with setRecordStream(.., true); lets the per-resolve
+  /// zero-rate recording loop skip the (possibly huge) non-recorded rest.
+  std::vector<StreamId> recorded_streams_;
   std::unique_ptr<ChannelState> channels_[kChannels];
 };
 

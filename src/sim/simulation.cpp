@@ -18,6 +18,7 @@ void Trigger::fire() {
 Simulation::~Simulation() {
   // Destroy still-suspended process frames before the queue (handles inside
   // the queue may point into those frames; they are never resumed again).
+  // Pending callback slots release their captures via ~SmallCallback.
   processes_.clear();
 }
 
@@ -29,13 +30,21 @@ void Simulation::scheduleResume(Time dt, std::coroutine_handle<> h) {
 void Simulation::scheduleResumeAt(Time t, std::coroutine_handle<> h) {
   IOBTS_CHECK(t >= now_, "cannot schedule into the past");
   IOBTS_CHECK(static_cast<bool>(h), "cannot schedule a null handle");
-  queue_.push(Event{t, next_seq_++, h, {}});
+  heap_.push(HeapEntry{t, next_seq_++, h, 0});
 }
 
-void Simulation::post(Time dt, std::function<void()> fn) {
-  IOBTS_CHECK(dt >= 0.0, "cannot schedule into the past");
-  IOBTS_CHECK(static_cast<bool>(fn), "cannot post a null callback");
-  queue_.push(Event{now_ + dt, next_seq_++, {}, std::move(fn)});
+void Simulation::pushCallback(Time t, SmallCallback cb) {
+  IOBTS_CHECK(static_cast<bool>(cb), "cannot post a null callback");
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(callback_slots_.size());
+    callback_slots_.push_back(std::move(cb));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    callback_slots_[slot] = std::move(cb);
+  }
+  heap_.push(HeapEntry{t, next_seq_++, {}, slot});
 }
 
 ProcessHandle Simulation::spawn(Task<void> task, SpawnOptions options) {
@@ -79,16 +88,19 @@ void Simulation::reapFinished() {
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  const Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  const HeapEntry ev = heap_.pop();
   IOBTS_DCHECK(ev.t >= now_, "event queue went backwards");
   now_ = ev.t;
   ++events_processed_;
-  if (ev.callback) {
-    ev.callback();
-  } else {
+  if (ev.handle) {
     ev.handle.resume();
+  } else {
+    // Move the callback out of its slot and release the slot *before*
+    // invoking: the callback may post new events, growing callback_slots_.
+    SmallCallback cb = std::move(callback_slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    cb();
   }
   reapFinished();
   return true;
@@ -105,15 +117,15 @@ Time Simulation::run() {
 }
 
 Time Simulation::runUntil(Time t_limit) {
-  while (!fatal_error_ && !queue_.empty() && queue_.top().t <= t_limit) {
+  while (!fatal_error_ && !heap_.empty() && heap_.top().t <= t_limit) {
     step();
   }
   if (fatal_error_) {
     const auto error = std::exchange(fatal_error_, nullptr);
     std::rethrow_exception(error);
   }
-  if (now_ < t_limit && !queue_.empty()) now_ = t_limit;
-  if (queue_.empty() && now_ < t_limit) now_ = t_limit;
+  if (now_ < t_limit && !heap_.empty()) now_ = t_limit;
+  if (heap_.empty() && now_ < t_limit) now_ = t_limit;
   return now_;
 }
 

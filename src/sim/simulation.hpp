@@ -12,15 +12,29 @@
 // Root activities are started with spawn(); run() drives the queue to
 // exhaustion and rethrows the first uncaught exception from any spawned
 // process (unless that process opted out).
+//
+// Hot-path design (see DESIGN.md "Hot-path architecture"): the steady-state
+// scheduling path is allocation-free. Posted callbacks are stored in a
+// SmallCallback (inline storage for captures up to kInlineCapacity bytes;
+// heap only for larger ones), callback slots are pooled and reused, and the
+// queue itself is a 4-ary min-heap of 32-byte POD entries ordered by
+// (time, seq) -- identical ordering semantics to the previous
+// std::priority_queue<Event> implementation.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <exception>
+#include <functional>
 #include <list>
 #include <memory>
-#include <queue>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -30,6 +44,105 @@
 namespace iobts::sim {
 
 class Simulation;
+
+/// Move-only callable with small-buffer optimization, used for posted events.
+/// Callables whose decayed type fits kInlineCapacity bytes (and is nothrow
+/// move constructible) live inline in the event slot; larger ones fall back
+/// to a single heap allocation. Unlike std::function this also accepts
+/// move-only captures.
+class SmallCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  SmallCallback() noexcept = default;
+  SmallCallback(SmallCallback&& other) noexcept { moveFrom(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+  ~SmallCallback() { reset(); }
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallCallback> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  SmallCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    IOBTS_DCHECK(ops_ != nullptr, "invoking an empty SmallCallback");
+    ops_->invoke(storage_);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into dst from src, then destroy src's callable.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineCapacity &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*static_cast<D*>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        if constexpr (std::is_trivially_copyable_v<D>) {
+          std::memcpy(dst, src, sizeof(D));
+        } else {
+          D* from = static_cast<D*>(src);
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        }
+      },
+      [](void* storage) noexcept { static_cast<D*>(storage)->~D(); },
+  };
+
+  template <class D>
+  static constexpr Ops kHeapOps{
+      [](void* storage) { (**reinterpret_cast<D**>(storage))(); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(D*));
+      },
+      [](void* storage) noexcept { delete *reinterpret_cast<D**>(storage); },
+  };
+
+  void moveFrom(SmallCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 /// One-shot broadcast event: any number of coroutines can wait; fire()
 /// resumes them all (through the event queue, at the current time).
@@ -121,7 +234,19 @@ class Simulation {
 
   /// Schedule a plain callback at now + dt. Callbacks interleave with
   /// coroutine resumptions in the same deterministic (time, seq) order.
-  void post(Time dt, std::function<void()> fn);
+  /// Accepts any void() callable, including move-only ones; captures up to
+  /// SmallCallback::kInlineCapacity bytes are stored without allocating.
+  template <class F,
+            class = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void post(Time dt, F&& fn) {
+    IOBTS_CHECK(dt >= 0.0, "cannot schedule into the past");
+    pushCallback(now_ + dt, SmallCallback(std::forward<F>(fn)));
+  }
+  void post(Time dt, std::nullptr_t) {
+    IOBTS_CHECK(dt >= 0.0, "cannot schedule into the past");
+    IOBTS_CHECK(false, "cannot post a null callback");
+  }
 
   /// Awaitable pause of `dt` virtual seconds (dt >= 0; 0 yields through the
   /// queue, preserving FIFO fairness).
@@ -153,7 +278,7 @@ class Simulation {
   /// Execute a single event; returns false if the queue is empty.
   bool step();
 
-  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+  std::size_t pendingEvents() const noexcept { return heap_.size(); }
   std::size_t liveProcesses() const noexcept { return processes_.size(); }
   std::uint64_t eventsProcessed() const noexcept { return events_processed_; }
 
@@ -168,25 +293,89 @@ class Simulation {
   };
   using ProcessList = std::list<std::unique_ptr<Process>>;
 
-  struct Event {
+  /// Heap entry: 32-byte POD. Exactly one of handle / slot is meaningful:
+  /// a non-null handle marks a coroutine resumption; otherwise `slot` indexes
+  /// the pooled SmallCallback in callback_slots_.
+  struct HeapEntry {
     Time t;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;      // exactly one of handle/callback set
-    std::function<void()> callback;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;  // min-heap on time
-      return a.seq > b.seq;              // FIFO among equal times
-    }
+    std::coroutine_handle<> handle;
+    std::uint32_t slot;
   };
 
+  /// 4-ary min-heap on (t, seq): shallower than a binary heap (fewer cache
+  /// misses per reschedule) and entries are PODs, so sifting is memcpy-cheap.
+  class EventHeap {
+   public:
+    bool empty() const noexcept { return entries_.empty(); }
+    std::size_t size() const noexcept { return entries_.size(); }
+    const HeapEntry& top() const noexcept { return entries_.front(); }
+
+    void push(const HeapEntry& entry) {
+      entries_.push_back(entry);
+      siftUp(entries_.size() - 1);
+    }
+
+    HeapEntry pop() {
+      const HeapEntry result = entries_.front();
+      const HeapEntry last = entries_.back();
+      entries_.pop_back();
+      if (!entries_.empty()) {
+        entries_.front() = last;
+        siftDown(0);
+      }
+      return result;
+    }
+
+   private:
+    static bool less(const HeapEntry& a, const HeapEntry& b) noexcept {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;  // FIFO among equal times
+    }
+
+    void siftUp(std::size_t i) noexcept {
+      const HeapEntry moving = entries_[i];
+      while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!less(moving, entries_[parent])) break;
+        entries_[i] = entries_[parent];
+        i = parent;
+      }
+      entries_[i] = moving;
+    }
+
+    void siftDown(std::size_t i) noexcept {
+      const std::size_t n = entries_.size();
+      const HeapEntry moving = entries_[i];
+      while (true) {
+        const std::size_t first_child = 4 * i + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t last_child = std::min(first_child + 4, n);
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+          if (less(entries_[c], entries_[best])) best = c;
+        }
+        if (!less(entries_[best], moving)) break;
+        entries_[i] = entries_[best];
+        i = best;
+      }
+      entries_[i] = moving;
+    }
+
+    std::vector<HeapEntry> entries_;
+  };
+
+  void pushCallback(Time t, SmallCallback cb);
   void reapFinished();
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventHeap heap_;
+  /// Pooled callback storage; free_slots_ recycles indices so steady-state
+  /// post() never allocates.
+  std::vector<SmallCallback> callback_slots_;
+  std::vector<std::uint32_t> free_slots_;
   ProcessList processes_;
   std::vector<ProcessList::iterator> reap_list_;
   std::exception_ptr fatal_error_{};

@@ -1,8 +1,10 @@
-// Minimal JSON value + serializer.
+// Minimal JSON value + serializer + parser.
 //
 // TMIO emits its trace records as JSON Lines (one object per record), the
-// format the paper's plotting scripts consume. We only need construction and
-// serialization -- no parsing of untrusted input -- so this stays tiny.
+// format the paper's plotting scripts consume. The parser exists for our own
+// tooling (tools/bench_to_json merges google-benchmark JSON reports into the
+// tracked BENCH_hotpath.json trajectory); it handles standard JSON and is not
+// hardened against adversarial input.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +60,10 @@ class Json {
 
   /// Pretty serialization with two-space indentation.
   std::string pretty() const;
+
+  /// Parse a complete JSON document. Throws CheckError on malformed input or
+  /// trailing non-whitespace.
+  static Json parse(std::string_view text);
 
  private:
   void dumpTo(std::string& out, int indent, int depth) const;

@@ -1,0 +1,284 @@
+// Equivalence suite for the incremental SharedLink resolve and the
+// scratch-buffer fair-share solver.
+//
+// The hot-path overhaul must be observationally invisible: the incremental
+// resolve (LinkConfig::force_full_resolve = false, the default) must produce
+// the same transfer timings, byte accounting, rate series, and simulation
+// event count as the always-full re-solve, and fairShareInto must produce
+// bit-identical allocations to the convenience fairShare wrapper. These tests
+// drive both configurations through randomized scenarios (seeded via
+// util/rng, so failures replay exactly) and compare.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "pfs/fair_share.hpp"
+#include "pfs/shared_link.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::pfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// fairShareInto vs fairShare: bit-identical allocations on random inputs.
+
+TEST(FairShareEquivalence, ScratchOverloadMatchesOwningOverloadBitExact) {
+  Rng rng(2024, "fair-share-equiv");
+  FairShareScratch scratch;  // reused across cases on purpose
+  std::vector<BytesPerSec> into_alloc;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniformInt(64);
+    std::vector<FairShareItem> items(n);
+    for (auto& item : items) {
+      item.weight = rng.uniform(0.0, 8.0);
+      if (rng.uniform() < 0.6) item.cap = rng.uniform(0.0, 200.0);
+    }
+    const BytesPerSec capacity = rng.uniform(0.0, 500.0);
+
+    const FairShareResult owning = fairShare(items, capacity);
+    const FairShareStats stats =
+        fairShareInto(items, capacity, scratch, into_alloc);
+
+    ASSERT_EQ(owning.allocation.size(), into_alloc.size());
+    for (std::size_t i = 0; i < into_alloc.size(); ++i) {
+      // Bit-identical, not just close: same arithmetic, same order.
+      EXPECT_EQ(owning.allocation[i], into_alloc[i])
+          << "trial " << trial << " item " << i;
+    }
+    EXPECT_EQ(owning.total, stats.total) << "trial " << trial;
+    EXPECT_EQ(owning.fill_level, stats.fill_level) << "trial " << trial;
+  }
+}
+
+TEST(FairShareEquivalence, DirtyScratchAndOutputBuffersAreFullyOverwritten) {
+  FairShareScratch scratch;
+  std::vector<BytesPerSec> alloc{1e30, -5.0, 7.0, 9.0, 11.0};  // stale junk
+  scratch.order = {9, 9, 9, 9, 9, 9, 9, 9};
+  scratch.ratio = {-1.0, -1.0};
+  const std::vector<FairShareItem> items{{1.0, std::nullopt},
+                                         {1.0, 10.0}};
+  const FairShareStats stats = fairShareInto(items, 100.0, scratch, alloc);
+  ASSERT_EQ(alloc.size(), 2u);
+  EXPECT_DOUBLE_EQ(alloc[0], 90.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 10.0);
+  EXPECT_DOUBLE_EQ(stats.total, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental vs full resolve on randomized SharedLink scenarios.
+
+struct ScenarioResult {
+  std::vector<TransferResult> transfers;
+  std::vector<Bytes> stream_bytes;
+  Bytes bytes_moved[kChannels] = {0, 0};
+  sim::Time end_time = 0.0;
+  std::uint64_t events_processed = 0;
+  // totalRateSeries resampled on a fixed grid (point lists may differ --
+  // the short-circuit skips re-adding unchanged values -- but the step
+  // function they describe must not).
+  std::vector<double> total_rate_samples[kChannels];
+  std::vector<double> stream0_rate_samples;
+};
+
+struct ScenarioParams {
+  std::uint64_t seed = 1;
+  bool force_full_resolve = false;
+  double noise_sigma = 0.0;
+  double congestion_gamma = 0.0;
+  sim::Time recompute_quantum = 0.0;
+  BytesPerSec client_rate_cap = 0.0;
+};
+
+// One transfer per coroutine frame; parameters are copied into the frame.
+sim::Task<void> delayedTransfer(sim::Simulation& sim, SharedLink& link,
+                                Channel ch, StreamId stream, Bytes bytes,
+                                sim::Time at, TransferResult& out) {
+  co_await sim.delay(at);
+  out = co_await link.transfer(ch, stream, bytes);
+}
+
+sim::Task<void> capChange(sim::Simulation& sim, SharedLink& link, StreamId s,
+                          sim::Time at, std::optional<BytesPerSec> cap) {
+  co_await sim.delay(at);
+  link.setStreamCap(s, cap);
+}
+
+sim::Task<void> weightChange(sim::Simulation& sim, SharedLink& link,
+                             StreamId s, sim::Time at, double weight) {
+  co_await sim.delay(at);
+  link.setStreamWeight(s, weight);
+}
+
+ScenarioResult runScenario(const ScenarioParams& p) {
+  // All randomness below derives from p.seed only, never from
+  // force_full_resolve, so both configurations see the identical op stream.
+  Rng rng(p.seed, "resolve-equiv-scenario");
+
+  LinkConfig cfg;
+  cfg.read_capacity = 120.0;
+  cfg.write_capacity = 106.0;
+  cfg.noise_sigma = p.noise_sigma;
+  cfg.congestion_gamma = p.congestion_gamma;
+  cfg.recompute_quantum = p.recompute_quantum;
+  cfg.client_rate_cap = p.client_rate_cap;
+  cfg.seed = p.seed;
+  cfg.record_total = true;
+  cfg.force_full_resolve = p.force_full_resolve;
+
+  sim::Simulation sim;
+  SharedLink link(sim, cfg);
+
+  const std::size_t n_streams = 2 + rng.uniformInt(6);
+  std::vector<StreamId> streams;
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    streams.push_back(link.createStream("s" + std::to_string(i),
+                                        rng.uniform(0.5, 4.0)));
+  }
+  link.setRecordStream(streams[0], true);
+
+  ScenarioResult result;
+  const std::size_t n_transfers = 8 + rng.uniformInt(24);
+  result.transfers.resize(n_transfers);
+  for (std::size_t i = 0; i < n_transfers; ++i) {
+    const Channel ch = rng.uniform() < 0.5 ? Channel::Read : Channel::Write;
+    const StreamId s = streams[rng.uniformInt(streams.size())];
+    const Bytes bytes = 1 + rng.uniformInt(5000);
+    const sim::Time at = rng.uniform(0.0, 40.0);
+    sim.spawn(
+        delayedTransfer(sim, link, ch, s, bytes, at, result.transfers[i]));
+  }
+  // Mid-run cap and weight churn (including while transfers are active).
+  const std::size_t n_changes = rng.uniformInt(8);
+  for (std::size_t i = 0; i < n_changes; ++i) {
+    const StreamId s = streams[rng.uniformInt(streams.size())];
+    const sim::Time at = rng.uniform(0.0, 50.0);
+    if (rng.uniform() < 0.5) {
+      std::optional<BytesPerSec> cap;
+      if (rng.uniform() < 0.7) cap = rng.uniform(1.0, 80.0);
+      sim.spawn(capChange(sim, link, s, at, cap));
+    } else {
+      sim.spawn(weightChange(sim, link, s, at, rng.uniform(0.5, 4.0)));
+    }
+  }
+
+  result.end_time = sim.run();
+  result.events_processed = sim.eventsProcessed();
+  for (const StreamId s : streams) {
+    result.stream_bytes.push_back(link.streamBytes(s));
+  }
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const auto ch = static_cast<Channel>(c);
+    result.bytes_moved[c] = link.bytesMoved(ch);
+    const auto& series = link.totalRateSeries(ch);
+    for (double t = 0.0; t <= result.end_time + 1.0; t += 0.25) {
+      result.total_rate_samples[c].push_back(series.at(t));
+    }
+  }
+  const auto& s0 = link.streamRateSeries(streams[0], Channel::Write);
+  for (double t = 0.0; t <= result.end_time + 1.0; t += 0.25) {
+    result.stream0_rate_samples.push_back(s0.at(t));
+  }
+  return result;
+}
+
+void expectEquivalent(const ScenarioResult& full,
+                      const ScenarioResult& incremental) {
+  // Event ordering equivalence: same virtual end time and the same number of
+  // processed events (the short-circuit changes what a resolve computes, not
+  // which events exist).
+  EXPECT_EQ(full.end_time, incremental.end_time);
+  EXPECT_EQ(full.events_processed, incremental.events_processed);
+
+  ASSERT_EQ(full.transfers.size(), incremental.transfers.size());
+  for (std::size_t i = 0; i < full.transfers.size(); ++i) {
+    EXPECT_NEAR(full.transfers[i].start, incremental.transfers[i].start, 1e-9)
+        << "transfer " << i;
+    EXPECT_NEAR(full.transfers[i].end, incremental.transfers[i].end, 1e-9)
+        << "transfer " << i;
+    EXPECT_EQ(full.transfers[i].bytes, incremental.transfers[i].bytes);
+  }
+  EXPECT_EQ(full.stream_bytes, incremental.stream_bytes);
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_EQ(full.bytes_moved[c], incremental.bytes_moved[c]);
+    ASSERT_EQ(full.total_rate_samples[c].size(),
+              incremental.total_rate_samples[c].size());
+    for (std::size_t i = 0; i < full.total_rate_samples[c].size(); ++i) {
+      EXPECT_NEAR(full.total_rate_samples[c][i],
+                  incremental.total_rate_samples[c][i], 1e-9)
+          << "channel " << c << " sample " << i;
+    }
+  }
+  ASSERT_EQ(full.stream0_rate_samples.size(),
+            incremental.stream0_rate_samples.size());
+  for (std::size_t i = 0; i < full.stream0_rate_samples.size(); ++i) {
+    EXPECT_NEAR(full.stream0_rate_samples[i],
+                incremental.stream0_rate_samples[i], 1e-9)
+        << "sample " << i;
+  }
+}
+
+TEST(ResolveEquivalence, RandomizedScenariosExactMode) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ScenarioParams p;
+    p.seed = seed;
+    p.force_full_resolve = true;
+    const ScenarioResult full = runScenario(p);
+    p.force_full_resolve = false;
+    const ScenarioResult incremental = runScenario(p);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expectEquivalent(full, incremental);
+  }
+}
+
+TEST(ResolveEquivalence, RandomizedScenariosWithNoise) {
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    ScenarioParams p;
+    p.seed = seed;
+    p.noise_sigma = 0.6;
+    p.force_full_resolve = true;
+    const ScenarioResult full = runScenario(p);
+    p.force_full_resolve = false;
+    const ScenarioResult incremental = runScenario(p);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expectEquivalent(full, incremental);
+  }
+}
+
+TEST(ResolveEquivalence, RandomizedScenariosWithCongestionAndClientCap) {
+  for (std::uint64_t seed = 200; seed < 206; ++seed) {
+    ScenarioParams p;
+    p.seed = seed;
+    p.congestion_gamma = 0.2;
+    p.client_rate_cap = 30.0;
+    p.force_full_resolve = true;
+    const ScenarioResult full = runScenario(p);
+    p.force_full_resolve = false;
+    const ScenarioResult incremental = runScenario(p);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expectEquivalent(full, incremental);
+  }
+}
+
+TEST(ResolveEquivalence, RandomizedScenariosQuantizedMode) {
+  // The recompute quantum is where no-change resolves actually occur (a
+  // deferred dirty notification can land after a sweep already re-solved),
+  // so this exercises the short-circuit path hardest.
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    ScenarioParams p;
+    p.seed = seed;
+    p.recompute_quantum = 0.5;
+    p.force_full_resolve = true;
+    const ScenarioResult full = runScenario(p);
+    p.force_full_resolve = false;
+    const ScenarioResult incremental = runScenario(p);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expectEquivalent(full, incremental);
+  }
+}
+
+}  // namespace
+}  // namespace iobts::pfs

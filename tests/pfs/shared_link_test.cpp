@@ -371,6 +371,32 @@ TEST(SharedLink, ManyConcurrentTransfersDrainCompletely) {
   EXPECT_NEAR(sim.now(), kN * 1000.0 / 1e6, 1e-9);
 }
 
+TEST(SharedLink, TenThousandSameInstantCompletionsDrainLinearly) {
+  // Regression test for the O(n^2) batch drain: equal-sized transfers on
+  // equal-weight streams all complete in the same resolve sweep. The old
+  // erase-from-the-middle completion loop made this quadratic in the number
+  // of transfers; with the compaction-based sweep it finishes in well under
+  // a second even in debug builds.
+  sim::Simulation sim;
+  LinkConfig cfg;
+  cfg.read_capacity = 1e9;
+  cfg.write_capacity = 1e9;
+  cfg.record_total = false;
+  SharedLink link(sim, cfg);
+  constexpr int kN = 10000;
+  int done = 0;
+  for (int i = 0; i < kN; ++i) {
+    const auto s = link.createStream("s" + std::to_string(i));
+    sim.spawn(oneTransfer(link, s, 1000, done));
+  }
+  sim.run();
+  EXPECT_EQ(done, kN);
+  EXPECT_EQ(link.bytesMoved(Channel::Write), 1000u * kN);
+  EXPECT_EQ(link.activeTransfers(Channel::Write), 0u);
+  // Equal shares: all kN transfers drain together at n*bytes/capacity.
+  EXPECT_NEAR(sim.now(), kN * 1000.0 / 1e9, 1e-9);
+}
+
 TEST(SharedLink, UnknownStreamThrows) {
   sim::Simulation sim;
   SharedLink link(sim, smallLink());

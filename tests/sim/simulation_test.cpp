@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace iobts::sim {
 namespace {
@@ -268,6 +271,82 @@ TEST(Simulation, ManyProcessesScale) {
   for (int i = 0; i < kN; ++i) sim.spawn(proc(i));
   sim.run();
   EXPECT_EQ(done, kN);
+}
+
+TEST(Simulation, LargeCaptureCallbackUsesHeapPathCorrectly) {
+  // Captures beyond SmallCallback::kInlineCapacity (48 bytes) go through the
+  // heap fallback; values must survive the round trip and destructors must
+  // run exactly once (checked implicitly by ASan in the Sanitize build).
+  Simulation sim;
+  struct Big {
+    double values[16];  // 128 bytes -- well past the inline buffer
+  };
+  Big big{};
+  for (int i = 0; i < 16; ++i) big.values[i] = i * 1.5;
+  double sum = 0.0;
+  sim.post(1.0, [big, &sum] {
+    for (const double v : big.values) sum += v;
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 1.5 * (15 * 16 / 2));
+}
+
+TEST(Simulation, MoveOnlyCaptureCallback) {
+  Simulation sim;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  sim.post(0.5, [p = std::move(payload), &seen] { seen = *p + 1; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulation, CallbackPostingCallbacksFromInsideCallback) {
+  // The event kernel reuses callback slots; a callback that posts more
+  // callbacks (the SharedLink resolve/sweep pattern) must not invalidate the
+  // one currently executing.
+  Simulation sim;
+  std::vector<int> order;
+  sim.post(1.0, [&] {
+    order.push_back(1);
+    sim.post(1.0, [&] {
+      order.push_back(3);
+      sim.post(1.0, [&] { order.push_back(4); });
+    });
+    sim.post(0.5, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, RandomizedPostsRunInTimeThenFifoOrder) {
+  // Specification of the event queue's total order: ascending time, and FIFO
+  // (posting order) among equal times. Exercised with a randomized schedule
+  // large enough to force many heap rebalances.
+  Simulation sim;
+  struct Record {
+    Time t;
+    int post_index;
+  };
+  std::vector<Record> executed;
+  std::uint64_t rng_state = 12345;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    // Coarse 16-bucket times so equal timestamps are common.
+    const Time t = static_cast<Time>(splitmix64(rng_state) % 16);
+    sim.post(t, [&executed, t, i] { executed.push_back({t, i}); });
+  }
+  sim.run();
+  ASSERT_EQ(executed.size(), static_cast<std::size_t>(kN));
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    const bool time_ascends = executed[i - 1].t < executed[i].t;
+    const bool fifo_within_time = executed[i - 1].t == executed[i].t &&
+                                  executed[i - 1].post_index < executed[i].post_index;
+    EXPECT_TRUE(time_ascends || fifo_within_time)
+        << "event " << i << ": (" << executed[i - 1].t << ", "
+        << executed[i - 1].post_index << ") before (" << executed[i].t << ", "
+        << executed[i].post_index << ")";
+  }
 }
 
 }  // namespace
