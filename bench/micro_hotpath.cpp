@@ -8,9 +8,20 @@
 //
 // The benchmarks deliberately use only the stable public API so the same
 // source measures any revision of the kernel/PFS internals.
+//
+// The binary also *asserts* the zero-allocation steady-state claim: global
+// operator new/delete are replaced with counting versions, and main() runs
+// steady-state probes of the event-kernel and resolve paths (including the
+// lazy poke skip) that fail hard if a single allocation lands inside the
+// probe window. Throughput can mask an added allocation; the counter cannot.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -19,6 +30,55 @@
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
+
+// --- Counting allocator ----------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* countedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = countedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  const std::size_t alignment =
+      std::max(sizeof(void*), static_cast<std::size_t>(align));
+  if (posix_memalign(&p, alignment, size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace iobts {
 namespace {
@@ -170,6 +230,40 @@ void BM_CapChurnResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_CapChurnResolve)->Arg(96)->Arg(1536);
 
+// Lazy-skip resolve throughput: resolves requested strictly before the
+// channel's next-interesting-time bound (poke() while a large drain is in
+// flight) must cost O(1) regardless of the active-transfer count.
+void BM_QuiescentPokeResolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kPokes = 4096;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    pfs::LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    cfg.record_total = false;
+    pfs::SharedLink link(sim, cfg);
+    for (int i = 0; i < n; ++i) {
+      const auto s = link.createStream("s" + std::to_string(i));
+      sim.spawn(oneTransfer(link, s, 1 * kGiB));
+    }
+    // All-equal transfers drain together; every poke lands mid-drain.
+    const double t_end = static_cast<double>(n) * (1.0 * kGiB) / 100e9;
+    auto poker = [&]() -> sim::Task<void> {
+      const double dt = t_end / (kPokes + 2);
+      for (int k = 0; k < kPokes; ++k) {
+        co_await sim.delay(dt);
+        link.poke(pfs::Channel::Write);
+      }
+    };
+    sim.spawn(poker());
+    sim.run();
+    benchmark::DoNotOptimize(link.bytesMoved(pfs::Channel::Write));
+  }
+  state.SetItemsProcessed(state.iterations() * kPokes);
+}
+BENCHMARK(BM_QuiescentPokeResolve)->Arg(1536)->Arg(9216);
+
 // --- fairShare solver ------------------------------------------------------
 
 // Raw solver throughput at figure scale (9216 items mirrors the largest
@@ -189,7 +283,140 @@ void BM_FairShareLarge(benchmark::State& state) {
 }
 BENCHMARK(BM_FairShareLarge)->Arg(9216);
 
+// --- Zero-allocation steady-state assertions -------------------------------
+
+std::uint64_t allocationsNow() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+bool expectZeroDelta(const char* what, std::uint64_t before) {
+  const std::uint64_t delta = allocationsNow() - before;
+  if (delta != 0) {
+    std::fprintf(stderr,
+                 "ALLOCATION CHECK FAILED: %s performed %llu allocations in "
+                 "its steady-state window (expected 0)\n",
+                 what, static_cast<unsigned long long>(delta));
+    return false;
+  }
+  std::printf("allocation check: %-24s 0 allocations in steady state\n", what);
+  return true;
+}
+
+// Event kernel: a rolling window of re-posting callbacks past the SBO size,
+// so event slots and callback storage are continually recycled.
+bool checkKernelSteadyState() {
+  sim::Simulation sim;
+  std::uint64_t fired = 0;
+  struct Reposter {
+    sim::Simulation* sim;
+    std::uint64_t* fired;
+    int remaining;
+    double pad[3] = {0, 0, 0};  // push capture past any 16-byte SSO
+    void operator()() {
+      ++*fired;
+      if (remaining > 0) {
+        Reposter next = *this;
+        --next.remaining;
+        sim->post(1.0, next);
+      }
+    }
+  };
+  constexpr int kWindow = 64;
+  constexpr int kTotal = 20000;
+  for (int w = 0; w < kWindow; ++w) {
+    sim.post(1.0, Reposter{&sim, &fired, kTotal / kWindow});
+  }
+  sim.runUntil(10.0);  // warm the pools
+  const std::uint64_t before = allocationsNow();
+  sim.runUntil(200.0);
+  const bool ok = expectZeroDelta("event-kernel churn", before);
+  sim.run();
+  return ok;
+}
+
+// Resolve path: long-lived contended transfers under deterministic cap churn
+// (saturating and non-saturating caps, so both fair-share pre-pass branches
+// run) interleaved with quiescent pokes (the lazy-skip path). The steady
+// state is phase-to-phase: one full phase (transfers + churn + drain) warms
+// every pool to its peak -- each input change orphans the previous far-future
+// completion sweep, so the pending-event population legitimately grows within
+// a phase, bounded by the churn count -- and an identical second phase must
+// then allocate nothing at all.
+bool checkResolveSteadyState() {
+  sim::Simulation sim;
+  pfs::LinkConfig cfg;
+  cfg.write_capacity = 100e9;
+  cfg.read_capacity = 100e9;
+  cfg.record_total = false;
+  pfs::SharedLink link(sim, cfg);
+  constexpr int kStreams = 128;
+  std::vector<pfs::StreamId> streams;
+  streams.reserve(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    streams.push_back(link.createStream("s" + std::to_string(i)));
+  }
+  auto spawnTransfers = [&] {
+    for (const auto s : streams) {
+      // Large enough that nothing drains while the churn runs.
+      sim.spawn(oneTransfer(link, s, 1000000 * kGiB));
+    }
+  };
+  auto churn = [&]() -> sim::Task<void> {
+    // 0.5e9 sits below the uniform fill level 100e9 / 128, so saturating
+    // instances (the stable_sort fallback) occur throughout.
+    constexpr double kCaps[4] = {0.5e9, 0.9e9, 1.3e9, 1.7e9};
+    for (int c = 0; c < 2000; ++c) {
+      co_await sim.delay(1e-3);
+      if (c % 2 == 0) {
+        link.setStreamCap(streams[c % kStreams], kCaps[(c / 2) % 4]);
+      } else {
+        link.poke(pfs::Channel::Write);
+      }
+    }
+  };
+
+  // Phase 1 (warm-up): full churn, then drain to completion.
+  spawnTransfers();
+  sim.spawn(churn());
+  sim.run();
+
+  // Phase 2 (probe): identical workload; snapshot after the joins so the
+  // per-transfer setup (frames, Transfer objects) stays outside the window.
+  const sim::Time t0 = sim.now();
+  const std::uint64_t skipped_before =
+      link.resolveStats(pfs::Channel::Write).lazy_skipped;
+  spawnTransfers();
+  sim.spawn(churn());
+  sim.runUntil(t0 + 0.1);
+  const std::uint64_t before = allocationsNow();
+  sim.runUntil(t0 + 1.9);
+  bool ok = expectZeroDelta("resolve+poke churn", before);
+  if (link.resolveStats(pfs::Channel::Write).lazy_skipped == skipped_before) {
+    std::fprintf(stderr,
+                 "ALLOCATION CHECK FAILED: no lazy-skipped resolve inside "
+                 "the probe window (poke pattern broken?)\n");
+    ok = false;
+  }
+  sim.run();
+  return ok;
+}
+
+bool runAllocationChecks() {
+  const bool kernel_ok = checkKernelSteadyState();
+  const bool resolve_ok = checkResolveSteadyState();
+  return kernel_ok && resolve_ok;
+}
+
 }  // namespace
 }  // namespace iobts
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The assertions run before the benchmarks so an allocation regression
+  // fails the bench run outright instead of hiding in a throughput shift.
+  if (!iobts::runAllocationChecks()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

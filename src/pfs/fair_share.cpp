@@ -19,13 +19,20 @@ FairShareStats fairShareInto(std::span<const FairShareItem> items,
 
   // Validate and precompute each item's cap/weight ratio once (the
   // comparator below would otherwise recompute two divisions per comparison,
-  // and a NaN ratio would break strict weak ordering).
+  // and a NaN ratio would break strict weak ordering). The same pass
+  // classifies the instance for the bucket pre-pass: how many items are
+  // capped, and whether all capped items share a single cap/weight ratio
+  // class (in which case their input order already is their sorted order).
   scratch.ratio.resize(items.size());
   double active_weight = 0.0;
+  std::size_t n_capped = 0;
+  double first_ratio = 0.0;
+  bool single_ratio_class = true;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& item = items[i];
     IOBTS_CHECK(!std::isnan(item.weight), "weights must not be NaN");
     IOBTS_CHECK(item.weight >= 0.0, "weights must be non-negative");
+    IOBTS_CHECK(!std::isinf(item.weight), "weights must be finite");
     if (item.cap) {
       IOBTS_CHECK(!std::isnan(*item.cap), "caps must not be NaN");
       IOBTS_CHECK(*item.cap >= 0.0, "caps must be non-negative");
@@ -38,53 +45,115 @@ FairShareStats fairShareInto(std::span<const FairShareItem> items,
     } else {
       scratch.ratio[i] = *item.cap / item.weight;
     }
+    if (item.cap) {
+      if (n_capped == 0) {
+        first_ratio = scratch.ratio[i];
+      } else if (scratch.ratio[i] != first_ratio) {
+        single_ratio_class = false;
+      }
+      ++n_capped;
+    }
   }
 
-  // Order item indices by cap/weight ratio ascending; uncapped items last.
-  scratch.order.resize(items.size());
-  std::iota(scratch.order.begin(), scratch.order.end(), 0u);
-  std::stable_sort(scratch.order.begin(), scratch.order.end(),
-                   [&ratio = scratch.ratio](std::uint32_t a, std::uint32_t b) {
-                     return ratio[a] < ratio[b];
-                   });
+  // Bucket pre-pass. Progressive filling saturates items in ascending
+  // cap/weight order and its fill level only ever rises, so when no
+  // positive-weight item saturates at the *initial* level
+  // capacity / total_weight, the sorted walk would break at its very first
+  // positive-weight item and the sort is pure overhead. That covers the
+  // common all-uncapped and under-demand (contention-free) solves. The
+  // fast path reuses the identical division, so allocations stay
+  // bit-identical to the sorted walk's.
+  const double lambda0 = active_weight > 0.0 ? capacity / active_weight : 0.0;
+  bool any_saturating = false;
+  if (n_capped > 0) {
+    for (const auto& item : items) {
+      if (item.weight > 0.0 && item.cap &&
+          *item.cap <= lambda0 * item.weight) {
+        any_saturating = true;
+        break;
+      }
+    }
+  }
 
-  double remaining = capacity;
-
-  // Progressive filling: walk items in ratio order; an item saturates at its
-  // cap when cap <= lambda * weight for the prospective lambda.
   double lambda = 0.0;
-  std::size_t k = 0;
-  for (; k < scratch.order.size(); ++k) {
-    const std::size_t i = scratch.order[k];
-    const auto& item = items[i];
-    if (item.weight <= 0.0) {
-      allocation[i] = 0.0;
-      continue;
+  if (!any_saturating) {
+    lambda = lambda0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto& item = items[i];
+      if (item.weight <= 0.0) continue;  // allocation stays 0
+      double alloc = lambda * item.weight;
+      if (item.cap) alloc = std::min(alloc, *item.cap);
+      allocation[i] = alloc;
     }
-    const double prospective_lambda =
-        active_weight > 0.0 ? remaining / active_weight : 0.0;
-    if (item.cap && *item.cap <= prospective_lambda * item.weight) {
-      // Saturates below the fill level: pin at cap.
-      allocation[i] = *item.cap;
-      remaining -= *item.cap;
-      active_weight -= item.weight;
-      if (remaining < 0.0) remaining = 0.0;
-    } else {
-      // This and all later items (larger ratios) are lambda-bound.
-      lambda = prospective_lambda;
-      break;
+  } else {
+    // Order item indices for the saturating walk: capped items ascending by
+    // cap/weight ratio, then uncapped items in input order. Only the capped
+    // bucket is ever sorted -- uncapped items can never join the saturating
+    // prefix, and once the walk breaks, the remaining items' allocations are
+    // order-independent (each is min(lambda * weight, cap)). When all capped
+    // items share one ratio class their input order is already sorted and
+    // even that sort is skipped.
+    scratch.order.resize(items.size());
+    {
+      std::size_t capped_pos = 0;
+      std::size_t uncapped_pos = n_capped;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].cap) {
+          scratch.order[capped_pos++] = static_cast<std::uint32_t>(i);
+        } else {
+          scratch.order[uncapped_pos++] = static_cast<std::uint32_t>(i);
+        }
+      }
     }
-  }
-  for (; k < scratch.order.size(); ++k) {
-    const std::size_t i = scratch.order[k];
-    const auto& item = items[i];
-    if (item.weight <= 0.0) {
-      allocation[i] = 0.0;
-      continue;
+    if (!single_ratio_class) {
+      // std::sort with an index tie-breaker, not std::stable_sort: the
+      // entries are distinct indices, so breaking ratio ties by index yields
+      // exactly the stable order while staying in-place (stable_sort
+      // allocates a temporary merge buffer on every call, which would break
+      // the zero-allocation steady state of the resolve path).
+      std::sort(scratch.order.begin(), scratch.order.begin() + n_capped,
+                [&ratio = scratch.ratio](std::uint32_t a, std::uint32_t b) {
+                  return ratio[a] != ratio[b] ? ratio[a] < ratio[b] : a < b;
+                });
     }
-    double alloc = lambda * item.weight;
-    if (item.cap) alloc = std::min(alloc, *item.cap);
-    allocation[i] = alloc;
+
+    double remaining = capacity;
+
+    // Progressive filling: walk items in ratio order; an item saturates at
+    // its cap when cap <= lambda * weight for the prospective lambda.
+    std::size_t k = 0;
+    for (; k < scratch.order.size(); ++k) {
+      const std::size_t i = scratch.order[k];
+      const auto& item = items[i];
+      if (item.weight <= 0.0) {
+        allocation[i] = 0.0;
+        continue;
+      }
+      const double prospective_lambda =
+          active_weight > 0.0 ? remaining / active_weight : 0.0;
+      if (item.cap && *item.cap <= prospective_lambda * item.weight) {
+        // Saturates below the fill level: pin at cap.
+        allocation[i] = *item.cap;
+        remaining -= *item.cap;
+        active_weight -= item.weight;
+        if (remaining < 0.0) remaining = 0.0;
+      } else {
+        // This and all later items (larger ratios) are lambda-bound.
+        lambda = prospective_lambda;
+        break;
+      }
+    }
+    for (; k < scratch.order.size(); ++k) {
+      const std::size_t i = scratch.order[k];
+      const auto& item = items[i];
+      if (item.weight <= 0.0) {
+        allocation[i] = 0.0;
+        continue;
+      }
+      double alloc = lambda * item.weight;
+      if (item.cap) alloc = std::min(alloc, *item.cap);
+      allocation[i] = alloc;
+    }
   }
 
   stats.fill_level = lambda;

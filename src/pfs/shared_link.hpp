@@ -19,6 +19,15 @@
 // settles elapsed progress, re-solves the allocation, and reschedules the
 // next completion sweep. An optional recompute quantum batches rate updates
 // for very large rank counts (documented accuracy/performance knob).
+//
+// Each channel additionally tracks a "next interesting time": the earliest
+// virtual time at which any active transfer could cross the drain threshold
+// under the current rates. A resolve that arrives strictly before that bound
+// with unchanged solve inputs is a provable no-op (no transfer can complete,
+// no rate can change) and returns in O(1) without settling. The
+// force_full_resolve reference mode takes the identical skip but verifies
+// the no-op claim with a non-mutating projection check, so both modes keep
+// bit-identical state and event sequences (see resolve-equivalence tests).
 #pragma once
 
 #include <cstdint>
@@ -138,6 +147,32 @@ class SharedLink {
   /// least one transfer is held below its cap-free fair share ("contention"
   /// in the sense of Fig. 1's limit-during-contention policy).
   bool contended(Channel channel) const noexcept;
+
+  /// Request a resolve of the channel at the current virtual time without
+  /// changing any solve input (subject to the recompute quantum, like any
+  /// other dirty notification). With unchanged inputs and `now` before the
+  /// channel's next-interesting-time bound this is an O(1) lazy skip; tests
+  /// and benchmarks use it to exercise exactly that path.
+  void poke(Channel channel);
+
+  /// Counters for the lazy-settle resolve path (test/bench introspection).
+  struct ResolveStats {
+    /// Resolves that ran the settle/complete/sweep machinery.
+    std::uint64_t executed = 0;
+    /// Resolves proven no-ops by the next-interesting-time bound. The
+    /// force_full_resolve reference mode takes the identical skip but
+    /// additionally verifies (without mutating state) that no transfer
+    /// could have drained, so the counters match across modes.
+    std::uint64_t lazy_skipped = 0;
+    /// Two-level solves actually run (<= executed).
+    std::uint64_t full_solves = 0;
+  };
+  ResolveStats resolveStats(Channel channel) const noexcept;
+
+  /// The channel's current next-interesting-time bound: the earliest virtual
+  /// time at which an active transfer could cross the drain threshold under
+  /// current rates (+inf when none can, -inf before the first resolve).
+  sim::Time nextInterestingTime(Channel channel) const noexcept;
 
  private:
   struct Transfer;

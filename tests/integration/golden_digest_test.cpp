@@ -1,0 +1,245 @@
+// Golden-digest gate for the paper-figure pipelines.
+//
+// Scaled-down fig10 (WaComM++ up-only vs none) and fig13 (HACC-IO strategy
+// sweep) runs, plus a cluster_contention-style scenario, are executed
+// in-process; their observable outputs (elapsed time, exploit breakdowns,
+// byte accounting, resampled bandwidth series) are serialized to a canonical
+// hexfloat text and FNV-1a hashed against checked-in digests. Any solver or
+// scheduler change that shifts a paper-facing number by even one ULP flips
+// the digest, so results cannot drift silently.
+//
+// When a change *intends* to alter results, regenerate the constants:
+//   IOBTS_DUMP_GOLDEN=1 ./build/tests/integration_test \
+//       --gtest_filter='GoldenDigest.*'
+// prints each case's canonical text and digest; review the textual diff
+// before updating the constants below.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "mpisim/world.hpp"
+#include "pfs/file_store.hpp"
+#include "pfs/shared_link.hpp"
+#include "tmio/report.hpp"
+#include "tmio/tracer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workloads/hacc_io.hpp"
+#include "workloads/wacomm.hpp"
+
+namespace iobts {
+namespace {
+
+// %a renders the exact bit pattern of a double, so the digest is exactly as
+// strict as the byte-identity gate on the fig harness outputs.
+void appendNumber(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, value);
+  out += buf;
+}
+
+void appendSeries(std::string& out, const char* key, const StepSeries& series,
+                  double t_end) {
+  char buf[64];
+  for (int i = 0; i <= 64; ++i) {
+    const double t = t_end * static_cast<double>(i) / 64.0;
+    std::snprintf(buf, sizeof(buf), "%s[%d]=%a\n", key, i, series.at(t));
+    out += buf;
+  }
+}
+
+void checkDigest(const std::string& name, const std::string& canon,
+                 std::uint64_t expected) {
+  const std::uint64_t actual = hashName(canon);
+  if (std::getenv("IOBTS_DUMP_GOLDEN") != nullptr) {
+    std::printf("--- %s ---\n%sdigest(%s) = 0x%016llxULL\n", name.c_str(),
+                canon.c_str(), name.c_str(),
+                static_cast<unsigned long long>(actual));
+  }
+  EXPECT_EQ(actual, expected)
+      << name << " digest changed: paper-facing outputs drifted. If the "
+      << "change is intentional, rerun with IOBTS_DUMP_GOLDEN=1, review the "
+      << "canonical-text diff, and update the constant.";
+}
+
+// The fig harnesses' TracedRun wiring, replicated so the test depends only
+// on library targets.
+struct MiniRun {
+  MiniRun(pfs::LinkConfig link_cfg, mpisim::WorldConfig world_cfg,
+          tmio::TracerConfig tracer_cfg)
+      : link(sim, link_cfg),
+        tracer(tracer_cfg),
+        world(sim, link, store, world_cfg, &tracer) {
+    tracer.attach(world);
+  }
+
+  void run(mpisim::World::RankProgram program) {
+    world.launch(std::move(program));
+    sim.run();
+  }
+
+  sim::Simulation sim;
+  pfs::SharedLink link;
+  pfs::FileStore store;
+  tmio::Tracer tracer;
+  mpisim::World world;
+};
+
+pfs::LinkConfig lichtenbergLink() {
+  pfs::LinkConfig cfg;
+  cfg.write_capacity = 106e9;
+  cfg.read_capacity = 120e9;
+  cfg.client_rate_cap = 1.5e9;
+  return cfg;
+}
+
+tmio::TracerConfig tracerFor(tmio::StrategyKind strategy) {
+  tmio::TracerConfig cfg;
+  cfg.strategy = strategy;
+  cfg.params.tolerance = 1.1;
+  return cfg;
+}
+
+void appendTracedCase(std::string& out, const char* label, MiniRun& run) {
+  out += std::string("case=") + label + "\n";
+  const double t_end = run.world.elapsed();
+  appendNumber(out, "elapsed", t_end);
+  const tmio::ExploitBreakdown e =
+      tmio::exploitBreakdown(run.tracer, run.world);
+  appendNumber(out, "sync_write", e.sync_write);
+  appendNumber(out, "async_write_lost", e.async_write_lost);
+  appendNumber(out, "async_read_lost", e.async_read_lost);
+  appendNumber(out, "async_write_exploit", e.async_write_exploit);
+  appendNumber(out, "async_read_exploit", e.async_read_exploit);
+  appendNumber(out, "bytes_write",
+               static_cast<double>(run.link.bytesMoved(pfs::Channel::Write)));
+  appendNumber(out, "bytes_read",
+               static_cast<double>(run.link.bytesMoved(pfs::Channel::Read)));
+  appendSeries(out, "T", run.tracer.appThroughputSeries(pfs::Channel::Write),
+               t_end);
+  appendSeries(out, "B", run.tracer.appRequiredSeries(pfs::Channel::Write),
+               t_end);
+  appendSeries(out, "BL", run.tracer.appLimitSeries(pfs::Channel::Write),
+               t_end);
+}
+
+TEST(GoldenDigest, Fig10WacommPipeline) {
+  // Fig. 10 at reduced scale: 48 ranks, 6 iterations, same per-iteration
+  // compute split, congestion, and tolerance as bench/fig10_wacomm_9216.
+  std::string canon = "fig10-mini\n";
+  for (const auto strategy :
+       {tmio::StrategyKind::UpOnly, tmio::StrategyKind::None}) {
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = 48;
+    pfs::LinkConfig link = lichtenbergLink();
+    link.congestion_gamma = 2e-4;
+    MiniRun run(link, wcfg, tracerFor(strategy));
+    workloads::WacommConfig cfg;
+    cfg.bytes_per_particle = 2048;
+    cfg.iteration_compute_core_seconds = 48.0;
+    cfg.iteration_fixed_seconds = 2.2;
+    cfg.iterations = 6;
+    run.run(workloads::wacommProgram(cfg));
+    appendTracedCase(
+        canon, strategy == tmio::StrategyKind::None ? "none" : "up-only", run);
+  }
+  checkDigest("fig10_mini", canon, 0x8c4748554547ac7bULL);
+}
+
+TEST(GoldenDigest, Fig13HaccStrategySweep) {
+  // Fig. 13 at reduced scale: 32 ranks, 2 loops, paper-scaled compute and
+  // the nine-array write split, across all four strategies.
+  std::string canon = "fig13-mini\n";
+  const struct {
+    const char* label;
+    tmio::StrategyKind strategy;
+  } settings[] = {
+      {"direct", tmio::StrategyKind::Direct},
+      {"up-only", tmio::StrategyKind::UpOnly},
+      {"adaptive", tmio::StrategyKind::Adaptive},
+      {"none", tmio::StrategyKind::None},
+  };
+  for (const auto& s : settings) {
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = 32;
+    MiniRun run(lichtenbergLink(), wcfg, tracerFor(s.strategy));
+    workloads::HaccIoConfig hacc;
+    const double scale = std::pow(32.0, 0.55);
+    hacc.compute_seconds = 0.30 * scale;
+    hacc.verify_seconds = 0.25 * scale;
+    hacc.requests_per_write = 9;
+    hacc.loops = 2;
+    run.run(workloads::haccIoProgram(hacc));
+    appendTracedCase(canon, s.label, run);
+    double lost = 0.0;
+    for (int r = 0; r < wcfg.ranks; ++r) {
+      lost += run.tracer.rankSplit(r).write_lost +
+              run.tracer.rankSplit(r).read_lost;
+    }
+    appendNumber(canon, "lost", lost);
+  }
+  checkDigest("fig13_mini", canon, 0x6038e3b0b4acfdebULL);
+}
+
+TEST(GoldenDigest, ClusterContentionPipeline) {
+  // examples/cluster_contention at reduced scale, limited and unlimited:
+  // exercises the job-level coordinator + QoS cap path of the solver.
+  std::string canon = "cluster-mini\n";
+  for (const bool limit : {true, false}) {
+    sim::Simulation sim;
+    cluster::ClusterConfig config;
+    config.nodes = 64;
+    config.pfs.read_capacity = 12e9;
+    config.pfs.write_capacity = 12e9;
+    cluster::Cluster cl(sim, config);
+
+    std::vector<cluster::JobId> ids;
+    for (int i = 0; i < 3; ++i) {
+      cluster::JobSpec spec;
+      spec.name = "sync" + std::to_string(i);
+      spec.nodes = 12;
+      spec.io = cluster::JobIo::Sync;
+      spec.loops = 3;
+      spec.compute_seconds = 1.5 + 0.7 * i;
+      spec.write_bytes_per_node = 4 * kGB;
+      ids.push_back(cl.submit(spec));
+    }
+    cluster::JobSpec async_spec;
+    async_spec.name = "async";
+    async_spec.nodes = 28;
+    async_spec.io = cluster::JobIo::Async;
+    async_spec.loops = 2;
+    async_spec.compute_seconds = 20.0;
+    async_spec.write_bytes_per_node = 1 * kGB;
+    const auto async_id = cl.submit(async_spec);
+    ids.push_back(async_id);
+    if (limit) cl.enableContentionLimiting(async_id, 1.2, 0.25);
+
+    cl.start();
+    const double t_end = sim.run();
+
+    canon += std::string("case=") + (limit ? "limit" : "nolimit") + "\n";
+    appendNumber(canon, "t_end", t_end);
+    for (const auto id : ids) {
+      appendNumber(canon, (cl.spec(id).name + "_start").c_str(),
+                   cl.result(id).start);
+      appendNumber(canon, (cl.spec(id).name + "_end").c_str(),
+                   cl.result(id).end);
+    }
+    appendNumber(
+        canon, "bytes_write",
+        static_cast<double>(cl.link().bytesMoved(pfs::Channel::Write)));
+    appendSeries(canon, "W", cl.link().totalRateSeries(pfs::Channel::Write),
+                 t_end);
+  }
+  checkDigest("cluster_mini", canon, 0x36ecb4be577764e8ULL);
+}
+
+}  // namespace
+}  // namespace iobts

@@ -1,0 +1,343 @@
+// Property/fuzz layer for the weighted max-min fair-share solver.
+//
+// fairShareInto() gained a bucket pre-pass (no-saturation fast path,
+// capped-only sort, single-ratio-class sort skip) that must not change a
+// single bit of any allocation. Two lines of defence:
+//
+//   1. A differential oracle: referenceFairShare() below is the plain
+//      progressive-filling implementation (full stable_sort over all items,
+//      no pre-pass) and every fuzzed instance must match it bit-for-bit.
+//   2. Analytic invariants that hold regardless of implementation:
+//      conservation, work conservation under excess demand, per-item cap
+//      respect, weight proportionality among uncapped items, and
+//      permutation invariance.
+//
+// Instances are drawn from seeded util/rng streams across several shape
+// classes (all-uncapped, mixed, single ratio class, under-demand, heavy
+// contention, degenerate) so both pre-pass branches and the sort fallback
+// are exercised; >= 1000 seeds per suite run.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pfs/fair_share.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::pfs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The pre-bucket-pre-pass progressive-filling solver, kept verbatim as the
+// differential oracle: stable_sort *all* item indices by cap/weight ratio,
+// then run the saturating walk. Any arithmetic divergence from
+// fairShareInto() is a bug in the pre-pass.
+struct ReferenceResult {
+  std::vector<double> allocation;
+  double total = 0.0;
+  double fill_level = 0.0;
+};
+
+ReferenceResult referenceFairShare(const std::vector<FairShareItem>& items,
+                                   double capacity) {
+  ReferenceResult result;
+  result.allocation.assign(items.size(), 0.0);
+  if (items.empty() || capacity == 0.0) return result;
+
+  std::vector<double> ratio(items.size());
+  double active_weight = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    active_weight += item.weight;
+    if (!item.cap) {
+      ratio[i] = kInf;
+    } else if (item.weight <= 0.0) {
+      ratio[i] = 0.0;
+    } else {
+      ratio[i] = *item.cap / item.weight;
+    }
+  }
+
+  std::vector<std::uint32_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&ratio](std::uint32_t a, std::uint32_t b) {
+                     return ratio[a] < ratio[b];
+                   });
+
+  double remaining = capacity;
+  double lambda = 0.0;
+  std::size_t k = 0;
+  for (; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const auto& item = items[i];
+    if (item.weight <= 0.0) {
+      result.allocation[i] = 0.0;
+      continue;
+    }
+    const double prospective_lambda =
+        active_weight > 0.0 ? remaining / active_weight : 0.0;
+    if (item.cap && *item.cap <= prospective_lambda * item.weight) {
+      result.allocation[i] = *item.cap;
+      remaining -= *item.cap;
+      active_weight -= item.weight;
+      if (remaining < 0.0) remaining = 0.0;
+    } else {
+      lambda = prospective_lambda;
+      break;
+    }
+  }
+  for (; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const auto& item = items[i];
+    if (item.weight <= 0.0) {
+      result.allocation[i] = 0.0;
+      continue;
+    }
+    double alloc = lambda * item.weight;
+    if (item.cap) alloc = std::min(alloc, *item.cap);
+    result.allocation[i] = alloc;
+  }
+
+  result.fill_level = lambda;
+  result.total =
+      std::accumulate(result.allocation.begin(), result.allocation.end(), 0.0);
+  if (result.total > capacity && result.total > 0.0) {
+    const double scale = capacity / result.total;
+    for (auto& a : result.allocation) a *= scale;
+    result.total = capacity;
+  }
+  return result;
+}
+
+struct Instance {
+  std::vector<FairShareItem> items;
+  double capacity = 0.0;
+  std::string shape;
+};
+
+// Draw one fuzz instance. The shape class rotates with the seed so every
+// pre-pass branch sees hundreds of instances across the suite.
+Instance drawInstance(std::uint64_t seed) {
+  Rng rng(seed, "fair-share-fuzz");
+  Instance inst;
+  const std::size_t n = 1 + rng.uniformInt(96);
+  inst.items.resize(n);
+  inst.capacity = rng.uniform(1.0, 1000.0) * std::pow(10.0, rng.uniformInt(9));
+
+  const std::uint64_t shape = seed % 6;
+  switch (shape) {
+    case 0: {  // all uncapped -> no-saturation fast path
+      inst.shape = "all-uncapped";
+      for (auto& item : inst.items) item.weight = rng.uniform(0.1, 8.0);
+      break;
+    }
+    case 1: {  // mixed caps, generic fallback
+      inst.shape = "mixed";
+      for (auto& item : inst.items) {
+        item.weight = rng.uniform(0.1, 8.0);
+        if (rng.uniform() < 0.5) {
+          item.cap = rng.uniform(0.0, 2.0) * inst.capacity /
+                     static_cast<double>(inst.items.size());
+        }
+      }
+      break;
+    }
+    case 2: {  // all capped, one shared cap/weight ratio -> sort skip
+      inst.shape = "single-ratio-class";
+      const double shared_ratio =
+          rng.uniform(0.1, 3.0) * inst.capacity / static_cast<double>(n);
+      for (auto& item : inst.items) {
+        item.weight = rng.uniform(0.5, 4.0);
+        item.cap = shared_ratio * item.weight;
+      }
+      break;
+    }
+    case 3: {  // under-demand: sum of caps below capacity
+      inst.shape = "under-demand";
+      for (auto& item : inst.items) {
+        item.weight = rng.uniform(0.1, 8.0);
+        item.cap =
+            rng.uniform(0.0, 0.9) * inst.capacity / static_cast<double>(n);
+      }
+      break;
+    }
+    case 4: {  // heavy contention, zero weights sprinkled in
+      inst.shape = "contended";
+      for (auto& item : inst.items) {
+        item.weight = rng.uniform() < 0.15 ? 0.0 : rng.uniform(0.1, 8.0);
+        if (rng.uniform() < 0.8) {
+          item.cap = rng.uniform(0.0, 8.0) * inst.capacity /
+                     static_cast<double>(inst.items.size());
+        }
+      }
+      break;
+    }
+    default: {  // degenerate values: zero/inf caps, zero weights
+      inst.shape = "degenerate";
+      for (auto& item : inst.items) {
+        const std::uint64_t kind = rng.uniformInt(5);
+        item.weight = kind == 0 ? 0.0 : rng.uniform(0.0, 4.0);
+        if (kind == 1) item.cap = 0.0;
+        else if (kind == 2) item.cap = kInf;
+        else if (kind == 3) item.cap = rng.uniform(0.0, inst.capacity);
+      }
+      if (rng.uniform() < 0.1) inst.capacity = 0.0;
+      break;
+    }
+  }
+  return inst;
+}
+
+double demandOf(const Instance& inst) {
+  double demand = 0.0;
+  for (const auto& item : inst.items) {
+    if (item.weight <= 0.0) continue;
+    demand += item.cap ? std::min(*item.cap, inst.capacity) : inst.capacity;
+  }
+  return demand;
+}
+
+constexpr std::uint64_t kSeeds = 1200;
+
+TEST(FairShareProperty, MatchesReferenceBitForBitAcrossSeeds) {
+  FairShareScratch scratch;
+  std::vector<double> allocation;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Instance inst = drawInstance(seed);
+    const FairShareStats stats =
+        fairShareInto(inst.items, inst.capacity, scratch, allocation);
+    const ReferenceResult ref = referenceFairShare(inst.items, inst.capacity);
+    ASSERT_EQ(stats.total, ref.total)
+        << "seed " << seed << " shape " << inst.shape;
+    ASSERT_EQ(stats.fill_level, ref.fill_level)
+        << "seed " << seed << " shape " << inst.shape;
+    ASSERT_EQ(allocation.size(), ref.allocation.size());
+    for (std::size_t i = 0; i < allocation.size(); ++i) {
+      ASSERT_EQ(allocation[i], ref.allocation[i])
+          << "seed " << seed << " shape " << inst.shape << " item " << i;
+    }
+  }
+}
+
+TEST(FairShareProperty, ConservationAndCapRespectAcrossSeeds) {
+  FairShareScratch scratch;
+  std::vector<double> allocation;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Instance inst = drawInstance(seed);
+    fairShareInto(inst.items, inst.capacity, scratch, allocation);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < allocation.size(); ++i) {
+      const auto& item = inst.items[i];
+      ASSERT_GE(allocation[i], 0.0) << "seed " << seed << " item " << i;
+      if (item.weight <= 0.0) {
+        // Zero-weight items receive exactly nothing.
+        ASSERT_EQ(allocation[i], 0.0) << "seed " << seed << " item " << i;
+      }
+      if (item.cap) {
+        // Cap respect is exact: allocations are min()'d against the cap and
+        // the overshoot rescale only ever shrinks them.
+        ASSERT_LE(allocation[i], *item.cap) << "seed " << seed << " item "
+                                            << i << " shape " << inst.shape;
+      }
+      total += allocation[i];
+    }
+    ASSERT_LE(total, inst.capacity * (1.0 + 1e-9) + 1e-9)
+        << "seed " << seed << " shape " << inst.shape;
+
+    // Work conservation: when demand strictly exceeds capacity the solver
+    // must hand out the whole channel.
+    const double demand = demandOf(inst);
+    if (demand > inst.capacity * (1.0 + 1e-6)) {
+      ASSERT_NEAR(total, inst.capacity, inst.capacity * 1e-9)
+          << "seed " << seed << " shape " << inst.shape;
+    }
+  }
+}
+
+TEST(FairShareProperty, UncappedAllocationsProportionalToWeights) {
+  FairShareScratch scratch;
+  std::vector<double> allocation;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Instance inst = drawInstance(seed);
+    fairShareInto(inst.items, inst.capacity, scratch, allocation);
+
+    // All uncapped positive-weight items sit at the same fill level, so
+    // alloc_i / w_i must agree pairwise (up to FP rounding).
+    std::optional<std::size_t> first;
+    for (std::size_t i = 0; i < inst.items.size(); ++i) {
+      const auto& item = inst.items[i];
+      if (item.cap || item.weight <= 0.0) continue;
+      if (!first) {
+        first = i;
+        continue;
+      }
+      const double lhs = allocation[*first] * item.weight;
+      const double rhs = allocation[i] * inst.items[*first].weight;
+      ASSERT_NEAR(lhs, rhs, 1e-9 * std::max(std::abs(lhs), 1.0))
+          << "seed " << seed << " items " << *first << "," << i;
+    }
+  }
+}
+
+TEST(FairShareProperty, PermutationInvariantAcrossSeeds) {
+  FairShareScratch scratch;
+  std::vector<double> allocation;
+  std::vector<double> shuffled_allocation;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const Instance inst = drawInstance(seed);
+    fairShareInto(inst.items, inst.capacity, scratch, allocation);
+
+    Rng rng(seed, "fair-share-perm");
+    std::vector<std::size_t> perm(inst.items.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniformInt(i)]);
+    }
+    std::vector<FairShareItem> shuffled(inst.items.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      shuffled[i] = inst.items[perm[i]];
+    }
+    fairShareInto(shuffled, inst.capacity, scratch, shuffled_allocation);
+
+    // The total weight is summed in input order, so permuting items can
+    // shift the fill level by FP rounding -- invariance holds to relative
+    // tolerance, not bit-exactly (the bit-exact guarantee is against the
+    // reference implementation at equal input order).
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      const double a = allocation[perm[i]];
+      const double b = shuffled_allocation[i];
+      ASSERT_NEAR(a, b, 1e-9 * std::max(std::abs(a), 1.0))
+          << "seed " << seed << " item " << perm[i] << " shape " << inst.shape;
+    }
+  }
+}
+
+TEST(FairShareProperty, RejectsNegativeAndNonFiniteWeights) {
+  // Regression: negative weights must be rejected on every path (including
+  // the pre-pass fast paths), and infinite weights -- which would silently
+  // zero the fill level -- are now rejected too.
+  EXPECT_THROW(fairShare({{-1.0, {}}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{1.0, {}}, {-0.5, 10.0}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{kInf, {}}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{1.0, 5.0}, {kInf, 10.0}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{std::nan(""), {}}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{1.0, -5.0}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{1.0, std::nan("")}}, 100.0), CheckError);
+  EXPECT_THROW(fairShare({{1.0, {}}}, -1.0), CheckError);
+  // +inf caps stay legal: they mean "uncapped" and must not throw.
+  const FairShareResult r = fairShare({{1.0, kInf}, {1.0, {}}}, 100.0);
+  EXPECT_DOUBLE_EQ(r.total, 100.0);
+}
+
+}  // namespace
+}  // namespace iobts::pfs

@@ -8,6 +8,13 @@
 // bit-identical allocations to the convenience fairShare wrapper. These tests
 // drive both configurations through randomized scenarios (seeded via
 // util/rng, so failures replay exactly) and compare.
+//
+// The scenarios also inject randomized poke() calls -- resolves at arbitrary
+// times, including strictly before the channel's next-interesting-time bound
+// -- so the lazy-settle skip is exercised against the full-resolve reference,
+// and both modes must report identical executed/skipped resolve counters
+// (the skip decision is shared, only what a "skipped" resolve computes
+// differs).
 
 #include <gtest/gtest.h>
 
@@ -82,6 +89,8 @@ struct ScenarioResult {
   // function they describe must not).
   std::vector<double> total_rate_samples[kChannels];
   std::vector<double> stream0_rate_samples;
+  std::uint64_t resolves_executed[kChannels] = {0, 0};
+  std::uint64_t resolves_skipped[kChannels] = {0, 0};
 };
 
 struct ScenarioParams {
@@ -111,6 +120,12 @@ sim::Task<void> weightChange(sim::Simulation& sim, SharedLink& link,
                              StreamId s, sim::Time at, double weight) {
   co_await sim.delay(at);
   link.setStreamWeight(s, weight);
+}
+
+sim::Task<void> pokeAt(sim::Simulation& sim, SharedLink& link, Channel ch,
+                       sim::Time at) {
+  co_await sim.delay(at);
+  link.poke(ch);
 }
 
 ScenarioResult runScenario(const ScenarioParams& p) {
@@ -164,6 +179,15 @@ ScenarioResult runScenario(const ScenarioParams& p) {
       sim.spawn(weightChange(sim, link, s, at, rng.uniform(0.5, 4.0)));
     }
   }
+  // Input-free resolves at random times: most land while the channel is
+  // quiescent (mid-drain or idle), i.e. strictly before the
+  // next-interesting-time bound, exercising the lazy skip against the
+  // full-resolve reference.
+  const std::size_t n_pokes = rng.uniformInt(24);
+  for (std::size_t i = 0; i < n_pokes; ++i) {
+    const Channel ch = rng.uniform() < 0.5 ? Channel::Read : Channel::Write;
+    sim.spawn(pokeAt(sim, link, ch, rng.uniform(0.0, 60.0)));
+  }
 
   result.end_time = sim.run();
   result.events_processed = sim.eventsProcessed();
@@ -173,6 +197,9 @@ ScenarioResult runScenario(const ScenarioParams& p) {
   for (std::size_t c = 0; c < kChannels; ++c) {
     const auto ch = static_cast<Channel>(c);
     result.bytes_moved[c] = link.bytesMoved(ch);
+    const SharedLink::ResolveStats stats = link.resolveStats(ch);
+    result.resolves_executed[c] = stats.executed;
+    result.resolves_skipped[c] = stats.lazy_skipped;
     const auto& series = link.totalRateSeries(ch);
     for (double t = 0.0; t <= result.end_time + 1.0; t += 0.25) {
       result.total_rate_samples[c].push_back(series.at(t));
@@ -192,6 +219,15 @@ void expectEquivalent(const ScenarioResult& full,
   // which events exist).
   EXPECT_EQ(full.end_time, incremental.end_time);
   EXPECT_EQ(full.events_processed, incremental.events_processed);
+  // The lazy-skip decision is shared between the modes, so the counters must
+  // agree exactly -- a divergence means one mode saw a different resolve
+  // sequence or a different next-interesting-time bound.
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    EXPECT_EQ(full.resolves_executed[c], incremental.resolves_executed[c])
+        << "channel " << c;
+    EXPECT_EQ(full.resolves_skipped[c], incremental.resolves_skipped[c])
+        << "channel " << c;
+  }
 
   ASSERT_EQ(full.transfers.size(), incremental.transfers.size());
   for (std::size_t i = 0; i < full.transfers.size(); ++i) {
@@ -222,6 +258,7 @@ void expectEquivalent(const ScenarioResult& full,
 }
 
 TEST(ResolveEquivalence, RandomizedScenariosExactMode) {
+  std::uint64_t total_skipped = 0;
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     ScenarioParams p;
     p.seed = seed;
@@ -231,7 +268,13 @@ TEST(ResolveEquivalence, RandomizedScenariosExactMode) {
     const ScenarioResult incremental = runScenario(p);
     SCOPED_TRACE("seed " + std::to_string(seed));
     expectEquivalent(full, incremental);
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      total_skipped += incremental.resolves_skipped[c];
+    }
   }
+  // The randomized pokes must actually drive the lazy-skip path, otherwise
+  // the equivalence above proves nothing about it.
+  EXPECT_GT(total_skipped, 0u);
 }
 
 TEST(ResolveEquivalence, RandomizedScenariosWithNoise) {
@@ -278,6 +321,96 @@ TEST(ResolveEquivalence, RandomizedScenariosQuantizedMode) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     expectEquivalent(full, incremental);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic lazy-skip behaviour.
+
+sim::Task<void> pokeTrain(sim::Simulation& sim, SharedLink& link, Channel ch,
+                          int count, sim::Time spacing,
+                          std::uint64_t& before_bound) {
+  co_await sim.delay(1.0);
+  for (int k = 0; k < count; ++k) {
+    if (sim.now() < link.nextInterestingTime(ch)) ++before_bound;
+    link.poke(ch);
+    co_await sim.delay(spacing);
+  }
+}
+
+sim::Task<void> oneTransfer(sim::Simulation& sim, SharedLink& link, Channel ch,
+                            StreamId s, Bytes bytes, TransferResult& out) {
+  out = co_await link.transfer(ch, s, bytes);
+  (void)sim;
+}
+
+TEST(ResolveEquivalence, PokesStrictlyBeforeBoundAreLazySkips) {
+  // One 10000-byte transfer at 100 B/s drains at t = 100; pokes every 10 s
+  // from t = 1 all land strictly before the next-interesting-time bound
+  // (~99.995 s) and must be skipped without perturbing the completion.
+  TransferResult results[2];
+  std::uint64_t skipped[2] = {0, 0};
+  std::uint64_t executed[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    LinkConfig cfg;
+    cfg.read_capacity = 100.0;
+    cfg.write_capacity = 100.0;
+    cfg.force_full_resolve = mode == 0;
+    sim::Simulation sim;
+    SharedLink link(sim, cfg);
+    const StreamId s = link.createStream("s0");
+    std::uint64_t before_bound = 0;
+    sim.spawn(oneTransfer(sim, link, Channel::Write, s, 10000, results[mode]));
+    sim.spawn(pokeTrain(sim, link, Channel::Write, 9, 10.0, before_bound));
+    sim.run();
+    EXPECT_EQ(before_bound, 9u) << "mode " << mode;
+    const SharedLink::ResolveStats stats = link.resolveStats(Channel::Write);
+    skipped[mode] = stats.lazy_skipped;
+    executed[mode] = stats.executed;
+    EXPECT_GE(stats.lazy_skipped, 9u) << "mode " << mode;
+    EXPECT_LE(stats.full_solves, stats.executed) << "mode " << mode;
+    EXPECT_NEAR(results[mode].end, 100.0, 1e-9) << "mode " << mode;
+  }
+  EXPECT_EQ(results[0].end, results[1].end);
+  EXPECT_EQ(skipped[0], skipped[1]);
+  EXPECT_EQ(executed[0], executed[1]);
+}
+
+TEST(ResolveEquivalence, PokeOnIdleChannelThenSkips) {
+  // First poke on a never-used channel executes (there is no bound yet);
+  // after it the bound is +inf (nothing active) and further pokes skip.
+  sim::Simulation sim;
+  LinkConfig cfg;
+  SharedLink link(sim, cfg);
+  link.poke(Channel::Read);
+  sim.run();
+  SharedLink::ResolveStats stats = link.resolveStats(Channel::Read);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.lazy_skipped, 0u);
+  EXPECT_EQ(link.nextInterestingTime(Channel::Read),
+            std::numeric_limits<double>::infinity());
+  link.poke(Channel::Read);
+  sim.run();
+  stats = link.resolveStats(Channel::Read);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.lazy_skipped, 1u);
+}
+
+TEST(ResolveEquivalence, SweepAtDrainTimeIsNeverSkipped) {
+  // The completion sweep targets remaining / rate while the bound targets
+  // (remaining - epsilon) / rate, so the sweep lands at-or-after the bound
+  // and must always execute -- a lazily skipped sweep would strand the
+  // transfer forever.
+  sim::Simulation sim;
+  LinkConfig cfg;
+  cfg.write_capacity = 64.0;
+  SharedLink link(sim, cfg);
+  const StreamId s = link.createStream("s0");
+  TransferResult result;
+  sim.spawn(oneTransfer(sim, link, Channel::Write, s, 4096, result));
+  const sim::Time end = sim.run();
+  EXPECT_NEAR(result.end, 64.0, 1e-9);
+  EXPECT_EQ(end, result.end);
+  EXPECT_EQ(link.activeTransfers(Channel::Write), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 # with label `before` on the old revision and once with `after` on the new
 # one; the merger recomputes the speedup section when both labels exist.
 #
+# micro_hotpath also embeds the zero-allocation steady-state assertions
+# (counting operator new): its main() runs them before any benchmark and
+# exits non-zero on failure, so a recording run doubles as that gate.
+#
 # Usage: tools/run_hotpath_bench.sh <build-dir> <label>    (label: before|after)
 # Env:   IOBTS_BENCH_FULL=1   run fig harnesses at full scale (slow)
 set -euo pipefail

@@ -28,10 +28,10 @@ if [[ "$SKIP_SANITIZE" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitize: configure + build (ASan+UBSan, sim+pfs tests) =="
+echo "== sanitize: configure + build (ASan+UBSan, sim+pfs tests + hotpath asserts) =="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize \
-  -DIOBTS_BUILD_BENCH=OFF -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-sanitize -j --target sim_test pfs_test
+  -DIOBTS_BUILD_BENCH=ON -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-sanitize -j --target sim_test pfs_test micro_hotpath
 
 echo "== sanitize: run sim_test + pfs_test =="
 # ASan instrumentation defeats the coroutine symmetric-transfer tail call,
@@ -40,5 +40,11 @@ echo "== sanitize: run sim_test + pfs_test =="
 ulimit -s unlimited 2>/dev/null || true
 ./build-sanitize/tests/sim_test
 ./build-sanitize/tests/pfs_test
+
+echo "== sanitize: hot-path allocation assertions =="
+# micro_hotpath's main() runs the zero-allocation steady-state probes before
+# any benchmark; an empty filter runs just those probes (exit 1 on failure),
+# here with ASan+UBSan watching the exercised kernel/resolve paths.
+./build-sanitize/bench/micro_hotpath --benchmark_filter='^$'
 
 echo "== tier-1: all green =="
