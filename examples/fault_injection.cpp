@@ -1,0 +1,133 @@
+// Fault-injection demo: the same HACC-IO-like job run twice under an
+// identical fault plan -- a degraded-bandwidth window that also throws
+// transient EIO-style faults, plus a short full blackout.
+//
+// The synchronous twin has no retry budget: the first faulted write kills
+// the rank, the paper's worst case for tightly coupled bulk-synchronous
+// apps. The asynchronous twin retries faulted transfers in its I/O thread
+// (bounded exponential backoff, banked as pacing deficit) and rides the
+// window out: the job survives, merely paying some extra wait time.
+//
+//   $ ./fault_injection
+#include <cstdio>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "mpisim/world.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace iobts;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kLoops = 5;
+constexpr Bytes kWritePerLoop = 200 * kMB;  // 0.8 s at the 4-way fair share
+constexpr Seconds kCompute = 2.0;
+
+fault::FaultPlan makePlan() {
+  fault::FaultPlan plan(/*seed=*/2024);
+  // A six-second brownout: the PFS delivers a quarter of its bandwidth and
+  // fails 70 % of the transfers completing inside the window...
+  plan.degradeChannel(pfs::Channel::Write, 0.25, {6.0, 12.0});
+  plan.addTransferFault({.channel = pfs::Channel::Write,
+                         .window = {6.0, 12.0},
+                         .probability = 0.7});
+  // ...followed by a short full outage (transfers stall, nothing fails).
+  plan.addBlackout({14.0, 15.0});
+  return plan;
+}
+
+struct TwinOutcome {
+  Seconds elapsed = 0.0;
+  int failed_ranks = 0;
+  mpisim::AdioEngine::Stats io;
+  StepSeries write_rate;  // total PFS write bandwidth over time
+};
+
+// One twin = its own simulation + PFS + world, so the comparison is clean.
+TwinOutcome runTwin(bool async_io, const throttle::RetryPolicy& retry) {
+  sim::Simulation sim;
+  pfs::LinkConfig link_cfg;
+  link_cfg.read_capacity = 1e9;
+  link_cfg.write_capacity = 1e9;
+  pfs::SharedLink link(sim, link_cfg);
+  const fault::FaultPlan plan = makePlan();
+  link.installFaultPlan(plan);
+  pfs::FileStore store;
+
+  mpisim::WorldConfig cfg;
+  cfg.ranks = kRanks;
+  cfg.retry = retry;
+  mpisim::World world(sim, link, store, cfg);
+  world.launch([async_io](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    auto file = ctx.open("/pfs/ckpt." + std::to_string(ctx.rank()));
+    mpisim::Request pending;
+    for (int loop = 0; loop < kLoops; ++loop) {
+      co_await ctx.compute(kCompute);
+      if (pending.valid()) {
+        co_await ctx.wait(pending);
+        if (pending.failed()) throw mpisim::IoFailure(pending.info());
+        pending = {};
+      }
+      const Bytes offset = static_cast<Bytes>(loop) * kWritePerLoop;
+      if (async_io) {
+        pending = co_await file.iwriteAt(offset, kWritePerLoop, loop + 1);
+      } else {
+        co_await file.writeAt(offset, kWritePerLoop, loop + 1);
+      }
+    }
+    if (pending.valid()) {
+      co_await ctx.wait(pending);
+      if (pending.failed()) throw mpisim::IoFailure(pending.info());
+    }
+  });
+  sim.run();
+
+  TwinOutcome out;
+  out.elapsed = world.elapsed();
+  out.failed_ranks = world.failedRanks();
+  out.io = world.ioStats();
+  out.write_rate = link.totalRateSeries(pfs::Channel::Write);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // The sync twin fails fast (default policy: zero retries); the async twin
+  // gets the bounded-backoff budget its background I/O thread can afford.
+  throttle::RetryPolicy retry;
+  retry.max_retries = 8;
+  retry.base_backoff = 0.25;
+  retry.multiplier = 2.0;
+  retry.max_backoff = 2.0;
+
+  const TwinOutcome sync_twin = runTwin(/*async_io=*/false, {});
+  const TwinOutcome async_twin = runTwin(/*async_io=*/true, retry);
+
+  std::printf(
+      "Fault plan (both twins): write bandwidth x0.25 during [6,12) s,\n"
+      "70%% transient EIO faults in the same window, blackout [14,15) s.\n\n");
+
+  std::printf("sync twin : %d/%d ranks failed after %llu unrecoverable "
+              "fault%s (no retry budget)\n",
+              sync_twin.failed_ranks, kRanks,
+              static_cast<unsigned long long>(sync_twin.io.failures),
+              sync_twin.io.failures == 1 ? "" : "s");
+  std::printf("async twin: %s in %.1f s -- %llu transfer retr%s absorbed "
+              "by the I/O thread, %llu failures\n\n",
+              async_twin.failed_ranks == 0 ? "survived" : "FAILED",
+              async_twin.elapsed,
+              static_cast<unsigned long long>(async_twin.io.retries),
+              async_twin.io.retries == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(async_twin.io.failures));
+
+  LineChart chart(90, 12);
+  chart.setTitle("Async twin: total PFS write bandwidth (GB/s)");
+  auto pts = async_twin.write_rate.resample(0.0, async_twin.elapsed, 90);
+  for (auto& [t, v] : pts) v /= 1e9;
+  chart.addSeries("write", pts);
+  std::printf("%s\n", chart.render().c_str());
+  return 0;
+}

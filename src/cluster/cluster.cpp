@@ -20,6 +20,10 @@ struct Cluster::Job {
   // Policy bookkeeping: latest per-rank required bandwidth.
   std::vector<double> last_required;
   std::size_t records_consumed = 0;
+  // Bumped on every (re)launch; the contention monitor captures it at spawn
+  // and exits when it changes, so a monitor never touches the fresh
+  // world/tracer of a requeued attempt.
+  std::uint64_t launch_epoch = 0;
 };
 
 Cluster::Cluster(sim::Simulation& simulation, ClusterConfig config)
@@ -64,6 +68,11 @@ void Cluster::enableContentionLimiting(JobId id, double tolerance,
 void Cluster::start() {
   IOBTS_CHECK(!started_, "start() may only be called once");
   started_ = true;
+  // Install the fault plan only now: its straggler events may name job
+  // streams, which exist once every submit() has run.
+  if (config_.fault_plan != nullptr) {
+    link_->installFaultPlan(*config_.fault_plan);
+  }
   if (jobs_.empty()) {
     all_done_.fire();
     return;
@@ -97,6 +106,9 @@ void Cluster::tryStartJobs() {
     wcfg.name = "job." + job.spec.name;
     wcfg.shared_stream = job.stream;
     wcfg.seed = config_.seed ^ hashName(job.spec.name);
+    wcfg.retry = config_.retry;
+    ++job.launch_epoch;
+    job.records_consumed = 0;
     if (job.spec.io == JobIo::Async) {
       tmio::TracerConfig tcfg;
       tcfg.strategy = tmio::StrategyKind::None;  // observe only
@@ -128,9 +140,35 @@ void Cluster::tryStartJobs() {
 sim::Task<void> Cluster::jobWatcher(JobId id) {
   Job& job = *jobs_[id];
   co_await job.world->join();
-  job.result.end = sim_.now();
+  const int failed_ranks = job.world->failedRanks();
+  job.result.io_retries += job.world->ioStats().retries;
   free_nodes_ += job.spec.nodes;
   link_->setStreamCap(job.stream, std::nullopt);  // drop any leftover cap
+
+  if (failed_ranks > 0 && job.result.resubmits < job.spec.max_resubmits) {
+    // Graceful degradation: tear the attempt down and requeue at the FCFS
+    // tail. The relaunch (tryStartJobs) spawns a fresh watcher/monitor; the
+    // epoch bump there retires this attempt's monitor.
+    ++job.result.resubmits;
+    job.result.start = sim::kNoTime;
+    job.world.reset();
+    job.tracer.reset();
+    IOBTS_LOG_WARN() << "job " << job.spec.name << " failed (" << failed_ranks
+                     << " ranks); resubmit " << job.result.resubmits << "/"
+                     << job.spec.max_resubmits;
+    pending_queue_.push_back(id);
+    tryStartJobs();
+    co_return;
+  }
+
+  job.result.end = sim_.now();
+  job.result.failed = failed_ranks > 0;
+  job.result.failed_ranks = failed_ranks;
+  if (job.result.failed) {
+    IOBTS_LOG_WARN() << "job " << job.spec.name << " failed permanently ("
+                     << failed_ranks << " ranks, "
+                     << job.result.resubmits << " resubmits used)";
+  }
   tryStartJobs();
   if (++finished_jobs_ == static_cast<int>(jobs_.size())) all_done_.fire();
 }
@@ -138,10 +176,16 @@ sim::Task<void> Cluster::jobWatcher(JobId id) {
 sim::Task<void> Cluster::contentionMonitor(JobId id, double tolerance,
                                            sim::Time poll_interval) {
   Job& job = *jobs_[id];
+  // Watch one attempt only: a requeue resets world/tracer, so this monitor
+  // must retire the moment the job is relaunched under a newer epoch.
+  const std::uint64_t epoch = job.launch_epoch;
   bool capped = false;
-  while (!job.result.finished()) {
+  while (!job.result.finished() && job.launch_epoch == epoch) {
     co_await sim_.delay(poll_interval);
-    if (job.result.finished()) break;
+    if (job.result.finished() || job.launch_epoch != epoch ||
+        job.tracer == nullptr) {
+      break;
+    }
 
     // Fold new tracer records into the per-rank estimates.
     const auto& records = job.tracer->phaseRecords();
@@ -154,10 +198,20 @@ sim::Task<void> Cluster::contentionMonitor(JobId id, double tolerance,
 
     const bool contended = link_->contended(pfs::Channel::Write);
     if (contended && estimate > 0.0) {
-      link_->setStreamCap(job.stream, estimate * tolerance);
+      // Graceful degradation: the policy caps relative to what the link can
+      // actually deliver. Inside a degradation window the job's share of
+      // the *effective* capacity is proportionally smaller, so the cap
+      // shrinks with it instead of insisting on the healthy-link estimate.
+      // Guarded so a healthy link's cap arithmetic is unchanged.
+      BytesPerSec cap = estimate * tolerance;
+      const BytesPerSec base = link_->capacity(pfs::Channel::Write);
+      const BytesPerSec effective =
+          link_->effectiveCapacity(pfs::Channel::Write);
+      if (effective != base && base > 0.0) cap *= effective / base;
+      link_->setStreamCap(job.stream, cap);
       if (!capped) {
         IOBTS_LOG_DEBUG() << "capping job " << job.spec.name << " at "
-                          << formatBandwidth(estimate * tolerance);
+                          << formatBandwidth(cap);
       }
       capped = true;
     } else if (capped && !contended) {
@@ -176,6 +230,9 @@ mpisim::World::RankProgram Cluster::makeProgram(const JobSpec& spec) {
       co_await ctx.compute(spec.compute_seconds);
       if (pending.valid()) {
         co_await ctx.wait(pending);
+        // Async errors arrive MPI-style in the request status; the job
+        // treats a permanently failed write like a fatal I/O error.
+        if (pending.failed()) throw mpisim::IoFailure(pending.info());
         pending = {};
       }
       std::uint64_t tag_seed = static_cast<std::uint64_t>(loop) + 1;
@@ -187,7 +244,10 @@ mpisim::World::RankProgram Cluster::makeProgram(const JobSpec& spec) {
         co_await file.writeAt(0, spec.write_bytes_per_node, tag);
       }
     }
-    if (pending.valid()) co_await ctx.wait(pending);
+    if (pending.valid()) {
+      co_await ctx.wait(pending);
+      if (pending.failed()) throw mpisim::IoFailure(pending.info());
+    }
   };
 }
 

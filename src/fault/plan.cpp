@@ -1,0 +1,78 @@
+#include "fault/plan.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::fault {
+
+void FaultPlan::validateWindow(const TimeWindow& window) {
+  IOBTS_CHECK(std::isfinite(window.begin) && window.begin >= 0.0,
+              "fault window must begin at a finite, non-negative time");
+  IOBTS_CHECK(!std::isnan(window.end) && window.end > window.begin,
+              "fault window must be non-empty (end > begin)");
+}
+
+FaultPlan& FaultPlan::degradeChannel(pfs::Channel channel, double factor,
+                                     TimeWindow window) {
+  validateWindow(window);
+  IOBTS_CHECK(factor > 0.0 && factor <= 1.0,
+              "degradation factor must lie in (0, 1]; use addBlackout for a "
+              "full outage");
+  degradations_.push_back(DegradationEvent{channel, factor, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggleStream(pfs::StreamId stream, double multiplier,
+                                     TimeWindow window) {
+  validateWindow(window);
+  IOBTS_CHECK(multiplier > 0.0 && multiplier <= 1.0,
+              "straggler multiplier must lie in (0, 1]");
+  stragglers_.push_back(StragglerEvent{stream, multiplier, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::addTransferFault(TransferFaultRule rule) {
+  validateWindow(rule.window);
+  IOBTS_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0 &&
+                  !std::isnan(rule.probability),
+              "fault probability must lie in [0, 1]");
+  faults_.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::addBlackout(TimeWindow window) {
+  validateWindow(window);
+  for (const BlackoutEvent& existing : blackouts_) {
+    IOBTS_CHECK(!window.overlaps(existing.window),
+                "blackout windows must not overlap");
+  }
+  blackouts_.push_back(BlackoutEvent{window});
+  return *this;
+}
+
+bool FaultPlan::faultVerdict(pfs::Channel channel, pfs::StreamId stream,
+                             std::uint64_t serial,
+                             sim::Time completion) const noexcept {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const TransferFaultRule& rule = faults_[i];
+    if (rule.channel && *rule.channel != channel) continue;
+    if (rule.stream && *rule.stream != stream) continue;
+    if (!rule.window.contains(completion)) continue;
+    if (rule.probability >= 1.0) return true;
+    if (rule.probability <= 0.0) continue;
+    // Counter-based draw: hash (seed, serial, rule index) to a uniform in
+    // [0, 1). Stateless, so the verdict is independent of how many other
+    // transfers were examined before this one.
+    std::uint64_t x = seed_;
+    x ^= 0x9e3779b97f4a7c15ULL * (serial + 1);
+    x ^= 0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(i) + 1);
+    const double u =
+        static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+    if (u < rule.probability) return true;
+  }
+  return false;
+}
+
+}  // namespace iobts::fault

@@ -7,15 +7,19 @@ namespace iobts::mpisim {
 AdioEngine::AdioEngine(sim::Simulation& simulation, pfs::SharedLink& link,
                        pfs::FileStore& store, pfs::StreamId stream,
                        throttle::PacerConfig pacer_config, IoHooks* hooks,
-                       pfs::BurstBuffer* burst_buffer)
+                       pfs::BurstBuffer* burst_buffer,
+                       throttle::RetryPolicy retry_policy)
     : sim_(simulation),
       link_(link),
       store_(store),
       stream_(stream),
       burst_buffer_(burst_buffer),
       pacers_{throttle::Pacer(pacer_config), throttle::Pacer(pacer_config)},
+      retry_policy_(retry_policy),
       hooks_(hooks),
-      mailbox_(simulation) {}
+      mailbox_(simulation) {
+  retry_policy_.validate();
+}
 
 void AdioEngine::submit(Job job) {
   IOBTS_CHECK(!stopping_, "submit after stop");
@@ -27,6 +31,24 @@ void AdioEngine::requestStop() {
   if (stopping_) return;
   stopping_ = true;
   mailbox_.send(Job{});  // stop marker drains behind queued work
+}
+
+void AdioEngine::abort() {
+  // Fail everything still queued. A pre-existing stop marker (requestStop
+  // racing an abort) is simply dropped; a fresh one is sent below either
+  // way. The waiters are released through the queue like any completion,
+  // but hooks are not fired: the cancelled operations never reached the
+  // I/O thread, so the tracer must not see them.
+  while (std::optional<Job> job = mailbox_.tryRecv()) {
+    if (!job->request) continue;
+    RequestInfo& info = job->request->info;
+    info.error = IoError::Cancelled;
+    info.completed = true;
+    ++stats_.cancelled;
+    job->request->done.fire();
+  }
+  stopping_ = true;
+  mailbox_.send(Job{});  // terminate serve() ahead of any new work
 }
 
 sim::Task<void> AdioEngine::serve() {
@@ -44,9 +66,20 @@ sim::Task<void> AdioEngine::execute(Job& job) {
 
   const pfs::Channel channel = channelOf(info.op);
   throttle::Pacer& pacer_ = pacer(channel);
+  // Per-operation retry bookkeeping, seeded deterministically from the
+  // request identity so jittered backoff schedules are reproducible and
+  // independent of concurrent operations.
+  throttle::RetryState retry(
+      retry_policy_,
+      (static_cast<std::uint64_t>(info.rank + 1) * 0x9e3779b97f4a7c15ULL) ^
+          (static_cast<std::uint64_t>(stream_) << 32) ^ info.id);
+  const sim::Time first_attempt = sim_.now();
+  bool failed = false;
+
   if (burst_buffer_ != nullptr && isWrite(info.op)) {
     // Burst-buffer path: absorb at node-local speed; the background drain
-    // (with its drain_limit) replaces the per-request pacing.
+    // (with its drain_limit) replaces the per-request pacing. Faults hit
+    // the drain's PFS transfers, not this node-local copy.
     co_await burst_buffer_->write(info.bytes);
   } else if (isAsync(info.op)) {
     // Steps 1-3 of the paper's limiting algorithm: split, execute blocking,
@@ -54,17 +87,59 @@ sim::Task<void> AdioEngine::execute(Job& job) {
     // a blocking operation's duration feeds straight into the runtime, so
     // pacing it would only hurt (Sec. II).
     for (const Bytes chunk : pacer_.split(info.bytes)) {
-      const sim::Time t0 = sim_.now();
-      co_await link_.transfer(channel, stream_, chunk);
-      const Seconds actual = sim_.now() - t0;
-      const Seconds sleep = pacer_.onSubrequestDone(chunk, actual);
-      if (sleep > 0.0) co_await sim_.delay(sleep);
+      bool chunk_done = false;
+      while (!chunk_done) {
+        const sim::Time t0 = sim_.now();
+        const pfs::TransferResult r =
+            co_await link_.transfer(channel, stream_, chunk);
+        const Seconds actual = sim_.now() - t0;
+        if (r.ok()) {
+          const Seconds sleep = pacer_.onSubrequestDone(chunk, actual);
+          if (sleep > 0.0) co_await sim_.delay(sleep);
+          chunk_done = true;
+          continue;
+        }
+        // Faulted attempt: the wire time was spent but no payload moved.
+        // Bank it -- and the backoff sleep below -- as Case-B deficit so
+        // the paced elapsed time stays ~max(required, actual) across the
+        // retry instead of paying the pacing sleep on top.
+        pacer_.onSubrequestDone(0, actual);
+        const std::optional<Seconds> backoff =
+            retry.nextBackoff(sim_.now() - first_attempt);
+        if (!backoff) {
+          failed = true;
+          break;
+        }
+        ++stats_.retries;
+        if (*backoff > 0.0) {
+          co_await sim_.delay(*backoff);
+          pacer_.onSubrequestDone(0, *backoff);
+        }
+      }
+      if (failed) break;
     }
   } else {
-    co_await link_.transfer(channel, stream_, info.bytes);
+    // Blocking operations retry too -- unpaced, so no deficit to keep.
+    while (true) {
+      const pfs::TransferResult r =
+          co_await link_.transfer(channel, stream_, info.bytes);
+      if (r.ok()) break;
+      const std::optional<Seconds> backoff =
+          retry.nextBackoff(sim_.now() - first_attempt);
+      if (!backoff) {
+        failed = true;
+        break;
+      }
+      ++stats_.retries;
+      if (*backoff > 0.0) co_await sim_.delay(*backoff);
+    }
   }
+  info.retries = retry.retriesUsed();
 
-  if (isWrite(info.op)) {
+  if (failed) {
+    info.error = IoError::RetriesExhausted;
+    ++stats_.failures;
+  } else if (isWrite(info.op)) {
     store_.write(job.path, info.offset, info.bytes, job.tag);
   }
 

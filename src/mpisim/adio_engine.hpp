@@ -9,6 +9,14 @@
 // Here the "thread" is a coroutine process per rank; the mailbox is the
 // client/server queue; completion is signalled through the request's trigger
 // (the generalized-request mechanism).
+//
+// Resilience: transfers that come back Faulted (see fault::FaultPlan) are
+// retried under a throttle::RetryPolicy -- the failed attempt's wire time
+// and the backoff sleep are banked as pacing deficit so the paced schedule
+// survives the retry. An exhausted budget fails the request MPI-style
+// (error-in-status; blocking calls translate it to an IoFailure throw at the
+// World layer). abort() cancels still-queued requests for failed-job
+// teardown.
 #pragma once
 
 #include <optional>
@@ -21,6 +29,7 @@
 #include "pfs/shared_link.hpp"
 #include "sim/sync.hpp"
 #include "throttle/pacer.hpp"
+#include "throttle/retry.hpp"
 
 namespace iobts::mpisim {
 
@@ -35,13 +44,20 @@ class AdioEngine {
   AdioEngine(sim::Simulation& simulation, pfs::SharedLink& link,
              pfs::FileStore& store, pfs::StreamId stream,
              throttle::PacerConfig pacer_config, IoHooks* hooks,
-             pfs::BurstBuffer* burst_buffer = nullptr);
+             pfs::BurstBuffer* burst_buffer = nullptr,
+             throttle::RetryPolicy retry_policy = {});
 
   /// Enqueue a request for the I/O thread (FIFO).
   void submit(Job job);
 
   /// Drain outstanding jobs, then terminate serve().
   void requestStop();
+
+  /// Fail every still-queued request with IoError::Cancelled (waiters are
+  /// released; hooks are NOT fired -- the operations never ran), then
+  /// terminate serve(). The in-flight operation, if any, runs to completion
+  /// first. Used for failed-job teardown; further submits are rejected.
+  void abort();
 
   /// User-level bandwidth control (the paper's MPI extension knob). Read
   /// and write throughput are limited independently: their phases have
@@ -54,6 +70,18 @@ class AdioEngine {
   }
 
   std::size_t queuedJobs() const noexcept { return mailbox_.size(); }
+
+  /// Resilience counters for this rank's I/O thread.
+  struct Stats {
+    std::uint64_t retries = 0;    // faulted transfer attempts retried
+    std::uint64_t failures = 0;   // requests failed (budget exhausted)
+    std::uint64_t cancelled = 0;  // requests cancelled by abort()
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  const throttle::RetryPolicy& retryPolicy() const noexcept {
+    return retry_policy_;
+  }
 
   /// The I/O thread body; the World spawns this as a process.
   sim::Task<void> serve();
@@ -71,9 +99,11 @@ class AdioEngine {
   pfs::StreamId stream_;
   pfs::BurstBuffer* burst_buffer_;  // optional; owned by the RankCtx
   throttle::Pacer pacers_[pfs::kChannels];
+  throttle::RetryPolicy retry_policy_{};
   IoHooks* hooks_;
   sim::Mailbox<Job> mailbox_;
   bool stopping_ = false;
+  Stats stats_{};
 };
 
 }  // namespace iobts::mpisim

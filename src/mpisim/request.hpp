@@ -35,6 +35,15 @@ class Request {
   /// MPI_Test analog: non-blocking completion check.
   bool test() const noexcept { return state_ && state_->info.completed; }
 
+  /// MPI-style error-in-status: valid once completed. A failed request
+  /// (retries exhausted, or cancelled by an engine abort) still completes --
+  /// wait()/test() return normally and the caller inspects this.
+  IoError error() const noexcept { return state_->info.error; }
+  bool failed() const noexcept {
+    return state_ && state_->info.completed &&
+           state_->info.error != IoError::Ok;
+  }
+
   const RequestInfo& info() const { return state_->info; }
 
   /// For the runtime/engine only.

@@ -24,4 +24,13 @@ pfs::Channel channelOf(IoOp op) noexcept {
   return isWrite(op) ? pfs::Channel::Write : pfs::Channel::Read;
 }
 
+const char* ioErrorName(IoError error) noexcept {
+  switch (error) {
+    case IoError::Ok: return "ok";
+    case IoError::RetriesExhausted: return "retries exhausted";
+    case IoError::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
 }  // namespace iobts::mpisim

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "pfs/shared_link.hpp"
@@ -24,6 +25,21 @@ bool isAsync(IoOp op) noexcept;
 bool isWrite(IoOp op) noexcept;
 pfs::Channel channelOf(IoOp op) noexcept;
 
+/// MPI-style error class of a finished operation. Mirrors the
+/// error-in-status convention: a failed async request still *completes*
+/// (MPI_Wait/Test return), and the caller reads the error from the request.
+enum class IoError : int {
+  Ok = 0,
+  /// Every attempt drew a transfer fault and the retry budget/deadline ran
+  /// out (the EIO the application finally sees).
+  RetriesExhausted = 1,
+  /// The operation was still queued when AdioEngine::abort() tore the I/O
+  /// thread down (failed-job teardown in the cluster sim).
+  Cancelled = 2,
+};
+
+const char* ioErrorName(IoError error) noexcept;
+
 /// Everything an interception library (TMIO) learns about one I/O request
 /// through the PMPI-style hooks.
 struct RequestInfo {
@@ -36,6 +52,30 @@ struct RequestInfo {
   sim::Time io_start = sim::kNoTime;     // I/O thread began the transfer
   sim::Time io_end = sim::kNoTime;       // I/O thread finished (gives dt^o)
   bool completed = false;
+  IoError error = IoError::Ok;
+  /// Transfer retries the I/O thread performed for this request.
+  std::uint32_t retries = 0;
+
+  bool ok() const noexcept { return error == IoError::Ok; }
+};
+
+/// Thrown by the *blocking* MPI-IO calls (write_at/read_at) when the
+/// operation ultimately fails -- blocking MPI has nowhere to park an error
+/// status the caller would reliably read. Async operations never throw;
+/// they report through Request::error().
+class IoFailure : public std::runtime_error {
+ public:
+  explicit IoFailure(const RequestInfo& info)
+      : std::runtime_error(std::string(ioOpName(info.op)) + " failed: " +
+                           ioErrorName(info.error) + " (rank " +
+                           std::to_string(info.rank) + ", " +
+                           std::to_string(info.retries) + " retries)"),
+        info_(info) {}
+
+  const RequestInfo& info() const noexcept { return info_; }
+
+ private:
+  RequestInfo info_;
 };
 
 }  // namespace iobts::mpisim

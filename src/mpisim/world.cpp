@@ -37,9 +37,9 @@ RankCtx::RankCtx(World& world, int rank)
     burst_buffer_ = std::make_unique<pfs::BurstBuffer>(
         sim_, world.link_, stream_, *world.config_.burst_buffer);
   }
-  engine_ = std::make_unique<AdioEngine>(sim_, world.link_, world.store_,
-                                         stream_, world.config_.pacer,
-                                         world.hooks_, burst_buffer_.get());
+  engine_ = std::make_unique<AdioEngine>(
+      sim_, world.link_, world.store_, stream_, world.config_.pacer,
+      world.hooks_, burst_buffer_.get(), world.config_.retry);
 }
 
 int RankCtx::size() const noexcept { return world_.config_.ranks; }
@@ -128,6 +128,9 @@ sim::Task<void> RankCtx::blockingIo(const std::string& path, IoOp op,
   co_await state->done.wait();
   times_.sync_io += sim_.now() - t0;
   if (world_.hooks_) world_.hooks_->onSyncEnd(info);
+  if (!info.ok() && !world_.config_.tolerate_io_failures) {
+    throw IoFailure(info);
+  }
 }
 
 sim::Task<void> RankCtx::wait(Request& request) {
@@ -165,8 +168,16 @@ std::optional<BytesPerSec> RankCtx::ioLimit(pfs::Channel channel) const {
   return engine_->limit(channel);
 }
 
-sim::Task<void> RankCtx::finalize() {
-  engine_->requestStop();
+const AdioEngine::Stats& RankCtx::ioStats() const noexcept {
+  return engine_->stats();
+}
+
+sim::Task<void> RankCtx::finalize(bool aborted) {
+  if (aborted) {
+    engine_->abort();  // cancel queued I/O; nobody is left to wait on it
+  } else {
+    engine_->requestStop();
+  }
   co_await engine_proc_.join();
   if (burst_buffer_) {
     // Drain the node-local buffer before declaring the rank done.
@@ -263,8 +274,19 @@ void World::launch(RankProgram program) {
 sim::Task<void> World::rankMain(int rank, RankProgram program) {
   RankCtx& ctx = *ranks_[rank];
   ctx.times_.start = sim_.now();
-  co_await program(ctx);
-  co_await ctx.finalize();
+  try {
+    co_await program(ctx);
+  } catch (const IoFailure& failure) {
+    // A blocking MPI-IO call failed past its retry budget: the rank's
+    // program is over (MPI's errors-are-fatal default), but the world keeps
+    // running -- the rank still finalizes (cancelling queued async I/O) so
+    // join() completes and the cluster can account the failed job.
+    IOBTS_LOG_WARN() << config_.name << ".rank" << rank
+                     << " failed: " << failure.what();
+    ctx.failed_ = true;
+    ++failed_ranks_;
+  }
+  co_await ctx.finalize(/*aborted=*/ctx.failed_);
   ctx.times_.end = sim_.now();
   if (++finished_ranks_ == config_.ranks) {
     finish_time_ = sim_.now();
@@ -302,6 +324,17 @@ void World::setRankLimit(int rank, pfs::Channel channel,
 Seconds World::elapsed() const {
   IOBTS_CHECK(done_.fired(), "elapsed() before completion");
   return finish_time_ - launch_time_;
+}
+
+AdioEngine::Stats World::ioStats() const {
+  AdioEngine::Stats total;
+  for (const auto& ctx : ranks_) {
+    const AdioEngine::Stats& s = ctx->ioStats();
+    total.retries += s.retries;
+    total.failures += s.failures;
+    total.cancelled += s.cancelled;
+  }
+  return total;
 }
 
 }  // namespace iobts::mpisim

@@ -52,6 +52,15 @@ struct WorldConfig {
   double compute_jitter_sigma = 0.0;
   /// ADIO sub-request size for the limiting I/O thread.
   throttle::PacerConfig pacer{};
+  /// Retry/backoff policy for faulted transfers (see fault::FaultPlan); the
+  /// default fails fast (no retries) -- faults then surface on the first
+  /// attempt.
+  throttle::RetryPolicy retry{};
+  /// When set, a *blocking* MPI-IO call whose operation ultimately fails
+  /// returns normally instead of throwing IoFailure (errors are still
+  /// visible in the engine stats). Async requests always use
+  /// error-in-status and never throw.
+  bool tolerate_io_failures = false;
   /// Optional node-local burst buffer per rank: writes are absorbed locally
   /// and drained to the PFS in the background (the paper's future-work
   /// setting for synchronous I/O). When set, the per-rank write limiter is
@@ -157,6 +166,16 @@ class RankCtx {
   const RankTimes& times() const noexcept { return times_; }
   pfs::StreamId stream() const noexcept { return stream_; }
 
+  /// True once an IoFailure escaped this rank's program (the rank was torn
+  /// down early; queued async I/O was cancelled).
+  bool failed() const noexcept { return failed_; }
+
+  /// This rank's I/O-thread resilience counters (retries/failures/cancels).
+  const AdioEngine::Stats& ioStats() const noexcept;
+
+  /// Direct engine access (tests and teardown paths).
+  AdioEngine& engine() noexcept { return *engine_; }
+
  private:
   friend class World;
   friend class File;
@@ -169,7 +188,8 @@ class RankCtx {
                              Bytes len, pfs::ContentTag tag);
   sim::Task<void> chargeIntercept();
   sim::Task<void> collective(Bytes bytes, int stages);
-  sim::Task<void> finalize();
+  /// Aborted teardown cancels still-queued I/O instead of draining it.
+  sim::Task<void> finalize(bool aborted);
 
   World& world_;
   sim::Simulation& sim_;
@@ -182,6 +202,7 @@ class RankCtx {
   Rng jitter_rng_;
   std::uint64_t next_request_id_ = 0;
   RankTimes times_;
+  bool failed_ = false;
 };
 
 class World {
@@ -222,6 +243,12 @@ class World {
   /// valid after completion.
   Seconds elapsed() const;
 
+  /// Ranks whose program was terminated by an escaping IoFailure.
+  int failedRanks() const noexcept { return failed_ranks_; }
+
+  /// Resilience counters summed over every rank's I/O thread.
+  AdioEngine::Stats ioStats() const;
+
  private:
   friend class RankCtx;
 
@@ -236,6 +263,7 @@ class World {
   std::unique_ptr<sim::Barrier> barrier_;
   sim::Trigger done_;
   int finished_ranks_ = 0;
+  int failed_ranks_ = 0;
   bool launched_ = false;
   sim::Time launch_time_ = 0.0;
   sim::Time finish_time_ = 0.0;

@@ -1,0 +1,21 @@
+// PFS channel and stream vocabulary.
+//
+// Extracted from shared_link.hpp so that low-level modules (the fault plane
+// in src/fault) can name channels and streams without pulling in -- or link
+// against -- the SharedLink itself.
+#pragma once
+
+#include <cstdint>
+
+namespace iobts::pfs {
+
+enum class Channel : int { Read = 0, Write = 1 };
+inline constexpr std::size_t kChannels = 2;
+
+inline constexpr const char* channelName(Channel ch) noexcept {
+  return ch == Channel::Read ? "read" : "write";
+}
+
+using StreamId = std::uint32_t;
+
+}  // namespace iobts::pfs

@@ -15,10 +15,6 @@ namespace {
 constexpr double kDrainEpsilonBytes = 0.5;
 }  // namespace
 
-const char* channelName(Channel ch) noexcept {
-  return ch == Channel::Read ? "read" : "write";
-}
-
 struct SharedLink::Transfer {
   explicit Transfer(sim::Simulation& simulation) : done(simulation) {}
 
@@ -29,6 +25,13 @@ struct SharedLink::Transfer {
   sim::Time last_settle = 0.0;
   double rate = 0.0;
   std::optional<BytesPerSec> noise_cap{};
+  /// Monotone per-link id; keys the deterministic fault verdict.
+  std::uint64_t serial = 0;
+  /// Points into the awaiting transfer() frame's TransferResult.status. The
+  /// frame is suspended at done.wait() until fire() resumes it through the
+  /// event queue, so the sink outlives this Transfer object (which is
+  /// destroyed at the end of the completion sweep, before resumption).
+  TransferStatus* status_sink = nullptr;
   sim::Trigger done;
 };
 
@@ -53,6 +56,14 @@ struct SharedLink::ChannelState {
   Bytes bytes_moved = 0;
   StepSeries total_series;
   bool contended = false;
+
+  // --- Fault-plane bookkeeping -------------------------------------------
+  // Compound factor of the degradation/blackout windows active right now
+  // (product; 1.0 = healthy, 0.0 = blackout). Recomputed from scratch at
+  // every window edge so it is fp-exact and order-independent.
+  double degrade_factor = 1.0;
+  std::uint64_t faulted_transfers = 0;
+  std::uint64_t capacity_edges = 0;
 
   // --- Lazy-settle bookkeeping ------------------------------------------
   // Earliest virtual time at which any active transfer could cross the
@@ -96,8 +107,20 @@ SharedLink::SharedLink(sim::Simulation& simulation, LinkConfig config)
     : sim_(simulation),
       config_(config),
       noise_rng_(config.seed, "pfs-noise") {
-  IOBTS_CHECK(config_.read_capacity >= 0.0 && config_.write_capacity >= 0.0,
-              "capacities must be non-negative");
+  IOBTS_CHECK(config_.read_capacity > 0.0 &&
+                  std::isfinite(config_.read_capacity),
+              "read capacity must be positive and finite");
+  IOBTS_CHECK(config_.write_capacity > 0.0 &&
+                  std::isfinite(config_.write_capacity),
+              "write capacity must be positive and finite");
+  IOBTS_CHECK(config_.noise_sigma >= 0.0 && !std::isnan(config_.noise_sigma),
+              "noise sigma must be non-negative");
+  IOBTS_CHECK(config_.noise_reference_rate >= 0.0 &&
+                  !std::isnan(config_.noise_reference_rate),
+              "noise reference rate must be non-negative");
+  IOBTS_CHECK(config_.congestion_gamma >= 0.0 &&
+                  !std::isnan(config_.congestion_gamma),
+              "congestion gamma must be non-negative");
   IOBTS_CHECK(config_.recompute_quantum >= 0.0,
               "recompute quantum must be non-negative");
   IOBTS_CHECK(config_.client_rate_cap >= 0.0,
@@ -200,7 +223,6 @@ sim::Task<TransferResult> SharedLink::transfer(Channel channel,
   if (bytes == 0) co_return result;
 
   ChannelState& cs = chan(channel);
-  IOBTS_CHECK(cs.capacity > 0.0, "transfer on a zero-capacity channel");
 
   auto transfer_obj = std::make_unique<Transfer>(sim_);
   Transfer& t = *transfer_obj;
@@ -209,6 +231,8 @@ sim::Task<TransferResult> SharedLink::transfer(Channel channel,
   t.remaining = static_cast<double>(bytes);
   t.start = sim_.now();
   t.last_settle = sim_.now();
+  t.serial = next_transfer_serial_++;
+  t.status_sink = &result.status;
   if (config_.noise_sigma > 0.0) {
     const double factor =
         std::min(1.0, noise_rng_.lognormalFactor(config_.noise_sigma));
@@ -302,11 +326,22 @@ void SharedLink::resolve(Channel channel) {
   }
   if (!cs.completed_scratch.empty()) {
     active.resize(write_pos);
+    const bool judge = fault_plan_ && fault_plan_->hasTransferFaults();
     for (const auto& t : cs.completed_scratch) {
       cs.bytes_moved += t->total;
       Stream& s = *streams_[t->stream];
       s.bytes_moved += t->total;
       --s.active[static_cast<int>(channel)];
+      // Fault verdict at settle time: the transfer ran to its full
+      // fair-share duration and consumed bandwidth either way, but a faulted
+      // one reports an EIO-class error to its waiter. The verdict is written
+      // through status_sink before fire() so the awaiting frame observes it
+      // on resumption.
+      if (judge &&
+          fault_plan_->faultVerdict(channel, t->stream, t->serial, now)) {
+        *t->status_sink = TransferStatus::Faulted;
+        ++cs.faulted_transfers;
+      }
       t->done.fire();
     }
     cs.completed_scratch.clear();
@@ -348,7 +383,10 @@ void SharedLink::resolve(Channel channel) {
     sim_.post(next, [this, channel, gen] {
       if (chan(channel).sweep_generation == gen) resolve(channel);
     });
-  } else if (!cs.active.empty()) {
+  } else if (!cs.active.empty() && cs.degrade_factor != 0.0) {
+    // Zero aggregate rate during a blackout window is the intended stall,
+    // not an anomaly: the end-of-window edge event re-solves and the
+    // transfers resume.
     IOBTS_LOG_WARN() << "channel " << channelName(channel) << " has "
                      << cs.active.size()
                      << " active transfers but zero aggregate rate";
@@ -396,8 +434,12 @@ void SharedLink::solveRates(ChannelState& cs, Channel channel,
     }
   }
 
-  // Congestion: aggregate efficiency drops with concurrent writers.
+  // Degradation/blackout windows scale the deliverable capacity. Guarded so
+  // a healthy link's arithmetic stays bit-identical to the pre-fault-plane
+  // solve (the golden-digest gate depends on it).
   double effective_capacity = cs.capacity;
+  if (cs.degrade_factor != 1.0) effective_capacity *= cs.degrade_factor;
+  // Congestion: aggregate efficiency drops with concurrent writers.
   if (config_.congestion_gamma > 0.0 && cs.active.size() > 1) {
     effective_capacity /=
         1.0 + config_.congestion_gamma *
@@ -415,6 +457,17 @@ void SharedLink::solveRates(ChannelState& cs, Channel channel,
       if (config_.client_rate_cap > 0.0) {
         const BytesPerSec client_cap = config_.client_rate_cap * s.weight;
         cap = cap ? std::min(*cap, client_cap) : client_cap;
+      }
+      // Straggler windows cap the afflicted stream at a fraction of the base
+      // channel capacity. The vector is empty on a fault-free link, so this
+      // costs nothing (and performs no float ops) in the common case.
+      if (!straggler_factor_.empty()) {
+        const StreamId sid = cs.group_streams[k];
+        if (sid < straggler_factor_.size() && straggler_factor_[sid] != 1.0) {
+          const BytesPerSec straggler_cap =
+              cs.capacity * straggler_factor_[sid];
+          cap = cap ? std::min(*cap, straggler_cap) : straggler_cap;
+        }
       }
       if (config_.noise_sigma > 0.0) {
         double noise_sum = 0.0;
@@ -462,9 +515,139 @@ void SharedLink::solveRates(ChannelState& cs, Channel channel,
     }
   }
 
+  // Contention is judged against what the link can actually deliver: a
+  // degradation window can push an otherwise-uncontended load over the edge
+  // (graceful degradation: the cluster limiter re-estimates against this).
+  BytesPerSec contention_capacity = cs.capacity;
+  if (cs.degrade_factor != 1.0) contention_capacity *= cs.degrade_factor;
   cs.contended =
-      n_groups >= 2 && total_demand > cs.capacity * 1.000001;
+      n_groups >= 2 && total_demand > contention_capacity * 1.000001;
   if (config_.record_total) cs.total_series.add(now, total_rate);
+}
+
+// --- Fault plane -----------------------------------------------------------
+
+void SharedLink::refreshChannelFactor(Channel channel, sim::Time now) {
+  ChannelState& cs = chan(channel);
+  double factor = 1.0;
+  for (const fault::DegradationEvent& ev :
+       degradations_[static_cast<int>(channel)]) {
+    if (ev.window.contains(now)) factor *= ev.factor;
+  }
+  if (factor != cs.degrade_factor) {
+    cs.degrade_factor = factor;
+    ++cs.capacity_edges;
+    noteSolveInputChanged(channel);
+    markDirty(channel);
+  }
+}
+
+void SharedLink::refreshStragglerFactor(StreamId stream, sim::Time now) {
+  if (straggler_factor_.size() < streams_.size()) {
+    straggler_factor_.resize(streams_.size(), 1.0);
+  }
+  double factor = 1.0;
+  for (const fault::StragglerEvent& ev : stragglers_) {
+    if (ev.stream == stream && ev.window.contains(now)) {
+      factor *= ev.multiplier;
+    }
+  }
+  if (factor != straggler_factor_[stream]) {
+    straggler_factor_[stream] = factor;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      if (streams_[stream]->active[c] > 0) {
+        noteSolveInputChanged(static_cast<Channel>(c));
+        markDirty(static_cast<Channel>(c));
+      }
+    }
+  }
+}
+
+void SharedLink::scheduleDegradationEdges(Channel channel,
+                                          fault::TimeWindow window) {
+  const sim::Time now = sim_.now();
+  sim_.post(std::max(0.0, window.begin - now), [this, channel] {
+    refreshChannelFactor(channel, sim_.now());
+  });
+  if (std::isfinite(window.end)) {
+    sim_.post(std::max(0.0, window.end - now), [this, channel] {
+      refreshChannelFactor(channel, sim_.now());
+    });
+  }
+}
+
+void SharedLink::scheduleStragglerEdges(StreamId stream,
+                                        fault::TimeWindow window) {
+  const sim::Time now = sim_.now();
+  sim_.post(std::max(0.0, window.begin - now), [this, stream] {
+    refreshStragglerFactor(stream, sim_.now());
+  });
+  if (std::isfinite(window.end)) {
+    sim_.post(std::max(0.0, window.end - now), [this, stream] {
+      refreshStragglerFactor(stream, sim_.now());
+    });
+  }
+}
+
+void SharedLink::applyDegradation(Channel channel, double factor,
+                                  fault::TimeWindow window) {
+  IOBTS_CHECK(factor > 0.0 && factor <= 1.0 && !std::isnan(factor),
+              "degradation factor must lie in (0, 1]; use applyBlackout for "
+              "a full outage");
+  IOBTS_CHECK(window.end > window.begin, "degradation window must be non-empty");
+  IOBTS_CHECK(window.begin >= sim_.now(),
+              "degradation window must not start in the past");
+  degradations_[static_cast<int>(channel)].push_back(
+      fault::DegradationEvent{channel, factor, window});
+  scheduleDegradationEdges(channel, window);
+}
+
+void SharedLink::applyStraggler(StreamId stream, double multiplier,
+                                fault::TimeWindow window) {
+  IOBTS_CHECK(stream < streams_.size(), "unknown stream");
+  IOBTS_CHECK(multiplier > 0.0 && multiplier <= 1.0 && !std::isnan(multiplier),
+              "straggler multiplier must lie in (0, 1]");
+  IOBTS_CHECK(window.end > window.begin, "straggler window must be non-empty");
+  IOBTS_CHECK(window.begin >= sim_.now(),
+              "straggler window must not start in the past");
+  stragglers_.push_back(fault::StragglerEvent{stream, multiplier, window});
+  if (straggler_factor_.size() < streams_.size()) {
+    straggler_factor_.resize(streams_.size(), 1.0);
+  }
+  scheduleStragglerEdges(stream, window);
+}
+
+void SharedLink::applyBlackout(fault::TimeWindow window) {
+  IOBTS_CHECK(window.end > window.begin, "blackout window must be non-empty");
+  IOBTS_CHECK(window.begin >= sim_.now(),
+              "blackout window must not start in the past");
+  // A blackout is a factor-0 degradation on both channels; the compound
+  // product then collapses to 0 for the window's duration.
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const Channel channel = static_cast<Channel>(c);
+    degradations_[c].push_back(fault::DegradationEvent{channel, 0.0, window});
+    scheduleDegradationEdges(channel, window);
+  }
+}
+
+void SharedLink::installFaultPlan(const fault::FaultPlan& plan) {
+  IOBTS_CHECK(fault_plan_ == nullptr, "a fault plan is already installed");
+  fault_plan_ = &plan;
+  for (const fault::DegradationEvent& ev : plan.degradations()) {
+    applyDegradation(ev.channel, ev.factor, ev.window);
+  }
+  for (const fault::StragglerEvent& ev : plan.stragglers()) {
+    applyStraggler(ev.stream, ev.multiplier, ev.window);
+  }
+  for (const fault::BlackoutEvent& ev : plan.blackouts()) {
+    applyBlackout(ev.window);
+  }
+}
+
+BytesPerSec SharedLink::effectiveCapacity(Channel channel) const noexcept {
+  const ChannelState& cs = chan(channel);
+  return cs.degrade_factor != 1.0 ? cs.capacity * cs.degrade_factor
+                                  : cs.capacity;
 }
 
 BytesPerSec SharedLink::capacity(Channel channel) const noexcept {
@@ -509,7 +692,9 @@ SharedLink::ResolveStats SharedLink::resolveStats(
   const ChannelState& cs = chan(channel);
   return ResolveStats{.executed = cs.resolves_executed,
                       .lazy_skipped = cs.resolves_skipped,
-                      .full_solves = cs.full_solves};
+                      .full_solves = cs.full_solves,
+                      .faulted_transfers = cs.faulted_transfers,
+                      .capacity_edges = cs.capacity_edges};
 }
 
 sim::Time SharedLink::nextInterestingTime(Channel channel) const noexcept {

@@ -28,6 +28,16 @@
 // force_full_resolve reference mode takes the identical skip but verifies
 // the no-op claim with a non-mutating projection check, so both modes keep
 // bit-identical state and event sequences (see resolve-equivalence tests).
+//
+// Fault plane (src/fault): the link accepts capacity-degradation windows,
+// per-stream straggler caps, and full blackouts -- either directly
+// (applyDegradation/applyStraggler/applyBlackout) or wholesale from a
+// fault::FaultPlan, which additionally supplies per-transfer EIO-like fault
+// verdicts evaluated at settle time. Window edges are posted as
+// resolve-triggering events, so a degradation edge is an "interesting time"
+// for the lazy-settle machinery like any other solve-input change. A null
+// plan schedules nothing and the solve arithmetic is bit-identical to a
+// fault-free link.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +47,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
+#include "pfs/channel.hpp"
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 #include "util/rng.hpp"
@@ -44,13 +56,6 @@
 #include "util/units.hpp"
 
 namespace iobts::pfs {
-
-enum class Channel : int { Read = 0, Write = 1 };
-inline constexpr std::size_t kChannels = 2;
-
-const char* channelName(Channel ch) noexcept;
-
-using StreamId = std::uint32_t;
 
 struct LinkConfig {
   BytesPerSec read_capacity = 120.0e9;   // Lichtenberg: 120 GB/s reads
@@ -88,11 +93,18 @@ struct LinkConfig {
   bool force_full_resolve = false;
 };
 
+/// Outcome of a transfer. Faulted transfers run to their full (fair-share)
+/// duration and consume bandwidth, but the payload is lost -- the EIO-class
+/// error a client sees when an OST fails the request at completion.
+enum class TransferStatus : int { Ok = 0, Faulted = 1 };
+
 struct TransferResult {
   sim::Time start = 0.0;
   sim::Time end = 0.0;
   Bytes bytes = 0;
+  TransferStatus status = TransferStatus::Ok;
 
+  bool ok() const noexcept { return status == TransferStatus::Ok; }
   Seconds duration() const noexcept { return end - start; }
   BytesPerSec averageRate() const noexcept {
     const Seconds d = duration();
@@ -126,9 +138,38 @@ class SharedLink {
   void setRecordStream(StreamId stream, bool record);
 
   /// Move `bytes` through `channel` on behalf of `stream`; completes when the
-  /// bytes have drained at the evolving fair-share rate.
+  /// bytes have drained at the evolving fair-share rate. Check the result's
+  /// status: with a fault plan installed, a transfer may complete Faulted.
   sim::Task<TransferResult> transfer(Channel channel, StreamId stream,
                                      Bytes bytes);
+
+  // --- Fault plane ---------------------------------------------------------
+
+  /// Scale the channel's effective capacity by `factor` (in (0, 1]) during
+  /// `window`. Both edges are posted as resolve-triggering events, so rates
+  /// re-solve exactly at the window boundaries. Overlapping degradations
+  /// compound multiplicatively. Windows must start no earlier than now.
+  void applyDegradation(Channel channel, double factor,
+                        fault::TimeWindow window);
+
+  /// Cap `stream` at `multiplier` (in (0, 1]) x the base channel capacity on
+  /// both channels during `window` -- a slow client ("straggler").
+  void applyStraggler(StreamId stream, double multiplier,
+                      fault::TimeWindow window);
+
+  /// Zero both channels' bandwidth during `window`. Active transfers stall
+  /// and resume at the window's end; they are not failed.
+  void applyBlackout(fault::TimeWindow window);
+
+  /// Install a fault plan: schedules its degradation/straggler/blackout
+  /// windows and enables its per-transfer fault verdicts at settle time.
+  /// Call at most once, before the simulation runs past any window's start;
+  /// the plan must outlive the link. An empty plan is a provable no-op.
+  void installFaultPlan(const fault::FaultPlan& plan);
+
+  /// The channel's capacity after degradation/blackout windows active at the
+  /// current virtual time (== capacity() on an undegraded link).
+  BytesPerSec effectiveCapacity(Channel channel) const noexcept;
 
   // --- Introspection -------------------------------------------------------
   BytesPerSec capacity(Channel channel) const noexcept;
@@ -166,6 +207,10 @@ class SharedLink {
     std::uint64_t lazy_skipped = 0;
     /// Two-level solves actually run (<= executed).
     std::uint64_t full_solves = 0;
+    /// Transfers that completed with a Faulted status (fault plan verdicts).
+    std::uint64_t faulted_transfers = 0;
+    /// Effective-capacity changes applied (degradation/blackout edges).
+    std::uint64_t capacity_edges = 0;
   };
   ResolveStats resolveStats(Channel channel) const noexcept;
 
@@ -198,6 +243,18 @@ class SharedLink {
   /// weights); the next resolve must re-run the full solve.
   void noteSolveInputChanged(Channel channel);
 
+  /// Recompute a channel's compound degradation factor from its active
+  /// windows at `now` (from-scratch product: fp-exact and order-independent).
+  void refreshChannelFactor(Channel channel, sim::Time now);
+
+  /// Recompute a stream's straggler multiplier from its windows at `now`.
+  void refreshStragglerFactor(StreamId stream, sim::Time now);
+
+  /// Post resolve-triggering events at a fault window's begin/end edges that
+  /// refresh the channel's (or stream's) factor before the solve runs.
+  void scheduleDegradationEdges(Channel channel, fault::TimeWindow window);
+  void scheduleStragglerEdges(StreamId stream, fault::TimeWindow window);
+
   sim::Simulation& sim_;
   LinkConfig config_;
   Rng noise_rng_;
@@ -206,6 +263,20 @@ class SharedLink {
   /// zero-rate recording loop skip the (possibly huge) non-recorded rest.
   std::vector<StreamId> recorded_streams_;
   std::unique_ptr<ChannelState> channels_[kChannels];
+
+  // --- Fault-plane state ---------------------------------------------------
+  /// Installed plan (null on a fault-free link); supplies transfer verdicts.
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  /// Monotone id handed to each transfer; keys the deterministic verdict.
+  std::uint64_t next_transfer_serial_ = 0;
+  /// Degradation windows per channel (blackouts appear on both channels with
+  /// factor 0). Kept for from-scratch factor refresh at window edges.
+  std::vector<fault::DegradationEvent> degradations_[kChannels];
+  /// Straggler windows, scanned on refresh (tiny: one per injected fault).
+  std::vector<fault::StragglerEvent> stragglers_;
+  /// Per-stream active straggler multiplier (1.0 = unaffected). Sized lazily
+  /// on the first applyStraggler so fault-free links allocate nothing.
+  std::vector<double> straggler_factor_;
 };
 
 }  // namespace iobts::pfs

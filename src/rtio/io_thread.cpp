@@ -23,6 +23,13 @@ void OpHandle::wait() const {
   state_->cv.wait(lock, [&] { return state_->done; });
 }
 
+bool OpHandle::waitFor(std::chrono::duration<double> timeout) const {
+  IOBTS_CHECK(state_ != nullptr, "waitFor() on an empty handle");
+  IOBTS_CHECK(timeout.count() >= 0.0, "waitFor() timeout must be >= 0");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout, [&] { return state_->done; });
+}
+
 OpStats OpHandle::stats() const {
   IOBTS_CHECK(state_ != nullptr, "stats() on an empty handle");
   std::lock_guard<std::mutex> lock(state_->mutex);
@@ -32,12 +39,18 @@ OpStats OpHandle::stats() const {
 
 struct IoThread::Op {
   Bytes bytes = 0;
-  SubrequestFn fn;
+  FallibleSubrequestFn fn;
   std::shared_ptr<OpHandle::State> state;
+  std::uint64_t serial = 0;  // seeds the per-op retry jitter stream
 };
 
-IoThread::IoThread(throttle::PacerConfig pacer_config)
-    : pacer_config_(pacer_config), worker_([this] { serve(); }) {}
+IoThread::IoThread(throttle::PacerConfig pacer_config,
+                   throttle::RetryPolicy retry_policy)
+    : pacer_config_(pacer_config),
+      retry_policy_(retry_policy),
+      worker_([this] { serve(); }) {
+  retry_policy_.validate();
+}
 
 IoThread::~IoThread() {
   {
@@ -61,11 +74,19 @@ std::optional<BytesPerSec> IoThread::limit() const {
 
 OpHandle IoThread::submit(Bytes bytes, SubrequestFn fn) {
   IOBTS_CHECK(static_cast<bool>(fn), "submit() needs a sub-request callback");
+  return submitFallible(bytes, [f = std::move(fn)](Bytes offset, Bytes size) {
+    f(offset, size);
+    return true;
+  });
+}
+
+OpHandle IoThread::submitFallible(Bytes bytes, FallibleSubrequestFn fn) {
+  IOBTS_CHECK(static_cast<bool>(fn), "submit() needs a sub-request callback");
   auto state = std::make_shared<OpHandle::State>();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     IOBTS_CHECK(!stopping_, "submit() after shutdown began");
-    queue_.push_back(Op{bytes, std::move(fn), state});
+    queue_.push_back(Op{bytes, std::move(fn), state, next_serial_++});
   }
   cv_.notify_all();
   return OpHandle(state);
@@ -93,6 +114,8 @@ void IoThread::serve() {
     OpStats stats;
     stats.bytes = op.bytes;
     stats.start = std::chrono::steady_clock::now();
+    throttle::RetryState retry(retry_policy_,
+                               op.serial ^ 0x9e3779b97f4a7c15ULL);
 
     Bytes offset = 0;
     // Re-read the limit before each sub-request so setLimit() mid-operation
@@ -113,25 +136,52 @@ void IoThread::serve() {
                                 pacer.limited()
                                     ? pacer.config().subrequest_size
                                     : op.bytes - offset);
-      const auto t0 = std::chrono::steady_clock::now();
-      op.fn(offset, chunk);
-      const double actual =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      const Seconds sleep = pacer.onSubrequestDone(chunk, actual);
-      if (sleep > 0.0) {
-        const auto s0 = std::chrono::steady_clock::now();
-        std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
-        const double slept =
+      bool chunk_done = false;
+      while (!chunk_done) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool ok = op.fn(offset, chunk);
+        const double actual =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          s0)
+                                          t0)
                 .count();
-        stats.slept_seconds += slept;
-        // sleep_for overshoots at sub-millisecond granularity; bank the
-        // overshoot as Case-B deficit so the long-run rate stays on target.
-        if (slept > sleep) pacer.onSubrequestDone(0, slept - sleep);
+        ++stats.subrequests;
+        if (ok) {
+          const Seconds sleep = pacer.onSubrequestDone(chunk, actual);
+          if (sleep > 0.0) {
+            const auto s0 = std::chrono::steady_clock::now();
+            std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+            const double slept = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - s0)
+                                     .count();
+            stats.slept_seconds += slept;
+            // sleep_for overshoots at sub-millisecond granularity; bank the
+            // overshoot as Case-B deficit so the long-run rate stays on
+            // target.
+            if (slept > sleep) pacer.onSubrequestDone(0, slept - sleep);
+          }
+          chunk_done = true;
+          continue;
+        }
+        // Failed attempt: no payload moved, so its wire time -- and the
+        // backoff below -- are pure Case-B debt against future sleeps
+        // (same accounting as the simulated engine).
+        pacer.onSubrequestDone(0, actual);
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   stats.start)
+                                   .count();
+        const std::optional<Seconds> backoff = retry.nextBackoff(elapsed);
+        if (!backoff) {
+          stats.failed = true;
+          break;
+        }
+        ++stats.retries;
+        if (*backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(*backoff));
+          pacer.onSubrequestDone(0, *backoff);
+        }
       }
-      ++stats.subrequests;
+      if (stats.failed) break;
       offset += chunk;
       if (op.bytes == 0) break;
     }

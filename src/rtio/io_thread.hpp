@@ -9,6 +9,12 @@
 //
 // Completion is signalled through a generalized-request-style handle the
 // client waits on (condition variable), mirroring MPI_Grequest_complete.
+//
+// Resilience mirrors the simulated engine: a *fallible* sub-request callback
+// (submitFallible) may return false, and the worker then retries it under
+// the same throttle::RetryPolicy the AdioEngine uses -- real sleep_for
+// backoff, failed-attempt time banked as pacing deficit. An exhausted
+// budget marks the whole operation failed in its OpStats.
 #pragma once
 
 #include <chrono>
@@ -22,6 +28,7 @@
 #include <thread>
 
 #include "throttle/pacer.hpp"
+#include "throttle/retry.hpp"
 
 namespace iobts::rtio {
 
@@ -29,12 +36,18 @@ namespace iobts::rtio {
 /// within the operation. Must block until the sub-request is done.
 using SubrequestFn = std::function<void(Bytes offset, Bytes size)>;
 
+/// Fallible variant: return false to report a transient failure (an EIO);
+/// the worker retries under the thread's RetryPolicy.
+using FallibleSubrequestFn = std::function<bool(Bytes offset, Bytes size)>;
+
 struct OpStats {
   Bytes bytes = 0;
   std::chrono::steady_clock::time_point start{};
   std::chrono::steady_clock::time_point end{};
   std::size_t subrequests = 0;
   double slept_seconds = 0.0;  // total Case-A sleep injected
+  std::size_t retries = 0;     // failed sub-request attempts retried
+  bool failed = false;         // retry budget exhausted; op abandoned
 
   double durationSeconds() const {
     return std::chrono::duration<double>(end - start).count();
@@ -55,6 +68,9 @@ class OpHandle {
   bool test() const;
   /// MPI_Wait analog.
   void wait() const;
+  /// Timed wait: true if the operation completed within `timeout` (it stays
+  /// pending otherwise -- call wait()/waitFor() again to keep waiting).
+  bool waitFor(std::chrono::duration<double> timeout) const;
   /// Valid after completion.
   OpStats stats() const;
 
@@ -67,7 +83,8 @@ class OpHandle {
 
 class IoThread {
  public:
-  explicit IoThread(throttle::PacerConfig pacer_config = {});
+  explicit IoThread(throttle::PacerConfig pacer_config = {},
+                    throttle::RetryPolicy retry_policy = {});
   IoThread(const IoThread&) = delete;
   IoThread& operator=(const IoThread&) = delete;
   /// Drains the queue, then joins the worker.
@@ -82,6 +99,10 @@ class IoThread {
   /// through `fn`. FIFO order; returns immediately.
   OpHandle submit(Bytes bytes, SubrequestFn fn);
 
+  /// Like submit(), but `fn` may fail (return false); failed sub-requests
+  /// are retried under the thread's RetryPolicy.
+  OpHandle submitFallible(Bytes bytes, FallibleSubrequestFn fn);
+
   std::size_t pending() const;
 
  private:
@@ -89,10 +110,12 @@ class IoThread {
   void serve();
 
   throttle::PacerConfig pacer_config_;
+  throttle::RetryPolicy retry_policy_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Op> queue_;
   std::optional<BytesPerSec> limit_;
+  std::uint64_t next_serial_ = 0;
   bool stopping_ = false;
   std::thread worker_;
 };

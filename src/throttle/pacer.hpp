@@ -15,6 +15,11 @@
 // drives both the simulated ADIO driver (virtual clock) and the real I/O
 // thread in rtio (steady_clock). The caller owns the clock: it reports each
 // sub-request's actual duration and receives the sleep to perform.
+//
+// Retry interplay (see retry.hpp): a failed attempt's wire time and the
+// backoff slept before the next attempt are banked as Case-B deficit via
+// onSubrequestDone(0, duration), so a paced operation's elapsed time stays
+// ~max(required, actual) across retries instead of paying twice.
 #pragma once
 
 #include <optional>

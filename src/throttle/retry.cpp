@@ -1,0 +1,43 @@
+#include "throttle/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::throttle {
+
+void RetryPolicy::validate() const {
+  IOBTS_CHECK(base_backoff >= 0.0 && std::isfinite(base_backoff),
+              "base backoff must be non-negative and finite");
+  IOBTS_CHECK(multiplier >= 1.0 && std::isfinite(multiplier),
+              "backoff multiplier must be >= 1");
+  IOBTS_CHECK(max_backoff >= base_backoff && !std::isnan(max_backoff),
+              "max backoff must be >= base backoff");
+  IOBTS_CHECK(jitter >= 0.0 && jitter < 1.0,
+              "jitter fraction must lie in [0, 1)");
+  IOBTS_CHECK(deadline > 0.0 && !std::isnan(deadline),
+              "retry deadline must be positive");
+}
+
+std::optional<Seconds> RetryState::nextBackoff(Seconds elapsed) {
+  if (retries_ >= policy_.max_retries) return std::nullopt;
+  if (elapsed >= policy_.deadline) return std::nullopt;
+  Seconds backoff = policy_.base_backoff;
+  // pow() keeps the sequence exact for whole-number exponents and saturates
+  // cleanly at the cap; retries_ is small by construction.
+  if (retries_ > 0) {
+    backoff *= std::pow(policy_.multiplier, static_cast<double>(retries_));
+  }
+  backoff = std::min(backoff, policy_.max_backoff);
+  ++retries_;
+  if (policy_.jitter > 0.0 && backoff > 0.0) {
+    const double u =
+        static_cast<double>(splitmix64(jitter_state_) >> 11) * 0x1.0p-53;
+    backoff *= 1.0 + policy_.jitter * (2.0 * u - 1.0);
+  }
+  return backoff;
+}
+
+}  // namespace iobts::throttle

@@ -1,0 +1,71 @@
+// Bounded exponential backoff with jitter, shared by both I/O engines.
+//
+// Transient transfer faults (see fault::FaultPlan) are retried the way a
+// production MPI-IO stack would retry an EIO from a flaky OST: exponential
+// backoff from base_backoff up to max_backoff, a bounded number of retries,
+// and an overall deadline across attempts. The policy is pure bookkeeping --
+// RetryState hands back sleep durations and the caller owns the clock -- so
+// the *same* policy drives the simulated AdioEngine (virtual clock) and the
+// real rtio::IoThread (steady_clock), mirroring how throttle::Pacer serves
+// both sides.
+//
+// Determinism: jitter is drawn from a splitmix64 stream seeded per operation
+// (no shared RNG state), so retry schedules are reproducible and independent
+// of how concurrent operations interleave.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace iobts::throttle {
+
+struct RetryPolicy {
+  /// Retries after the first attempt; 0 disables retrying (fail fast).
+  std::uint32_t max_retries = 0;
+  /// Backoff before the first retry.
+  Seconds base_backoff = 1e-3;
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+  /// Backoff ceiling.
+  Seconds max_backoff = 1.0;
+  /// Jitter fraction in [0, 1): each backoff is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. 0 = deterministic schedule.
+  double jitter = 0.0;
+  /// Overall elapsed-time budget across attempts: once the time since the
+  /// first attempt reaches the deadline, no further retry is granted.
+  Seconds deadline = std::numeric_limits<double>::infinity();
+
+  bool enabled() const noexcept { return max_retries > 0; }
+
+  /// util::check-style eager validation (throws CheckError on bad fields).
+  void validate() const;
+};
+
+/// Per-operation retry bookkeeping. Construct one per I/O operation; call
+/// nextBackoff() after each failed attempt.
+class RetryState {
+ public:
+  RetryState() = default;
+  RetryState(const RetryPolicy& policy, std::uint64_t seed)
+      : policy_(policy), jitter_state_(seed) {}
+
+  /// Record a failed attempt. Returns the backoff to sleep before the next
+  /// attempt, or nullopt when the retry budget or the deadline (judged
+  /// against `elapsed`, the time since the first attempt began) is
+  /// exhausted. The undecorated (jitter-free) backoff sequence is
+  /// non-decreasing and capped at max_backoff.
+  std::optional<Seconds> nextBackoff(Seconds elapsed);
+
+  /// Retries granted so far (== failed attempts that were retried).
+  std::uint32_t retriesUsed() const noexcept { return retries_; }
+
+ private:
+  RetryPolicy policy_{};
+  std::uint32_t retries_ = 0;
+  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+}  // namespace iobts::throttle

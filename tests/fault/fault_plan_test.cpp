@@ -1,0 +1,149 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace iobts::fault {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FaultPlan, NullPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.hasTransferFaults());
+  // Every verdict on a null plan is "no fault".
+  for (std::uint64_t serial = 0; serial < 100; ++serial) {
+    EXPECT_FALSE(
+        plan.faultVerdict(pfs::Channel::Write, 0, serial, 1.0 * serial));
+  }
+}
+
+TEST(FaultPlan, BuildersChainAndStore) {
+  FaultPlan plan(42);
+  plan.degradeChannel(pfs::Channel::Write, 0.5, {10.0, 20.0})
+      .straggleStream(3, 0.25, {5.0, 15.0})
+      .addTransferFault({.window = {0.0, 100.0}, .probability = 1.0})
+      .addBlackout({30.0, 31.0});
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.hasTransferFaults());
+  ASSERT_EQ(plan.degradations().size(), 1u);
+  EXPECT_EQ(plan.degradations()[0].factor, 0.5);
+  ASSERT_EQ(plan.stragglers().size(), 1u);
+  EXPECT_EQ(plan.stragglers()[0].stream, 3u);
+  ASSERT_EQ(plan.blackouts().size(), 1u);
+  EXPECT_EQ(plan.seed(), 42u);
+}
+
+TEST(FaultPlan, RejectsBadInputs) {
+  FaultPlan plan;
+  // Degradation factor must lie in (0, 1].
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Write, 0.0, {0.0, 1.0}),
+               CheckError);
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Write, 1.5, {0.0, 1.0}),
+               CheckError);
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Write, -0.5, {0.0, 1.0}),
+               CheckError);
+  // Straggler multiplier must lie in (0, 1].
+  EXPECT_THROW(plan.straggleStream(0, 0.0, {0.0, 1.0}), CheckError);
+  EXPECT_THROW(plan.straggleStream(0, 2.0, {0.0, 1.0}), CheckError);
+  // Probability must lie in [0, 1].
+  EXPECT_THROW(
+      plan.addTransferFault({.window = {0.0, 1.0}, .probability = 1.5}),
+      CheckError);
+  EXPECT_THROW(
+      plan.addTransferFault({.window = {0.0, 1.0}, .probability = -0.5}),
+      CheckError);
+  // Windows must be non-empty with a finite, non-negative begin.
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Read, 0.5, {5.0, 5.0}),
+               CheckError);
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Read, 0.5, {5.0, 4.0}),
+               CheckError);
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Read, 0.5, {-1.0, 4.0}),
+               CheckError);
+  EXPECT_THROW(plan.degradeChannel(pfs::Channel::Read, 0.5, {kInf, kInf}),
+               CheckError);
+}
+
+TEST(FaultPlan, BlackoutWindowsMustNotOverlap) {
+  FaultPlan plan;
+  plan.addBlackout({10.0, 20.0});
+  EXPECT_THROW(plan.addBlackout({15.0, 25.0}), CheckError);
+  EXPECT_THROW(plan.addBlackout({5.0, 10.5}), CheckError);
+  EXPECT_THROW(plan.addBlackout({12.0, 13.0}), CheckError);
+  // Touching [20, 30) is fine: windows are half-open.
+  plan.addBlackout({20.0, 30.0});
+  EXPECT_EQ(plan.blackouts().size(), 2u);
+}
+
+TEST(FaultPlan, WindowContainmentIsHalfOpen) {
+  const TimeWindow w{2.0, 5.0};
+  EXPECT_FALSE(w.contains(1.999));
+  EXPECT_TRUE(w.contains(2.0));
+  EXPECT_TRUE(w.contains(4.999));
+  EXPECT_FALSE(w.contains(5.0));
+  // Default window covers everything from 0 on.
+  const TimeWindow all{};
+  EXPECT_TRUE(all.contains(0.0));
+  EXPECT_TRUE(all.contains(1e12));
+}
+
+TEST(FaultPlan, VerdictMatchesChannelStreamAndWindow) {
+  FaultPlan plan;
+  plan.addTransferFault({.channel = pfs::Channel::Write,
+                         .stream = pfs::StreamId{7},
+                         .window = {10.0, 20.0},
+                         .probability = 1.0});
+  // Matches only the configured channel, stream, and completion window.
+  EXPECT_TRUE(plan.faultVerdict(pfs::Channel::Write, 7, 0, 15.0));
+  EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Read, 7, 0, 15.0));
+  EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Write, 8, 0, 15.0));
+  EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Write, 7, 0, 25.0));
+  EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Write, 7, 0, 20.0));  // end
+}
+
+TEST(FaultPlan, ProbabilisticVerdictIsDeterministicAndStateless) {
+  FaultPlan a(123);
+  a.addTransferFault({.window = {0.0, kInf}, .probability = 0.5});
+  FaultPlan b(123);
+  b.addTransferFault({.window = {0.0, kInf}, .probability = 0.5});
+
+  int faulted = 0;
+  for (std::uint64_t serial = 0; serial < 1000; ++serial) {
+    const bool va = a.faultVerdict(pfs::Channel::Write, 0, serial, 1.0);
+    // Same seed, same serial => same verdict, independent of call order or
+    // how many verdicts were drawn before (counter-based, not stateful).
+    EXPECT_EQ(va, b.faultVerdict(pfs::Channel::Write, 0, serial, 1.0));
+    EXPECT_EQ(va, a.faultVerdict(pfs::Channel::Write, 0, serial, 1.0));
+    if (va) ++faulted;
+  }
+  // p=0.5 over 1000 draws: expect roughly half (very loose bounds).
+  EXPECT_GT(faulted, 350);
+  EXPECT_LT(faulted, 650);
+
+  // A different seed yields a different verdict pattern.
+  FaultPlan c(124);
+  c.addTransferFault({.window = {0.0, kInf}, .probability = 0.5});
+  int differing = 0;
+  for (std::uint64_t serial = 0; serial < 1000; ++serial) {
+    if (a.faultVerdict(pfs::Channel::Write, 0, serial, 1.0) !=
+        c.faultVerdict(pfs::Channel::Write, 0, serial, 1.0)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100);
+}
+
+TEST(FaultPlan, ZeroProbabilityNeverFaults) {
+  FaultPlan plan(9);
+  plan.addTransferFault({.window = {0.0, kInf}, .probability = 0.0});
+  for (std::uint64_t serial = 0; serial < 200; ++serial) {
+    EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Read, 0, serial, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace iobts::fault

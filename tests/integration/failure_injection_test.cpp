@@ -32,18 +32,25 @@ TEST(FailureInjection, WorkloadExceptionAbortsRun) {
 }
 
 TEST(FailureInjection, ZeroCapacityChannelIsAnError) {
+  // Rejected up front at construction: a zero-capacity channel could only
+  // ever hang transfers (transient outages are modelled by blackout windows
+  // on a *valid* link instead; see fault::FaultPlan).
   sim::Simulation sim;
   pfs::LinkConfig link_cfg;
   link_cfg.write_capacity = 0.0;  // no write path at all
   link_cfg.read_capacity = 100.0;
-  pfs::SharedLink link(sim, link_cfg);
-  pfs::FileStore store;
-  mpisim::World world(sim, link, store, {});
-  world.launch([](mpisim::RankCtx& ctx) -> sim::Task<void> {
-    auto f = ctx.open("/out");
-    co_await f.writeAt(0, 10, 1);
-  });
-  EXPECT_THROW(sim.run(), CheckError);
+  EXPECT_THROW(pfs::SharedLink(sim, link_cfg), CheckError);
+
+  link_cfg.write_capacity = -5.0;
+  EXPECT_THROW(pfs::SharedLink(sim, link_cfg), CheckError);
+
+  link_cfg.write_capacity = 100.0;
+  link_cfg.noise_sigma = -0.1;
+  EXPECT_THROW(pfs::SharedLink(sim, link_cfg), CheckError);
+
+  link_cfg.noise_sigma = 0.0;
+  link_cfg.congestion_gamma = -1.0;
+  EXPECT_THROW(pfs::SharedLink(sim, link_cfg), CheckError);
 }
 
 TEST(FailureInjection, DoubleWaitIsIdempotent) {

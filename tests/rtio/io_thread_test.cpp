@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <future>
 #include <vector>
 
 #include "util/check.hpp"
@@ -164,6 +165,83 @@ TEST(IoThread, InvalidUsesThrow) {
   auto h = io.submit(8, [](Bytes, Bytes) {});
   h.wait();
   EXPECT_NO_THROW(h.stats());
+}
+
+TEST(IoThread, WaitForTimesOutWhilePendingThenSucceeds) {
+  IoThread io;
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  auto h = io.submit(8, [released](Bytes, Bytes) { released.wait(); });
+  // The operation is parked on the promise: a short timed wait expires.
+  EXPECT_FALSE(h.waitFor(std::chrono::milliseconds(10)));
+  EXPECT_FALSE(h.test());
+  release.set_value();
+  // The handle stays waitable after a timeout.
+  EXPECT_TRUE(h.waitFor(std::chrono::seconds(30)));
+  EXPECT_TRUE(h.test());
+  // Completed handle: waitFor returns immediately, even with zero timeout.
+  EXPECT_TRUE(h.waitFor(std::chrono::seconds(0)));
+}
+
+TEST(IoThread, WaitForRejectsInvalidUses) {
+  OpHandle empty;
+  EXPECT_THROW(empty.waitFor(std::chrono::seconds(1)), CheckError);
+  IoThread io;
+  auto h = io.submit(8, [](Bytes, Bytes) {});
+  EXPECT_THROW(h.waitFor(std::chrono::seconds(-1)), CheckError);
+  h.wait();
+}
+
+TEST(IoThread, FallibleSubrequestIsRetriedThenSucceeds) {
+  throttle::RetryPolicy retry;
+  retry.max_retries = 5;
+  retry.base_backoff = 1e-4;  // keep the test fast
+  retry.max_backoff = 1e-3;
+  IoThread io(throttle::PacerConfig{}, retry);
+  std::atomic<int> attempts{0};
+  auto h = io.submitFallible(64, [&](Bytes, Bytes) {
+    return ++attempts > 2;  // fail twice, then succeed
+  });
+  h.wait();
+  const OpStats stats = h.stats();
+  EXPECT_FALSE(stats.failed);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.subrequests, 3u);  // every attempt is a sub-request
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(IoThread, ExhaustedRetryBudgetMarksTheOperationFailed) {
+  throttle::RetryPolicy retry;
+  retry.max_retries = 1;
+  retry.base_backoff = 1e-4;
+  IoThread io(throttle::PacerConfig{}, retry);
+  std::atomic<int> attempts{0};
+  auto h = io.submitFallible(64, [&](Bytes, Bytes) {
+    ++attempts;
+    return false;  // never succeeds
+  });
+  h.wait();
+  const OpStats stats = h.stats();
+  EXPECT_TRUE(stats.failed);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(attempts.load(), 2);  // first attempt + one retry
+  // The queue keeps serving after a failed operation.
+  auto ok = io.submit(8, [](Bytes, Bytes) {});
+  ok.wait();
+  EXPECT_FALSE(ok.stats().failed);
+}
+
+TEST(IoThread, FailFastWithoutRetryPolicy) {
+  IoThread io;  // default policy: no retries
+  std::atomic<int> attempts{0};
+  auto h = io.submitFallible(64, [&](Bytes, Bytes) {
+    ++attempts;
+    return false;
+  });
+  h.wait();
+  EXPECT_TRUE(h.stats().failed);
+  EXPECT_EQ(h.stats().retries, 0u);
+  EXPECT_EQ(attempts.load(), 1);
 }
 
 // Pacing property across several limits (wall-clock, coarse bounds only).

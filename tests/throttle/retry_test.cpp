@@ -1,0 +1,162 @@
+#include "throttle/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "throttle/pacer.hpp"
+#include "util/check.hpp"
+
+namespace iobts::throttle {
+namespace {
+
+RetryPolicy basePolicy() {
+  RetryPolicy p;
+  p.max_retries = 5;
+  p.base_backoff = 0.1;
+  p.multiplier = 2.0;
+  p.max_backoff = 0.5;
+  return p;
+}
+
+TEST(RetryPolicy, DefaultFailsFast) {
+  RetryPolicy p;
+  EXPECT_FALSE(p.enabled());
+  RetryState state(p, /*seed=*/1);
+  EXPECT_FALSE(state.nextBackoff(0.0).has_value());
+  EXPECT_EQ(state.retriesUsed(), 0u);
+}
+
+TEST(RetryPolicy, BackoffSequenceIsMonotonicAndCapped) {
+  RetryState state(basePolicy(), /*seed=*/1);
+  std::vector<Seconds> seq;
+  while (auto b = state.nextBackoff(0.0)) seq.push_back(*b);
+  // 0.1, 0.2, 0.4, then pinned at the 0.5 cap.
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_DOUBLE_EQ(seq[0], 0.1);
+  EXPECT_DOUBLE_EQ(seq[1], 0.2);
+  EXPECT_DOUBLE_EQ(seq[2], 0.4);
+  EXPECT_DOUBLE_EQ(seq[3], 0.5);
+  EXPECT_DOUBLE_EQ(seq[4], 0.5);
+  for (std::size_t i = 1; i < seq.size(); ++i) EXPECT_GE(seq[i], seq[i - 1]);
+  EXPECT_EQ(state.retriesUsed(), 5u);
+}
+
+TEST(RetryPolicy, GrantsExactlyMaxRetries) {
+  for (std::uint32_t budget : {1u, 3u, 8u}) {
+    RetryPolicy p = basePolicy();
+    p.max_retries = budget;
+    RetryState state(p, /*seed=*/2);
+    std::uint32_t granted = 0;
+    while (state.nextBackoff(0.0)) ++granted;
+    EXPECT_EQ(granted, budget);
+    // Exhausted state stays exhausted.
+    EXPECT_FALSE(state.nextBackoff(0.0).has_value());
+  }
+}
+
+TEST(RetryPolicy, DeadlineCutsTheBudgetShort) {
+  RetryPolicy p = basePolicy();
+  p.deadline = 1.0;
+  RetryState state(p, /*seed=*/3);
+  EXPECT_TRUE(state.nextBackoff(0.5).has_value());   // still inside
+  EXPECT_FALSE(state.nextBackoff(1.0).has_value());  // at the deadline
+  EXPECT_FALSE(state.nextBackoff(2.0).has_value());
+  EXPECT_EQ(state.retriesUsed(), 1u);
+}
+
+TEST(RetryPolicy, JitterStaysWithinBoundsAndIsDeterministic) {
+  RetryPolicy p = basePolicy();
+  p.jitter = 0.5;
+  p.max_retries = 100;
+  p.multiplier = 1.0;  // flat undecorated sequence: every backoff is `base`
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  std::vector<Seconds> first_run;
+  RetryState a(p, /*seed=*/42);
+  for (int i = 0; i < 100; ++i) {
+    const Seconds undecorated = p.base_backoff;
+    const Seconds b = *a.nextBackoff(0.0);
+    const double factor = b / undecorated;
+    EXPECT_GE(factor, 0.5);
+    EXPECT_LE(factor, 1.5);
+    lo = std::min(lo, factor);
+    hi = std::max(hi, factor);
+    first_run.push_back(b);
+  }
+  // The jitter stream actually spreads (not pinned to one value).
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 1.2);
+  // Same seed => identical schedule.
+  RetryState b(p, /*seed=*/42);
+  for (const Seconds expected : first_run) {
+    EXPECT_DOUBLE_EQ(*b.nextBackoff(0.0), expected);
+  }
+  // Different seed => a different schedule.
+  RetryState c(p, /*seed=*/43);
+  int differing = 0;
+  for (const Seconds expected : first_run) {
+    if (*c.nextBackoff(0.0) != expected) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  auto expectInvalid = [](RetryPolicy p) {
+    EXPECT_THROW(p.validate(), CheckError);
+  };
+  RetryPolicy p = basePolicy();
+  p.base_backoff = -0.1;
+  expectInvalid(p);
+  p = basePolicy();
+  p.multiplier = 0.5;
+  expectInvalid(p);
+  p = basePolicy();
+  p.max_backoff = 0.01;  // below base_backoff
+  expectInvalid(p);
+  p = basePolicy();
+  p.jitter = 1.0;
+  expectInvalid(p);
+  p = basePolicy();
+  p.jitter = -0.1;
+  expectInvalid(p);
+  p = basePolicy();
+  p.deadline = 0.0;
+  expectInvalid(p);
+  EXPECT_NO_THROW(basePolicy().validate());
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(RetryPolicy, FailedAttemptTimeBanksAsPacingDeficit) {
+  // The retry accounting contract (see pacer.hpp): a failed attempt's wire
+  // time and the backoff are fed to the pacer as zero-byte work, so the
+  // paced elapsed time stays ~max(required, actual) instead of paying for
+  // the lost attempt twice.
+  Pacer pacer(PacerConfig{.subrequest_size = 100});
+  pacer.setLimit(100.0);  // 100 B chunks => 1 s required each
+
+  // Healthy chunk finishing instantly: full 1 s sleep (Case A).
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(100, 0.0), 1.0);
+
+  // A failed attempt burns 0.25 s of wire time and 0.5 s of backoff.
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(0, 0.25), 0.0);
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(pacer.deficit(), 0.75);
+
+  // The successful re-attempt's sleep is shortened by exactly that debt.
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(100, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(pacer.deficit(), 0.0);
+
+  // Debt larger than one chunk's requirement carries over.
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(0, 2.5), 0.0);
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pacer.deficit(), 1.5);
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pacer.deficit(), 0.5);
+  EXPECT_DOUBLE_EQ(pacer.onSubrequestDone(100, 0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace iobts::throttle

@@ -28,18 +28,21 @@ if [[ "$SKIP_SANITIZE" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitize: configure + build (ASan+UBSan, sim+pfs tests + hotpath asserts) =="
+echo "== sanitize: configure + build (ASan+UBSan, sim+pfs+fault tests + hotpath asserts) =="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize \
   -DIOBTS_BUILD_BENCH=ON -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-sanitize -j --target sim_test pfs_test micro_hotpath
+cmake --build build-sanitize -j --target sim_test pfs_test fault_test micro_hotpath
 
-echo "== sanitize: run sim_test + pfs_test =="
+echo "== sanitize: run sim_test + pfs_test + fault_test =="
 # ASan instrumentation defeats the coroutine symmetric-transfer tail call,
 # so the 100k-deep Task chain test consumes real stack per hop; lift the
 # stack limit for the sanitized run only.
 ulimit -s unlimited 2>/dev/null || true
 ./build-sanitize/tests/sim_test
 ./build-sanitize/tests/pfs_test
+# The fault suite crosses every layer (fault plan -> link -> engine -> world
+# -> cluster) including teardown-by-abort paths: prime lifetime-bug ground.
+./build-sanitize/tests/fault_test
 
 echo "== sanitize: hot-path allocation assertions =="
 # micro_hotpath's main() runs the zero-allocation steady-state probes before
