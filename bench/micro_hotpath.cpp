@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "pfs/fair_share.hpp"
 #include "pfs/shared_link.hpp"
 #include "sim/simulation.hpp"
@@ -139,6 +140,54 @@ void BM_RollingCallbackWindow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTotal);
 }
 BENCHMARK(BM_RollingCallbackWindow)->Arg(64)->Arg(4096);
+
+// --- Observability overhead ------------------------------------------------
+
+// The identical rolling-window dispatch churn, run with tracing off (the
+// default single null-check) and with a TraceSink installed (every dispatch
+// records a span and a heap-depth counter into the ring). The items/s ratio
+// of the two is the per-event cost of the observability plane, tracked in
+// BENCH_obs_overhead.json via tools/run_obs_bench.sh.
+void dispatchChurn(int total) {
+  sim::Simulation sim;
+  std::uint64_t fired = 0;
+  struct Reposter {
+    sim::Simulation* sim;
+    std::uint64_t* fired;
+    int remaining;
+    double pad[3] = {0, 0, 0};  // push capture past any 16-byte SSO
+    void operator()() {
+      ++*fired;
+      if (remaining > 0) {
+        Reposter next = *this;
+        --next.remaining;
+        sim->post(1.0, next);
+      }
+    }
+  };
+  constexpr int kWindow = 64;
+  for (int w = 0; w < kWindow; ++w) {
+    sim.post(1.0, Reposter{&sim, &fired, total / kWindow});
+  }
+  sim.run();
+  benchmark::DoNotOptimize(fired);
+}
+
+void BM_DispatchTracingOff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) dispatchChurn(n);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DispatchTracingOff)->Arg(100000);
+
+void BM_DispatchTracingOn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  obs::TraceSink sink;  // ring allocated once, outside the timed region
+  obs::ScopedTraceSink install(sink);
+  for (auto _ : state) dispatchChurn(n);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DispatchTracingOn)->Arg(100000);
 
 // --- SharedLink resolve ----------------------------------------------------
 
@@ -304,7 +353,7 @@ bool expectZeroDelta(const char* what, std::uint64_t before) {
 
 // Event kernel: a rolling window of re-posting callbacks past the SBO size,
 // so event slots and callback storage are continually recycled.
-bool checkKernelSteadyState() {
+bool checkKernelSteadyState(const char* what = "event-kernel churn") {
   sim::Simulation sim;
   std::uint64_t fired = 0;
   struct Reposter {
@@ -329,8 +378,24 @@ bool checkKernelSteadyState() {
   sim.runUntil(10.0);  // warm the pools
   const std::uint64_t before = allocationsNow();
   sim.runUntil(200.0);
-  const bool ok = expectZeroDelta("event-kernel churn", before);
+  const bool ok = expectZeroDelta(what, before);
   sim.run();
+  return ok;
+}
+
+// The same kernel probe with a TraceSink installed: recording is POD stores
+// into the preallocated ring, so the steady state must stay allocation-free
+// with tracing *on*, not just off.
+bool checkKernelSteadyStateTraced() {
+  obs::TraceSink sink;  // ring allocated here, before the probe window
+  obs::ScopedTraceSink install(sink);
+  bool ok = checkKernelSteadyState("event-kernel churn traced");
+  if (sink.recorded() == 0) {
+    std::fprintf(stderr,
+                 "ALLOCATION CHECK FAILED: traced kernel probe recorded no "
+                 "events (instrumentation missing?)\n");
+    ok = false;
+  }
   return ok;
 }
 
@@ -403,8 +468,9 @@ bool checkResolveSteadyState() {
 
 bool runAllocationChecks() {
   const bool kernel_ok = checkKernelSteadyState();
+  const bool traced_ok = checkKernelSteadyStateTraced();
   const bool resolve_ok = checkResolveSteadyState();
-  return kernel_ok && resolve_ok;
+  return kernel_ok && traced_ok && resolve_ok;
 }
 
 }  // namespace

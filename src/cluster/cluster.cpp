@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -49,7 +51,13 @@ JobId Cluster::submit(JobSpec spec) {
                                     static_cast<double>(job->spec.nodes));
   link_->setRecordStream(job->stream, true);
   jobs_.push_back(std::move(job));
-  return jobs_.size() - 1;
+  const JobId id = jobs_.size() - 1;
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    sink->setProcessName(obs::track::kCluster, "cluster scheduler");
+    sink->setThreadName(obs::track::kCluster, static_cast<std::uint32_t>(id),
+                        jobs_.back()->spec.name);
+  }
+  return id;
 }
 
 void Cluster::enableContentionLimiting(JobId id, double tolerance,
@@ -100,6 +108,11 @@ void Cluster::tryStartJobs() {
     pending_queue_.erase(pending_queue_.begin());
     free_nodes_ -= job.spec.nodes;
     job.result.start = sim_.now();
+    if (obs::TraceSink* const sink = obs::traceSink()) {
+      sink->instant("cluster", "job.start", obs::track::kCluster,
+                    static_cast<std::uint32_t>(id), sim_.now(),
+                    static_cast<double>(job.spec.nodes));
+    }
 
     mpisim::WorldConfig wcfg;
     wcfg.ranks = job.spec.nodes;  // one aggregated rank per node
@@ -153,6 +166,11 @@ sim::Task<void> Cluster::jobWatcher(JobId id) {
     job.result.start = sim::kNoTime;
     job.world.reset();
     job.tracer.reset();
+    if (obs::TraceSink* const sink = obs::traceSink()) {
+      sink->instant("cluster", "job.requeue", obs::track::kCluster,
+                    static_cast<std::uint32_t>(id), sim_.now(),
+                    static_cast<double>(job.result.resubmits));
+    }
     IOBTS_LOG_WARN() << "job " << job.spec.name << " failed (" << failed_ranks
                      << " ranks); resubmit " << job.result.resubmits << "/"
                      << job.spec.max_resubmits;
@@ -164,6 +182,13 @@ sim::Task<void> Cluster::jobWatcher(JobId id) {
   job.result.end = sim_.now();
   job.result.failed = failed_ranks > 0;
   job.result.failed_ranks = failed_ranks;
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    // Job lifetime as a genuine virtual-time span (final attempt only).
+    sink->complete("cluster", job.result.failed ? "job.failed" : "job",
+                   obs::track::kCluster, static_cast<std::uint32_t>(id),
+                   job.result.start, job.result.end - job.result.start,
+                   static_cast<double>(job.spec.nodes));
+  }
   if (job.result.failed) {
     IOBTS_LOG_WARN() << "job " << job.spec.name << " failed permanently ("
                      << failed_ranks << " ranks, "
@@ -212,11 +237,19 @@ sim::Task<void> Cluster::contentionMonitor(JobId id, double tolerance,
       if (!capped) {
         IOBTS_LOG_DEBUG() << "capping job " << job.spec.name << " at "
                           << formatBandwidth(cap);
+        if (obs::TraceSink* const sink = obs::traceSink()) {
+          sink->instant("cluster", "job.cap", obs::track::kCluster,
+                        static_cast<std::uint32_t>(id), sim_.now(), cap);
+        }
       }
       capped = true;
     } else if (capped && !contended) {
       link_->setStreamCap(job.stream, std::nullopt);
       capped = false;
+      if (obs::TraceSink* const sink = obs::traceSink()) {
+        sink->instant("cluster", "job.uncap", obs::track::kCluster,
+                      static_cast<std::uint32_t>(id), sim_.now(), 0.0);
+      }
     }
   }
 }
@@ -274,6 +307,24 @@ const tmio::Tracer* Cluster::jobTracer(JobId id) const {
 pfs::StreamId Cluster::jobStream(JobId id) const {
   IOBTS_CHECK(id < jobs_.size(), "unknown job");
   return jobs_[id]->stream;
+}
+
+void Cluster::exportMetrics(obs::MetricsRegistry& registry) const {
+  std::uint64_t finished = 0, failed = 0, resubmits = 0, io_retries = 0;
+  for (const auto& job : jobs_) {
+    if (job->result.finished()) ++finished;
+    if (job->result.failed) ++failed;
+    resubmits += static_cast<std::uint64_t>(job->result.resubmits);
+    io_retries += job->result.io_retries;
+  }
+  registry.addCounter("cluster.jobs", jobs_.size());
+  registry.addCounter("cluster.jobs_finished", finished);
+  registry.addCounter("cluster.jobs_failed", failed);
+  registry.addCounter("cluster.requeues", resubmits);
+  registry.addCounter("cluster.io_retries", io_retries);
+  registry.setGauge("cluster.free_nodes", static_cast<double>(free_nodes_));
+  registry.setGauge("cluster.pending_jobs",
+                    static_cast<double>(pending_queue_.size()));
 }
 
 }  // namespace iobts::cluster

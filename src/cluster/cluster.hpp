@@ -31,6 +31,10 @@
 #include "throttle/retry.hpp"
 #include "tmio/tracer.hpp"
 
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
 namespace iobts::cluster {
 
 struct ClusterConfig {
@@ -124,6 +128,10 @@ class Cluster {
   pfs::SharedLink& link() noexcept { return *link_; }
   sim::Simulation& sim() noexcept { return sim_; }
   int freeNodes() const noexcept { return free_nodes_; }
+
+  /// Publish scheduler totals (jobs finished/failed, requeues, retries)
+  /// into `registry` under "cluster.*".
+  void exportMetrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct Job;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -73,6 +74,32 @@ bool FaultPlan::faultVerdict(pfs::Channel channel, pfs::StreamId stream,
     if (u < rule.probability) return true;
   }
   return false;
+}
+
+void FaultPlan::annotate(obs::TraceSink& sink) const {
+  const auto edge = [&sink](const char* name, std::uint32_t tid, sim::Time t,
+                            double value) {
+    if (std::isfinite(t)) {
+      sink.instant("fault", name, obs::track::kLink, tid, t, value);
+    }
+  };
+  for (const DegradationEvent& ev : degradations_) {
+    const auto tid = static_cast<std::uint32_t>(ev.channel);
+    edge("fault.plan.degrade.begin", tid, ev.window.begin, ev.factor);
+    edge("fault.plan.degrade.end", tid, ev.window.end, ev.factor);
+  }
+  for (const BlackoutEvent& ev : blackouts_) {
+    for (std::uint32_t tid = 0; tid < pfs::kChannels; ++tid) {
+      edge("fault.plan.blackout.begin", tid, ev.window.begin, 0.0);
+      edge("fault.plan.blackout.end", tid, ev.window.end, 0.0);
+    }
+  }
+  for (const StragglerEvent& ev : stragglers_) {
+    for (std::uint32_t tid = 0; tid < pfs::kChannels; ++tid) {
+      edge("fault.plan.straggler.begin", tid, ev.window.begin, ev.multiplier);
+      edge("fault.plan.straggler.end", tid, ev.window.end, ev.multiplier);
+    }
+  }
 }
 
 }  // namespace iobts::fault

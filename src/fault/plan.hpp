@@ -35,6 +35,10 @@
 #include "pfs/channel.hpp"
 #include "sim/time.hpp"
 
+namespace iobts::obs {
+class TraceSink;
+}  // namespace iobts::obs
+
 namespace iobts::fault {
 
 /// Half-open virtual-time interval [begin, end).
@@ -117,6 +121,12 @@ class FaultPlan {
                     std::uint64_t serial, sim::Time completion) const noexcept;
 
   std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Emit one instant event per planned window edge into `sink` (category
+  /// "fault", link track): the *planned* schedule, distinct from the edges
+  /// the link actually applies at runtime. Called by
+  /// SharedLink::installFaultPlan when a sink is installed.
+  void annotate(obs::TraceSink& sink) const;
 
  private:
   static void validateWindow(const TimeWindow& window);

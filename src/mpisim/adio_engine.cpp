@@ -1,5 +1,6 @@
 #include "mpisim/adio_engine.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace iobts::mpisim {
@@ -93,9 +94,20 @@ sim::Task<void> AdioEngine::execute(Job& job) {
         const pfs::TransferResult r =
             co_await link_.transfer(channel, stream_, chunk);
         const Seconds actual = sim_.now() - t0;
+        if (obs::TraceSink* const sink = obs::traceSink()) {
+          sink->complete("adio", "adio.subreq", obs::track::kAdio, stream_,
+                         t0, actual, static_cast<double>(chunk));
+        }
         if (r.ok()) {
           const Seconds sleep = pacer_.onSubrequestDone(chunk, actual);
-          if (sleep > 0.0) co_await sim_.delay(sleep);
+          if (sleep > 0.0) {
+            const sim::Time sleep_start = sim_.now();
+            co_await sim_.delay(sleep);
+            if (obs::TraceSink* const sink = obs::traceSink()) {
+              sink->complete("adio", "adio.pace", obs::track::kAdio, stream_,
+                             sleep_start, sleep, pacer_.deficit());
+            }
+          }
           chunk_done = true;
           continue;
         }
@@ -111,9 +123,19 @@ sim::Task<void> AdioEngine::execute(Job& job) {
           break;
         }
         ++stats_.retries;
+        if (obs::TraceSink* const sink = obs::traceSink()) {
+          sink->instant("adio", "adio.retry", obs::track::kAdio, stream_,
+                        sim_.now(), static_cast<double>(retry.retriesUsed()));
+        }
         if (*backoff > 0.0) {
+          const sim::Time backoff_start = sim_.now();
           co_await sim_.delay(*backoff);
           pacer_.onSubrequestDone(0, *backoff);
+          if (obs::TraceSink* const sink = obs::traceSink()) {
+            sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
+                           backoff_start, *backoff,
+                           static_cast<double>(retry.retriesUsed()));
+          }
         }
       }
       if (failed) break;
@@ -131,7 +153,19 @@ sim::Task<void> AdioEngine::execute(Job& job) {
         break;
       }
       ++stats_.retries;
-      if (*backoff > 0.0) co_await sim_.delay(*backoff);
+      if (obs::TraceSink* const sink = obs::traceSink()) {
+        sink->instant("adio", "adio.retry", obs::track::kAdio, stream_,
+                      sim_.now(), static_cast<double>(retry.retriesUsed()));
+      }
+      if (*backoff > 0.0) {
+        const sim::Time backoff_start = sim_.now();
+        co_await sim_.delay(*backoff);
+        if (obs::TraceSink* const sink = obs::traceSink()) {
+          sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
+                         backoff_start, *backoff,
+                         static_cast<double>(retry.retriesUsed()));
+        }
+      }
     }
   }
   info.retries = retry.retriesUsed();
@@ -145,6 +179,17 @@ sim::Task<void> AdioEngine::execute(Job& job) {
 
   info.io_end = sim_.now();
   info.completed = true;
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    // The whole request as one span on the rank's stream track: admission
+    // to completion, including pacing sleeps, retries, and backoffs.
+    sink->complete("adio",
+                   failed ? "adio.request.failed"
+                          : (isWrite(info.op) ? "adio.request.write"
+                                              : "adio.request.read"),
+                   obs::track::kAdio, stream_, info.io_start,
+                   info.io_end - info.io_start,
+                   static_cast<double>(info.bytes));
+  }
   if (hooks_) hooks_->onComplete(info);
   state.done.fire();  // MPI_Grequest_complete
 }

@@ -79,6 +79,11 @@ class AdioEngine {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Lifetime pacing totals for one channel's Pacer (observability).
+  const throttle::PacerStats& pacerStats(pfs::Channel channel) const noexcept {
+    return pacers_[static_cast<int>(channel)].stats();
+  }
+
   const throttle::RetryPolicy& retryPolicy() const noexcept {
     return retry_policy_;
   }

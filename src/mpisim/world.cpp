@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -335,6 +336,36 @@ AdioEngine::Stats World::ioStats() const {
     total.cancelled += s.cancelled;
   }
   return total;
+}
+
+void World::exportMetrics(obs::MetricsRegistry& registry) const {
+  const AdioEngine::Stats io = ioStats();
+  registry.addCounter("mpisim.io.retries", io.retries);
+  registry.addCounter("mpisim.io.failures", io.failures);
+  registry.addCounter("mpisim.io.cancelled", io.cancelled);
+  registry.setGauge("mpisim.ranks", static_cast<double>(config_.ranks));
+  registry.setGauge("mpisim.failed_ranks",
+                    static_cast<double>(failed_ranks_));
+  throttle::PacerStats pacing[pfs::kChannels];
+  for (const auto& ctx : ranks_) {
+    for (std::size_t c = 0; c < pfs::kChannels; ++c) {
+      const throttle::PacerStats& s =
+          ctx->engine_->pacerStats(static_cast<pfs::Channel>(c));
+      pacing[c].subrequests += s.subrequests;
+      pacing[c].sleeps += s.sleeps;
+      pacing[c].slept += s.slept;
+      pacing[c].deficit_banked += s.deficit_banked;
+    }
+  }
+  for (std::size_t c = 0; c < pfs::kChannels; ++c) {
+    const std::string prefix = std::string("mpisim.pacer.") +
+                               pfs::channelName(static_cast<pfs::Channel>(c));
+    registry.addCounter(prefix + ".subrequests", pacing[c].subrequests);
+    registry.addCounter(prefix + ".sleeps", pacing[c].sleeps);
+    registry.setGauge(prefix + ".slept_seconds", pacing[c].slept);
+    registry.setGauge(prefix + ".deficit_banked_seconds",
+                      pacing[c].deficit_banked);
+  }
 }
 
 }  // namespace iobts::mpisim

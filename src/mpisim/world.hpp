@@ -37,6 +37,10 @@
 #include "sim/sync.hpp"
 #include "util/rng.hpp"
 
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
 namespace iobts::mpisim {
 
 class World;
@@ -248,6 +252,10 @@ class World {
 
   /// Resilience counters summed over every rank's I/O thread.
   AdioEngine::Stats ioStats() const;
+
+  /// Publish run totals (ranks, failures, retries, pacing sums) into
+  /// `registry` under "mpisim.*".
+  void exportMetrics(obs::MetricsRegistry& registry) const;
 
  private:
   friend class RankCtx;

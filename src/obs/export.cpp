@@ -1,0 +1,105 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace iobts::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+Json eventJson(const TraceEvent& ev) {
+  JsonObject o;
+  o["name"] = Json(ev.name);
+  o["cat"] = Json(ev.category);
+  o["pid"] = Json(ev.pid);
+  o["tid"] = Json(ev.tid);
+  o["ts"] = Json(ev.ts * kMicrosPerSecond);
+  switch (ev.phase) {
+    case Phase::Complete: {
+      o["ph"] = Json("X");
+      o["dur"] = Json(ev.dur * kMicrosPerSecond);
+      JsonObject args;
+      args["value"] = Json(ev.value);
+      if (ev.wall_ns != 0) args["wall_ns"] = Json(ev.wall_ns);
+      o["args"] = Json(std::move(args));
+      break;
+    }
+    case Phase::Instant: {
+      o["ph"] = Json("i");
+      o["s"] = Json("t");  // thread-scoped instant
+      o["args"] = Json(JsonObject{{"value", Json(ev.value)}});
+      break;
+    }
+    case Phase::Counter: {
+      o["ph"] = Json("C");
+      o["args"] = Json(JsonObject{{"value", Json(ev.value)}});
+      break;
+    }
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+Json chromeTraceJson(const TraceSink& sink) {
+  JsonArray events;
+  // Metadata first: Perfetto picks up track names regardless of position,
+  // but leading metadata keeps the document stable as events accumulate.
+  for (const auto& [pid, name] : sink.processNames()) {
+    JsonObject o;
+    o["name"] = Json("process_name");
+    o["ph"] = Json("M");
+    o["pid"] = Json(pid);
+    o["args"] = Json(JsonObject{{"name", Json(name)}});
+    events.push_back(Json(std::move(o)));
+  }
+  for (const auto& [key, name] : sink.threadNames()) {
+    JsonObject o;
+    o["name"] = Json("thread_name");
+    o["ph"] = Json("M");
+    o["pid"] = Json(key.first);
+    o["tid"] = Json(key.second);
+    o["args"] = Json(JsonObject{{"name", Json(name)}});
+    events.push_back(Json(std::move(o)));
+  }
+  for (const TraceEvent& ev : sink.snapshot()) {
+    events.push_back(eventJson(ev));
+  }
+  JsonObject doc;
+  doc["traceEvents"] = Json(std::move(events));
+  doc["displayTimeUnit"] = Json("ms");
+  doc["otherData"] = Json(JsonObject{
+      {"recorded", Json(sink.recorded())},
+      {"dropped", Json(sink.dropped())},
+      {"clock", Json("virtual (1 us trace time = 1 us simulated)")},
+  });
+  return Json(std::move(doc));
+}
+
+std::string chromeTraceString(const TraceSink& sink) {
+  return chromeTraceJson(sink).pretty();
+}
+
+bool writeChromeTrace(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << chromeTraceString(sink) << '\n';
+  return static_cast<bool>(out);
+}
+
+bool writeMetrics(const MetricsRegistry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (json) {
+    out << registry.toJson().pretty() << '\n';
+  } else {
+    out << registry.dumpText();
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace iobts::obs

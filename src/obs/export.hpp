@@ -1,0 +1,39 @@
+// Exporters for the observability plane.
+//
+// Chrome trace-event JSON (the "JSON Array Format" that chrome://tracing
+// and Perfetto load): one "process" per simulated subsystem, virtual time
+// mapped to microseconds. Event kinds map as
+//
+//   Phase::Complete -> ph "X" (ts + dur)
+//   Phase::Instant  -> ph "i" (thread-scoped)
+//   Phase::Counter  -> ph "C"
+//
+// plus ph "M" metadata records for the process/thread names registered on
+// the sink. Serialization goes through util Json (std::map-backed objects),
+// so key order -- and with wall capture off, the whole byte stream -- is
+// deterministic across identical runs.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace iobts::obs {
+
+/// Build the Chrome trace document ({"traceEvents": [...], ...}).
+Json chromeTraceJson(const TraceSink& sink);
+
+/// Serialized pretty-printed Chrome trace document.
+std::string chromeTraceString(const TraceSink& sink);
+
+/// Convenience: write the Chrome trace to `path`. Returns false on I/O
+/// failure.
+bool writeChromeTrace(const TraceSink& sink, const std::string& path);
+
+/// Convenience: write metrics (pretty JSON for ".json" paths, text table
+/// otherwise). Returns false on I/O failure.
+bool writeMetrics(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace iobts::obs

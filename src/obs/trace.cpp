@@ -1,0 +1,150 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace iobts::obs {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceSink::TraceSink(TraceSinkConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.resize(config_.capacity);
+  if (config_.capture_wall_time) wall_epoch_ns_ = steadyNowNs();
+}
+
+std::uint64_t TraceSink::wallNowNs() const noexcept {
+  if (!config_.capture_wall_time) return 0;
+  return steadyNowNs() - wall_epoch_ns_;
+}
+
+void TraceSink::push(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[head_] = event;
+  head_ = head_ + 1 == config_.capacity ? 0 : head_ + 1;
+  ++recorded_;
+  if (count_ < config_.capacity) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+void TraceSink::complete(const char* category, const char* name,
+                         std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                         sim::Time dur, double value, std::uint64_t wall_ns) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.category = category;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.phase = Phase::Complete;
+  ev.value = value;
+  ev.wall_ns = wall_ns;
+  push(ev);
+}
+
+void TraceSink::instant(const char* category, const char* name,
+                        std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                        double value) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.category = category;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.phase = Phase::Instant;
+  ev.value = value;
+  push(ev);
+}
+
+void TraceSink::counter(const char* category, const char* name,
+                        std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                        double value) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.category = category;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.phase = Phase::Counter;
+  ev.value = value;
+  push(ev);
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event sits at head_ once the ring has wrapped, else at 0.
+  const std::size_t start =
+      count_ == config_.capacity ? head_ : (head_ + config_.capacity - count_) %
+                                               config_.capacity;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % config_.capacity]);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  count_ = 0;
+}
+
+void TraceSink::setProcessName(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceSink::setThreadName(std::uint32_t pid, std::uint32_t tid,
+                              std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+std::map<std::uint32_t, std::string> TraceSink::processNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return process_names_;
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+TraceSink::threadNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return thread_names_;
+}
+
+namespace detail {
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+}  // namespace detail
+
+void installTraceSink(TraceSink* sink) noexcept {
+  detail::g_trace_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace iobts::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pfs/fair_share.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
@@ -132,6 +134,12 @@ SharedLink::SharedLink(sim::Simulation& simulation, LinkConfig config)
   channels_[static_cast<int>(Channel::Read)]->capacity = config_.read_capacity;
   channels_[static_cast<int>(Channel::Write)]->capacity =
       config_.write_capacity;
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    sink->setProcessName(obs::track::kLink, "pfs link");
+    sink->setThreadName(obs::track::kLink, 0, "read");
+    sink->setThreadName(obs::track::kLink, 1, "write");
+    sink->setProcessName(obs::track::kStreams, "pfs streams");
+  }
 }
 
 SharedLink::~SharedLink() = default;
@@ -152,7 +160,11 @@ StreamId SharedLink::createStream(std::string name, double weight) {
   stream->name = std::move(name);
   stream->weight = weight;
   streams_.push_back(std::move(stream));
-  return static_cast<StreamId>(streams_.size() - 1);
+  const StreamId id = static_cast<StreamId>(streams_.size() - 1);
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    sink->setThreadName(obs::track::kStreams, id, streams_.back()->name);
+  }
+  return id;
 }
 
 void SharedLink::noteSolveInputChanged(Channel channel) {
@@ -281,10 +293,16 @@ void SharedLink::resolve(Channel channel) {
   // so the reference mode instead *verifies* the no-op claim without
   // mutating anything: project every transfer forward and check none could
   // have drained before the bound.
+  obs::TraceSink* const sink = obs::traceSink();
+  const std::uint32_t trace_tid = static_cast<std::uint32_t>(channel);
   const bool quiescent =
       cs.input_version == cs.solved_version && now < cs.next_interesting;
   if (quiescent) {
     ++cs.resolves_skipped;
+    if (sink != nullptr) {
+      sink->instant("pfs", "resolve.skip", obs::track::kLink, trace_tid, now,
+                    static_cast<double>(cs.active.size()));
+    }
     if (config_.force_full_resolve) {
       for (const auto& t : cs.active) {
         const double projected =
@@ -299,6 +317,7 @@ void SharedLink::resolve(Channel channel) {
     return;
   }
   ++cs.resolves_executed;
+  const std::uint64_t wall_start = sink != nullptr ? sink->wallNowNs() : 0;
 
   // 1. Settle progress since each transfer's last settlement.
   for (auto& t : cs.active) {
@@ -337,10 +356,22 @@ void SharedLink::resolve(Channel channel) {
       // one reports an EIO-class error to its waiter. The verdict is written
       // through status_sink before fire() so the awaiting frame observes it
       // on resumption.
+      bool faulted = false;
       if (judge &&
           fault_plan_->faultVerdict(channel, t->stream, t->serial, now)) {
         *t->status_sink = TransferStatus::Faulted;
         ++cs.faulted_transfers;
+        faulted = true;
+      }
+      if (sink != nullptr) {
+        // Transfers are genuine virtual-time spans: start at admission, end
+        // at the completing sweep. One track per stream; bytes in value.
+        sink->complete("pfs",
+                       faulted ? "transfer.faulted"
+                               : (channel == Channel::Read ? "transfer.read"
+                                                           : "transfer.write"),
+                       obs::track::kStreams, t->stream, t->start,
+                       now - t->start, static_cast<double>(t->total));
       }
       t->done.fire();
     }
@@ -357,6 +388,10 @@ void SharedLink::resolve(Channel channel) {
     solveRates(cs, channel, now);
     cs.solved_version = cs.input_version;
     ++cs.full_solves;
+    if (sink != nullptr) {
+      sink->instant("pfs", "solve", obs::track::kLink, trace_tid, now,
+                    static_cast<double>(cs.group_streams.size()));
+    }
   }
 
   // 4. Schedule the next completion sweep and re-derive the
@@ -390,6 +425,11 @@ void SharedLink::resolve(Channel channel) {
     IOBTS_LOG_WARN() << "channel " << channelName(channel) << " has "
                      << cs.active.size()
                      << " active transfers but zero aggregate rate";
+  }
+  if (sink != nullptr) {
+    sink->complete("pfs", "resolve", obs::track::kLink, trace_tid, now, 0.0,
+                   static_cast<double>(cs.active.size()),
+                   sink->wallNowNs() - wall_start);
   }
 }
 
@@ -537,6 +577,10 @@ void SharedLink::refreshChannelFactor(Channel channel, sim::Time now) {
   if (factor != cs.degrade_factor) {
     cs.degrade_factor = factor;
     ++cs.capacity_edges;
+    if (obs::TraceSink* const sink = obs::traceSink()) {
+      sink->instant("pfs", "fault.capacity_edge", obs::track::kLink,
+                    static_cast<std::uint32_t>(channel), now, factor);
+    }
     noteSolveInputChanged(channel);
     markDirty(channel);
   }
@@ -633,6 +677,7 @@ void SharedLink::applyBlackout(fault::TimeWindow window) {
 void SharedLink::installFaultPlan(const fault::FaultPlan& plan) {
   IOBTS_CHECK(fault_plan_ == nullptr, "a fault plan is already installed");
   fault_plan_ = &plan;
+  if (obs::TraceSink* const sink = obs::traceSink()) plan.annotate(*sink);
   for (const fault::DegradationEvent& ev : plan.degradations()) {
     applyDegradation(ev.channel, ev.factor, ev.window);
   }
@@ -699,6 +744,26 @@ SharedLink::ResolveStats SharedLink::resolveStats(
 
 sim::Time SharedLink::nextInterestingTime(Channel channel) const noexcept {
   return chan(channel).next_interesting;
+}
+
+void SharedLink::exportMetrics(obs::MetricsRegistry& registry) const {
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const Channel channel = static_cast<Channel>(c);
+    const ChannelState& cs = chan(channel);
+    const std::string prefix = std::string("pfs.") + channelName(channel);
+    registry.addCounter(prefix + ".resolves_executed", cs.resolves_executed);
+    registry.addCounter(prefix + ".resolves_skipped", cs.resolves_skipped);
+    registry.addCounter(prefix + ".full_solves", cs.full_solves);
+    registry.addCounter(prefix + ".faulted_transfers", cs.faulted_transfers);
+    registry.addCounter(prefix + ".capacity_edges", cs.capacity_edges);
+    registry.addCounter(prefix + ".bytes_moved", cs.bytes_moved);
+    registry.setGauge(prefix + ".active_transfers",
+                      static_cast<double>(cs.active.size()));
+    registry.setGauge(prefix + ".effective_capacity",
+                      effectiveCapacity(channel));
+    registry.setGauge(prefix + ".contended", cs.contended ? 1.0 : 0.0);
+  }
+  registry.setGauge("pfs.streams", static_cast<double>(streams_.size()));
 }
 
 }  // namespace iobts::pfs

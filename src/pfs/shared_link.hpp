@@ -55,6 +55,10 @@
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
 namespace iobts::pfs {
 
 struct LinkConfig {
@@ -218,6 +222,10 @@ class SharedLink {
   /// time at which an active transfer could cross the drain threshold under
   /// current rates (+inf when none can, -inf before the first resolve).
   sim::Time nextInterestingTime(Channel channel) const noexcept;
+
+  /// Publish per-channel resolve counters and traffic totals into `registry`
+  /// under "pfs.<channel>.*".
+  void exportMetrics(obs::MetricsRegistry& registry) const;
 
  private:
   struct Transfer;

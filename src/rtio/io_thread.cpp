@@ -1,5 +1,7 @@
 #include "rtio/io_thread.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace iobts::rtio {
@@ -48,6 +50,7 @@ IoThread::IoThread(throttle::PacerConfig pacer_config,
                    throttle::RetryPolicy retry_policy)
     : pacer_config_(pacer_config),
       retry_policy_(retry_policy),
+      epoch_(std::chrono::steady_clock::now()),
       worker_([this] { serve(); }) {
   retry_policy_.validate();
 }
@@ -176,6 +179,15 @@ void IoThread::serve() {
           break;
         }
         ++stats.retries;
+        if (obs::TraceSink* const sink = obs::traceSink()) {
+          sink->instant(
+              "rtio", "rtio.retry", obs::track::kRtio,
+              static_cast<std::uint32_t>(op.serial),
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            epoch_)
+                  .count(),
+              static_cast<double>(stats.retries));
+        }
         if (*backoff > 0.0) {
           std::this_thread::sleep_for(std::chrono::duration<double>(*backoff));
           pacer.onSubrequestDone(0, *backoff);
@@ -187,6 +199,26 @@ void IoThread::serve() {
     }
 
     stats.end = std::chrono::steady_clock::now();
+    if (obs::TraceSink* const sink = obs::traceSink()) {
+      // rtio spans live on the wall clock (seconds since this thread's
+      // construction): the real I/O thread has no virtual time.
+      sink->complete(
+          "rtio",
+          stats.failed ? "rtio.op.failed" : "rtio.op", obs::track::kRtio,
+          static_cast<std::uint32_t>(op.serial),
+          std::chrono::duration<double>(stats.start - epoch_).count(),
+          std::chrono::duration<double>(stats.end - stats.start).count(),
+          static_cast<double>(stats.bytes));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++totals_.ops;
+      if (stats.failed) ++totals_.failed_ops;
+      totals_.bytes += stats.bytes;
+      totals_.subrequests += stats.subrequests;
+      totals_.retries += stats.retries;
+      totals_.slept_seconds += stats.slept_seconds;
+    }
     {
       std::lock_guard<std::mutex> lock(op.state->mutex);
       op.state->stats = stats;
@@ -194,6 +226,21 @@ void IoThread::serve() {
     }
     op.state->cv.notify_all();
   }
+}
+
+IoThread::Totals IoThread::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+void IoThread::exportMetrics(obs::MetricsRegistry& registry) const {
+  const Totals t = totals();
+  registry.addCounter("rtio.ops", t.ops);
+  registry.addCounter("rtio.failed_ops", t.failed_ops);
+  registry.addCounter("rtio.bytes", t.bytes);
+  registry.addCounter("rtio.subrequests", t.subrequests);
+  registry.addCounter("rtio.retries", t.retries);
+  registry.setGauge("rtio.slept_seconds", t.slept_seconds);
 }
 
 }  // namespace iobts::rtio

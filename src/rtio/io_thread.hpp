@@ -30,6 +30,10 @@
 #include "throttle/pacer.hpp"
 #include "throttle/retry.hpp"
 
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
 namespace iobts::rtio {
 
 /// Executes one sub-request: write/read `size` bytes starting at `offset`
@@ -105,16 +109,35 @@ class IoThread {
 
   std::size_t pending() const;
 
+  /// Lifetime totals across all completed operations (thread-safe).
+  struct Totals {
+    std::uint64_t ops = 0;
+    std::uint64_t failed_ops = 0;
+    Bytes bytes = 0;
+    std::uint64_t subrequests = 0;
+    std::uint64_t retries = 0;
+    double slept_seconds = 0.0;
+  };
+  Totals totals() const;
+
+  /// Publish the lifetime totals into `registry` under "rtio.*".
+  void exportMetrics(obs::MetricsRegistry& registry) const;
+
  private:
   struct Op;
   void serve();
 
   throttle::PacerConfig pacer_config_;
   throttle::RetryPolicy retry_policy_;
+  /// Wall epoch for trace timestamps: rtio events are stamped with real
+  /// seconds since construction (there is no virtual clock on this thread),
+  /// so they are inherently non-deterministic across runs.
+  std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Op> queue_;
   std::optional<BytesPerSec> limit_;
+  Totals totals_;
   std::uint64_t next_serial_ = 0;
   bool stopping_ = false;
   std::thread worker_;

@@ -41,6 +41,10 @@
 #include "sim/time.hpp"
 #include "util/check.hpp"
 
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
 namespace iobts::sim {
 
 class Simulation;
@@ -281,6 +285,10 @@ class Simulation {
   std::size_t pendingEvents() const noexcept { return heap_.size(); }
   std::size_t liveProcesses() const noexcept { return processes_.size(); }
   std::uint64_t eventsProcessed() const noexcept { return events_processed_; }
+
+  /// Publish kernel totals (events processed, queue depth, pooled slots)
+  /// into `registry` under "sim.*".
+  void exportMetrics(obs::MetricsRegistry& registry) const;
 
  private:
   friend class Trigger;

@@ -42,10 +42,12 @@ Seconds Pacer::requiredTime(Bytes bytes) const noexcept {
 Seconds Pacer::onSubrequestDone(Bytes bytes, Seconds actual) {
   IOBTS_CHECK(actual >= 0.0, "durations must be non-negative");
   if (!limit_) return 0.0;
+  ++stats_.subrequests;
   const Seconds required = requiredTime(bytes);
   if (actual >= required) {
     // Case B: too slow -- bank the overshoot to shorten future sleeps.
     deficit_ += actual - required;
+    stats_.deficit_banked += actual - required;
     return 0.0;
   }
   // Case A: too fast -- sleep the remainder, minus any banked deficit.
@@ -53,6 +55,10 @@ Seconds Pacer::onSubrequestDone(Bytes bytes, Seconds actual) {
   const Seconds offset = std::min(sleep, deficit_);
   sleep -= offset;
   deficit_ -= offset;
+  if (sleep > 0.0) {
+    ++stats_.sleeps;
+    stats_.slept += sleep;
+  }
   return sleep;
 }
 

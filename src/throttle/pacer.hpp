@@ -22,6 +22,7 @@
 // ~max(required, actual) across retries instead of paying twice.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,17 @@ struct PacerConfig {
   /// Sub-request size (the paper's "predefined size"); requests smaller than
   /// this are executed whole.
   Bytes subrequest_size = 4 * kMiB;
+};
+
+/// Lifetime totals of the pacing algorithm's decisions, for the
+/// observability plane (exported into a MetricsRegistry by the engines that
+/// own a Pacer). Plain increments on the pacing path; never reset by
+/// setLimit so they survive limit changes.
+struct PacerStats {
+  std::uint64_t subrequests = 0;   // onSubrequestDone calls under a limit
+  std::uint64_t sleeps = 0;        // Case-A outcomes with a positive sleep
+  Seconds slept = 0.0;             // total sleep returned (post-deficit)
+  Seconds deficit_banked = 0.0;    // total Case-B overshoot banked
 };
 
 class Pacer {
@@ -64,10 +76,13 @@ class Pacer {
   Seconds deficit() const noexcept { return deficit_; }
   void resetDeficit() noexcept { deficit_ = 0.0; }
 
+  const PacerStats& stats() const noexcept { return stats_; }
+
  private:
   PacerConfig config_{};
   std::optional<BytesPerSec> limit_{};
   Seconds deficit_ = 0.0;
+  PacerStats stats_{};
 };
 
 }  // namespace iobts::throttle

@@ -14,14 +14,17 @@ std::atomic<bool> g_initialised{false};
 std::atomic<std::ostream*> g_sink{nullptr};
 std::mutex g_emit_mutex;
 
-Level initialLevel() {
+}  // namespace
+
+Level levelFromEnv() noexcept {
+  if (const char* env = std::getenv("IOBTS_LOG_LEVEL")) {
+    return parseLevel(env);
+  }
   if (const char* env = std::getenv("IOBTS_LOG")) {
     return parseLevel(env);
   }
   return Level::Warn;
 }
-
-}  // namespace
 
 Level parseLevel(std::string_view name) noexcept {
   if (name == "trace") return Level::Trace;
@@ -47,7 +50,7 @@ const char* levelName(Level lvl) noexcept {
 
 Level level() noexcept {
   if (!g_initialised.load(std::memory_order_acquire)) {
-    g_level.store(initialLevel(), std::memory_order_relaxed);
+    g_level.store(levelFromEnv(), std::memory_order_relaxed);
     g_initialised.store(true, std::memory_order_release);
   }
   return g_level.load(std::memory_order_relaxed);

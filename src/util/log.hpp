@@ -2,7 +2,9 @@
 //
 // Levels: Trace < Debug < Info < Warn < Error < Off.
 // The global level defaults to Warn and can be overridden with the
-// IOBTS_LOG environment variable (trace|debug|info|warn|error|off).
+// IOBTS_LOG_LEVEL environment variable (trace|debug|info|warn|error|off);
+// the older IOBTS_LOG spelling is still honoured when IOBTS_LOG_LEVEL is
+// unset.
 //
 // Usage:
 //   IOBTS_LOG_INFO() << "solved " << n << " regions";
@@ -19,8 +21,13 @@ namespace iobts::log {
 
 enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
 
-/// Current global log level (reads IOBTS_LOG on first use).
+/// Current global log level (reads the environment on first use).
 Level level() noexcept;
+
+/// The level the environment requests right now: IOBTS_LOG_LEVEL, falling
+/// back to IOBTS_LOG, falling back to Warn. Does not touch the cached
+/// global level.
+Level levelFromEnv() noexcept;
 
 /// Override the global level programmatically (tests use this).
 void setLevel(Level lvl) noexcept;

@@ -1,7 +1,8 @@
 // Golden-digest gate for the paper-figure pipelines.
 //
 // Scaled-down fig10 (WaComM++ up-only vs none) and fig13 (HACC-IO strategy
-// sweep) runs, plus a cluster_contention-style scenario, are executed
+// sweep) runs, a cluster_contention-style scenario, and an FTIO/publisher
+// pipeline (the online JSONL record stream + periodicity verdict) are executed
 // in-process; their observable outputs (elapsed time, exploit breakdowns,
 // byte accounting, resampled bandwidth series) are serialized to a canonical
 // hexfloat text and FNV-1a hashed against checked-in digests. Any solver or
@@ -17,6 +18,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,8 @@
 #include "mpisim/world.hpp"
 #include "pfs/file_store.hpp"
 #include "pfs/shared_link.hpp"
+#include "tmio/ftio.hpp"
+#include "tmio/publisher.hpp"
 #include "tmio/report.hpp"
 #include "tmio/tracer.hpp"
 #include "util/rng.hpp"
@@ -185,6 +189,51 @@ TEST(GoldenDigest, Fig13HaccStrategySweep) {
     appendNumber(canon, "lost", lost);
   }
   checkDigest("fig13_mini", canon, 0x6038e3b0b4acfdebULL);
+}
+
+TEST(GoldenDigest, FtioPublisherPipeline) {
+  // The online-publisher stream (every record the tracer emits, in order,
+  // as serialized JSONL) plus the FTIO periodicity verdict on the resulting
+  // throughput signal. Pins down the ftio_demo / online_metrics pipelines
+  // the same way the fig cases pin down the throttling pipelines.
+  std::string canon = "ftio-pub-mini\n";
+
+  tmio::MetricsPublisher publisher;
+  auto owned = std::make_unique<tmio::MemorySink>();
+  tmio::MemorySink* sink = owned.get();
+  publisher.addSink(std::move(owned));
+
+  tmio::TracerConfig tcfg = tracerFor(tmio::StrategyKind::UpOnly);
+  tcfg.publisher = &publisher;
+  mpisim::WorldConfig wcfg;
+  wcfg.ranks = 16;
+  MiniRun run(lichtenbergLink(), wcfg, tcfg);
+  workloads::HaccIoConfig hacc;
+  hacc.compute_seconds = 1.6;
+  hacc.verify_seconds = 1.2;
+  hacc.requests_per_write = 9;
+  hacc.loops = 4;
+  run.run(workloads::haccIoProgram(hacc));
+  publisher.flush();
+
+  canon += "records=" + std::to_string(sink->records().size()) + "\n";
+  for (const Json& record : sink->records()) canon += record.dump() + "\n";
+
+  const double t_end = run.world.elapsed();
+  const tmio::FtioAnalyzer ftio;
+  const tmio::PeriodicityResult p = ftio.analyzeSeries(
+      run.tracer.appThroughputSeries(pfs::Channel::Write), 0.0, t_end);
+  appendNumber(canon, "periodic", p.periodic ? 1.0 : 0.0);
+  appendNumber(canon, "period", p.period);
+  appendNumber(canon, "frequency", p.frequency);
+  appendNumber(canon, "confidence", p.confidence);
+  appendNumber(canon, "dominant_bin", static_cast<double>(p.dominant_bin));
+  for (const int k : {1, 2, 4, 8, 16}) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "spectrum[%d]", k);
+    appendNumber(canon, key, p.spectrum.at(static_cast<std::size_t>(k)));
+  }
+  checkDigest("ftio_pub_mini", canon, 0x8721a300507122abULL);
 }
 
 TEST(GoldenDigest, ClusterContentionPipeline) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Record the observability-plane overhead into BENCH_obs_overhead.json.
+#
+# Runs the BM_DispatchTracing{Off,On} pair from bench/micro_hotpath (the
+# identical event-dispatch churn with no sink vs. an installed TraceSink) and
+# merges the report via tools/bench_to_json. The items/s ratio of the two
+# benchmarks is the per-event cost of tracing; micro_hotpath's built-in
+# allocation assertions (which include the traced kernel probe) run first and
+# fail the recording outright on a regression.
+#
+# Usage: tools/run_obs_bench.sh <build-dir> [label]     (label default: obs)
+set -euo pipefail
+
+BUILD=${1:?usage: run_obs_bench.sh <build-dir> [label]}
+LABEL=${2:-obs}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro_hotpath (BM_DispatchTracing*)"
+"$BUILD/bench/micro_hotpath" \
+  --benchmark_filter='BM_DispatchTracing' \
+  --benchmark_out="$TMP/obs.json" --benchmark_out_format=json
+
+"$BUILD/tools/bench_to_json" \
+  --out BENCH_obs_overhead.json --label "$LABEL" \
+  --bench micro_hotpath="$TMP/obs.json"
+
+echo "recorded label '$LABEL' into BENCH_obs_overhead.json"

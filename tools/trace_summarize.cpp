@@ -1,0 +1,189 @@
+// Summarize a Chrome trace-event JSON export (see src/obs/export.hpp).
+//
+// Usage:
+//   trace_summarize TRACE.json [--top N]
+//
+// Prints, per (category, name):
+//   * complete ("X") spans: count, total inclusive virtual time, mean, max --
+//     sorted by total inclusive virtual time, top N rows;
+//   * instant ("i") events: counts;
+// plus the ring-buffer record/drop totals the exporter embeds in otherData.
+// "Inclusive" is the plain sum of span durations: spans on different tracks
+// overlap freely in virtual time (that is the point of the trace), so the
+// sum can exceed the run's elapsed time -- it ranks where virtual time is
+// spent, it is not a wall-clock budget.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using iobts::Json;
+using iobts::JsonObject;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  IOBTS_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+  double wall_ns = 0.0;
+};
+
+double numberField(const JsonObject& o, const char* key, double fallback) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.isNumber() ? it->second.asNumber()
+                                                : fallback;
+}
+
+std::string stringField(const JsonObject& o, const char* key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.isString() ? it->second.asString()
+                                                : std::string();
+}
+
+void printDuration(double us) {
+  if (us >= 1e6) {
+    std::printf("%10.3f s ", us / 1e6);
+  } else if (us >= 1e3) {
+    std::printf("%10.3f ms", us / 1e3);
+  } else {
+    std::printf("%10.3f us", us);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: trace_summarize TRACE.json [--top N]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_summarize TRACE.json [--top N]\n");
+    return 2;
+  }
+
+  Json doc;
+  try {
+    doc = Json::parse(readFile(path));
+    IOBTS_CHECK(doc.isObject(), "trace document is not a JSON object");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_summarize: %s\n", e.what());
+    return 1;
+  }
+  const auto& root = doc.asObject();
+  const auto events_it = root.find("traceEvents");
+  if (events_it == root.end() || !events_it->second.isArray()) {
+    std::fprintf(stderr,
+                 "trace_summarize: %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+
+  // key: "category/name" -> aggregate. std::map keeps the tie order stable.
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, std::uint64_t> instants;
+  double t_min = 0.0, t_max = 0.0;
+  bool saw_event = false;
+  std::uint64_t n_events = 0;
+
+  for (const Json& ev : events_it->second.asArray()) {
+    if (!ev.isObject()) continue;
+    const auto& o = ev.asObject();
+    const std::string ph = stringField(o, "ph");
+    if (ph == "M") continue;  // metadata
+    ++n_events;
+    const std::string key = stringField(o, "cat") + "/" + stringField(o, "name");
+    const double ts = numberField(o, "ts", 0.0);
+    if (ph == "X") {
+      const double dur = numberField(o, "dur", 0.0);
+      SpanAgg& agg = spans[key];
+      ++agg.count;
+      agg.total_us += dur;
+      agg.max_us = std::max(agg.max_us, dur);
+      if (const auto args = o.find("args");
+          args != o.end() && args->second.isObject()) {
+        agg.wall_ns += numberField(args->second.asObject(), "wall_ns", 0.0);
+      }
+      if (!saw_event) {
+        t_min = ts;
+        t_max = ts + dur;
+        saw_event = true;
+      } else {
+        t_min = std::min(t_min, ts);
+        t_max = std::max(t_max, ts + dur);
+      }
+    } else if (ph == "i") {
+      ++instants[key];
+    }
+  }
+
+  std::printf("%s: %llu events", path.c_str(),
+              static_cast<unsigned long long>(n_events));
+  if (const auto other = root.find("otherData");
+      other != root.end() && other->second.isObject()) {
+    const auto& od = other->second.asObject();
+    std::printf(" (recorded %.0f, dropped %.0f)",
+                numberField(od, "recorded", 0.0),
+                numberField(od, "dropped", 0.0));
+  }
+  if (saw_event) {
+    std::printf(", virtual span [%.3f s, %.3f s]", t_min / 1e6, t_max / 1e6);
+  }
+  std::printf("\n\n");
+
+  std::vector<std::pair<std::string, SpanAgg>> ranked(spans.begin(),
+                                                      spans.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_us > b.second.total_us;
+                   });
+  std::printf("Top spans by inclusive virtual time:\n");
+  std::printf("  %-28s %10s %12s %12s %12s\n", "span", "count", "total",
+              "mean", "max");
+  for (std::size_t i = 0; i < ranked.size() && i < top; ++i) {
+    const auto& [name, agg] = ranked[i];
+    std::printf("  %-28s %10llu ", name.c_str(),
+                static_cast<unsigned long long>(agg.count));
+    printDuration(agg.total_us);
+    std::printf(" ");
+    printDuration(agg.total_us / static_cast<double>(agg.count));
+    std::printf(" ");
+    printDuration(agg.max_us);
+    if (agg.wall_ns > 0.0) std::printf("  (wall %.3f ms)", agg.wall_ns / 1e6);
+    std::printf("\n");
+  }
+
+  if (!instants.empty()) {
+    std::printf("\nInstant events:\n");
+    for (const auto& [name, count] : instants) {
+      std::printf("  %-28s %10llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  return 0;
+}
