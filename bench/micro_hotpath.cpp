@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "pfs/fair_share.hpp"
 #include "pfs/shared_link.hpp"
@@ -188,6 +189,25 @@ void BM_DispatchTracingOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DispatchTracingOn)->Arg(100000);
+
+// Same churn with a callback-mode TraceStreamer attached at the default
+// half-occupancy watermark: the ring drains repeatedly inside the timed
+// region, so this measures dispatch with streaming export on -- the extra
+// cost over BM_DispatchTracingOn is the copy-out-and-deliver overhead.
+void BM_DispatchTracingStreamed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  obs::TraceSink sink;
+  std::uint64_t delivered = 0;
+  obs::TraceStreamer streamer(
+      sink, [&delivered](const std::vector<obs::TraceEvent>& batch) {
+        delivered += batch.size();
+      });
+  obs::ScopedTraceSink install(sink);
+  for (auto _ : state) dispatchChurn(n);
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DispatchTracingStreamed)->Arg(100000);
 
 // --- SharedLink resolve ----------------------------------------------------
 

@@ -65,6 +65,18 @@ sim::Task<void> AdioEngine::execute(Job& job) {
   RequestInfo& info = state.info;
   info.io_start = sim_.now();
 
+  const std::uint64_t journey = journeyOf(info.rank, info.id);
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    // Queue span: MPI call entry (submit) to the engine picking the job up.
+    // The flow chain starts here, inside this span.
+    const sim::Time queued =
+        info.submit_time == sim::kNoTime ? info.io_start : info.submit_time;
+    sink->complete("adio", "adio.queue", obs::track::kAdio, stream_, queued,
+                   info.io_start - queued, static_cast<double>(info.bytes));
+    sink->flowStart("journey", "io", obs::track::kAdio, stream_, queued,
+                    journey);
+  }
+
   const pfs::Channel channel = channelOf(info.op);
   throttle::Pacer& pacer_ = pacer(channel);
   // Per-operation retry bookkeeping, seeded deterministically from the
@@ -92,11 +104,13 @@ sim::Task<void> AdioEngine::execute(Job& job) {
       while (!chunk_done) {
         const sim::Time t0 = sim_.now();
         const pfs::TransferResult r =
-            co_await link_.transfer(channel, stream_, chunk);
+            co_await link_.transfer(channel, stream_, chunk, journey);
         const Seconds actual = sim_.now() - t0;
         if (obs::TraceSink* const sink = obs::traceSink()) {
           sink->complete("adio", "adio.subreq", obs::track::kAdio, stream_,
                          t0, actual, static_cast<double>(chunk));
+          sink->flowStep("journey", "io", obs::track::kAdio, stream_, t0,
+                         journey);
         }
         if (r.ok()) {
           const Seconds sleep = pacer_.onSubrequestDone(chunk, actual);
@@ -106,6 +120,8 @@ sim::Task<void> AdioEngine::execute(Job& job) {
             if (obs::TraceSink* const sink = obs::traceSink()) {
               sink->complete("adio", "adio.pace", obs::track::kAdio, stream_,
                              sleep_start, sleep, pacer_.deficit());
+              sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                             sleep_start, journey);
             }
           }
           chunk_done = true;
@@ -135,6 +151,8 @@ sim::Task<void> AdioEngine::execute(Job& job) {
             sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
                            backoff_start, *backoff,
                            static_cast<double>(retry.retriesUsed()));
+            sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                           backoff_start, journey);
           }
         }
       }
@@ -144,7 +162,7 @@ sim::Task<void> AdioEngine::execute(Job& job) {
     // Blocking operations retry too -- unpaced, so no deficit to keep.
     while (true) {
       const pfs::TransferResult r =
-          co_await link_.transfer(channel, stream_, info.bytes);
+          co_await link_.transfer(channel, stream_, info.bytes, journey);
       if (r.ok()) break;
       const std::optional<Seconds> backoff =
           retry.nextBackoff(sim_.now() - first_attempt);
@@ -164,6 +182,8 @@ sim::Task<void> AdioEngine::execute(Job& job) {
           sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
                          backoff_start, *backoff,
                          static_cast<double>(retry.retriesUsed()));
+          sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                         backoff_start, journey);
         }
       }
     }
@@ -189,6 +209,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
                    obs::track::kAdio, stream_, info.io_start,
                    info.io_end - info.io_start,
                    static_cast<double>(info.bytes));
+    // End of the journey: the request span's closing edge. The walker (and
+    // Perfetto's "bp":"e" binding) treats span bounds as inclusive.
+    sink->flowEnd("journey", "io", obs::track::kAdio, stream_, info.io_end,
+                  journey);
   }
   if (hooks_) hooks_->onComplete(info);
   state.done.fire();  // MPI_Grequest_complete

@@ -40,6 +40,18 @@ enum class IoError : int {
 
 const char* ioErrorName(IoError error) noexcept;
 
+/// Stable journey id of one MPI-IO request. Every flow event the request
+/// leaves behind -- the ADIO queue/subrequest/pacing spans, the PFS
+/// transfer settles, retry backoffs -- carries this id, so an exported
+/// trace reconstructs the request end-to-end (and Perfetto draws the arrow
+/// chain). Derived purely from (rank, per-rank request id): deterministic
+/// across identical runs even within one OS process, and nonzero by
+/// construction (0 means "no journey" at the instrumentation sites).
+inline constexpr std::uint64_t journeyOf(int rank,
+                                         std::uint64_t request_id) noexcept {
+  return (static_cast<std::uint64_t>(rank + 1) << 32) ^ (request_id + 1);
+}
+
 /// Everything an interception library (TMIO) learns about one I/O request
 /// through the PMPI-style hooks.
 struct RequestInfo {

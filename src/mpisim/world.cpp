@@ -355,6 +355,7 @@ void World::exportMetrics(obs::MetricsRegistry& registry) const {
       pacing[c].sleeps += s.sleeps;
       pacing[c].slept += s.slept;
       pacing[c].deficit_banked += s.deficit_banked;
+      pacing[c].paced_bytes += s.paced_bytes;
     }
   }
   for (std::size_t c = 0; c < pfs::kChannels; ++c) {
@@ -362,6 +363,7 @@ void World::exportMetrics(obs::MetricsRegistry& registry) const {
                                pfs::channelName(static_cast<pfs::Channel>(c));
     registry.addCounter(prefix + ".subrequests", pacing[c].subrequests);
     registry.addCounter(prefix + ".sleeps", pacing[c].sleeps);
+    registry.addCounter(prefix + ".paced_bytes", pacing[c].paced_bytes);
     registry.setGauge(prefix + ".slept_seconds", pacing[c].slept);
     registry.setGauge(prefix + ".deficit_banked_seconds",
                       pacing[c].deficit_banked);

@@ -9,7 +9,19 @@ namespace {
 
 constexpr double kMicrosPerSecond = 1e6;
 
-Json eventJson(const TraceEvent& ev) {
+/// Journey ids are raw uint64 values (rank/request bit-packs) that can
+/// exceed 2^53; render them as hex strings so JSON doubles never round
+/// them. Chrome's flow-event "id" field accepts strings.
+std::string journeyIdString(std::uint64_t journey) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(journey));
+  return std::string(buf);
+}
+
+}  // namespace
+
+Json traceEventJson(const TraceEvent& ev) {
   JsonObject o;
   o["name"] = Json(ev.name);
   o["cat"] = Json(ev.category);
@@ -37,16 +49,28 @@ Json eventJson(const TraceEvent& ev) {
       o["args"] = Json(JsonObject{{"value", Json(ev.value)}});
       break;
     }
+    case Phase::FlowStart: {
+      o["ph"] = Json("s");
+      o["id"] = Json(journeyIdString(ev.flow));
+      break;
+    }
+    case Phase::FlowStep: {
+      o["ph"] = Json("t");
+      o["id"] = Json(journeyIdString(ev.flow));
+      break;
+    }
+    case Phase::FlowEnd: {
+      o["ph"] = Json("f");
+      o["bp"] = Json("e");  // bind to the enclosing slice, not the next one
+      o["id"] = Json(journeyIdString(ev.flow));
+      break;
+    }
   }
   return Json(std::move(o));
 }
 
-}  // namespace
-
-Json chromeTraceJson(const TraceSink& sink) {
+JsonArray traceMetadataEvents(const TraceSink& sink) {
   JsonArray events;
-  // Metadata first: Perfetto picks up track names regardless of position,
-  // but leading metadata keeps the document stable as events accumulate.
   for (const auto& [pid, name] : sink.processNames()) {
     JsonObject o;
     o["name"] = Json("process_name");
@@ -64,8 +88,15 @@ Json chromeTraceJson(const TraceSink& sink) {
     o["args"] = Json(JsonObject{{"name", Json(name)}});
     events.push_back(Json(std::move(o)));
   }
+  return events;
+}
+
+Json chromeTraceJson(const TraceSink& sink) {
+  // Metadata first: Perfetto picks up track names regardless of position,
+  // but leading metadata keeps the document stable as events accumulate.
+  JsonArray events = traceMetadataEvents(sink);
   for (const TraceEvent& ev : sink.snapshot()) {
-    events.push_back(eventJson(ev));
+    events.push_back(traceEventJson(ev));
   }
   JsonObject doc;
   doc["traceEvents"] = Json(std::move(events));
@@ -73,6 +104,7 @@ Json chromeTraceJson(const TraceSink& sink) {
   doc["otherData"] = Json(JsonObject{
       {"recorded", Json(sink.recorded())},
       {"dropped", Json(sink.dropped())},
+      {"streamed", Json(sink.streamed())},
       {"clock", Json("virtual (1 us trace time = 1 us simulated)")},
   });
   return Json(std::move(doc));

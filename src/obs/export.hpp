@@ -4,9 +4,12 @@
 // and Perfetto load): one "process" per simulated subsystem, virtual time
 // mapped to microseconds. Event kinds map as
 //
-//   Phase::Complete -> ph "X" (ts + dur)
-//   Phase::Instant  -> ph "i" (thread-scoped)
-//   Phase::Counter  -> ph "C"
+//   Phase::Complete  -> ph "X" (ts + dur)
+//   Phase::Instant   -> ph "i" (thread-scoped)
+//   Phase::Counter   -> ph "C"
+//   Phase::FlowStart -> ph "s" (journey id in "id", hex string)
+//   Phase::FlowStep  -> ph "t"
+//   Phase::FlowEnd   -> ph "f" with "bp":"e" (bind to enclosing slice)
 //
 // plus ph "M" metadata records for the process/thread names registered on
 // the sink. Serialization goes through util Json (std::map-backed objects),
@@ -21,6 +24,15 @@
 #include "util/json.hpp"
 
 namespace iobts::obs {
+
+/// Serialize one event to its Chrome trace-event object. Shared by the
+/// one-shot exporter below and the streaming exporter (obs/stream.hpp), so
+/// streamed and snapshot exports render events identically.
+Json traceEventJson(const TraceEvent& event);
+
+/// The ph "M" metadata records for the sink's registered process/thread
+/// names, in deterministic (sorted) order.
+JsonArray traceMetadataEvents(const TraceSink& sink);
 
 /// Build the Chrome trace document ({"traceEvents": [...], ...}).
 Json chromeTraceJson(const TraceSink& sink);

@@ -1,0 +1,109 @@
+#include "obs/stream.hpp"
+
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace iobts::obs {
+
+TraceStreamer::TraceStreamer(TraceSink& sink, const std::string& path,
+                             TraceStreamerConfig config)
+    : sink_(sink), file_(path, std::ios::binary), file_mode_(true) {
+  file_ok_ = static_cast<bool>(file_);
+  attach(config);
+}
+
+TraceStreamer::TraceStreamer(TraceSink& sink, Callback callback,
+                             TraceStreamerConfig config)
+    : sink_(sink), callback_(std::move(callback)) {
+  attach(config);
+}
+
+TraceStreamer::~TraceStreamer() { close(); }
+
+void TraceStreamer::attach(const TraceStreamerConfig& config) {
+  sink_.setDrainHook(&TraceStreamer::drainThunk, this,
+                     config.occupancy_watermark, config.time_watermark);
+}
+
+void TraceStreamer::drainThunk(void* ctx) {
+  static_cast<TraceStreamer*>(ctx)->drain();
+}
+
+void TraceStreamer::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  batch_.clear();
+  if (sink_.drainInto(batch_) == 0) return;
+  deliverLocked(batch_);
+}
+
+void TraceStreamer::deliverLocked(const std::vector<TraceEvent>& batch) {
+  ++batches_;
+  events_ += batch.size();
+  if (!file_mode_) {
+    if (callback_) callback_(batch);
+    return;
+  }
+  if (!file_ok_) return;
+  if (!header_written_) {
+    file_ << "{\"traceEvents\":[\n";
+    header_written_ = true;
+  }
+  for (const TraceEvent& ev : batch) {
+    if (any_event_written_) file_ << ",\n";
+    file_ << traceEventJson(ev).dump();
+    any_event_written_ = true;
+  }
+  if (!file_) file_ok_ = false;
+}
+
+bool TraceStreamer::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return !file_mode_ || file_ok_;
+  sink_.clearDrainHook();
+  batch_.clear();
+  if (sink_.drainInto(batch_) > 0) deliverLocked(batch_);
+  if (file_mode_ && file_ok_) {
+    if (!header_written_) {
+      file_ << "{\"traceEvents\":[\n";
+      header_written_ = true;
+    }
+    // Metadata records go last: every track name registered during the run
+    // is known by now, and Perfetto applies them regardless of position.
+    for (const Json& meta : traceMetadataEvents(sink_)) {
+      if (any_event_written_) file_ << ",\n";
+      file_ << meta.dump();
+      any_event_written_ = true;
+    }
+    const JsonObject other{
+        {"recorded", Json(sink_.recorded())},
+        {"dropped", Json(sink_.dropped())},
+        {"streamed", Json(sink_.streamed())},
+        {"clock", Json("virtual (1 us trace time = 1 us simulated)")},
+    };
+    file_ << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":"
+          << Json(other).dump() << "}\n";
+    file_.close();
+    if (!file_) file_ok_ = false;
+  }
+  closed_ = true;
+  return !file_mode_ || file_ok_;
+}
+
+bool TraceStreamer::good() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !file_mode_ || file_ok_;
+}
+
+std::uint64_t TraceStreamer::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+std::uint64_t TraceStreamer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace iobts::obs

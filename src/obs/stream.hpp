@@ -1,0 +1,100 @@
+// Streaming trace export.
+//
+// The TraceSink ring retains only the most recent `capacity` events; long
+// cluster runs used to lose their early history to overwrite-oldest. A
+// TraceStreamer attaches to a sink and incrementally *drains* the ring --
+// either into a Chrome-trace JSON file written as events arrive, or into a
+// user callback -- so every recorded event reaches the export exactly once
+// regardless of run length. Drains happen:
+//
+//   * when ring occupancy reaches `occupancy_watermark * capacity` events
+//     (default 0.5; always at the latest when the ring is full, so an
+//     attached streamer never drops events), and/or
+//   * when virtual time has advanced `time_watermark` seconds past the end
+//     of the previous drain (0 = occupancy only). The time trigger fires on
+//     the first event recorded at or past the deadline -- it injects no
+//     simulation events of its own, so attaching a streamer never perturbs
+//     the event kernel.
+//
+// Determinism: events are serialized by the same obs::traceEventJson used
+// for one-shot exports, timestamps are virtual, and drain points depend
+// only on recorded events -- so with wall capture off, two identical runs
+// stream byte-identical files. The file is finalized by close() (or the
+// destructor): remaining events are drained, metadata records appended,
+// and the document closed with the recorded/dropped/streamed totals.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace iobts::obs {
+
+struct TraceStreamerConfig {
+  /// Drain when the ring holds this fraction of its capacity (clamped to
+  /// [1 event, capacity]; <= 0 means "only when full").
+  double occupancy_watermark = 0.5;
+  /// Also drain when an event is recorded at least this many virtual
+  /// seconds past the previous drain (0 = disabled).
+  sim::Time time_watermark = 0.0;
+};
+
+/// Incremental exporter bound to one TraceSink. Construction installs the
+/// sink's drain hook; close()/destruction uninstalls it. One streamer per
+/// sink at a time.
+class TraceStreamer {
+ public:
+  using Callback = std::function<void(const std::vector<TraceEvent>&)>;
+
+  /// File mode: stream a Chrome trace document to `path`. Check good()
+  /// after construction for open failures.
+  TraceStreamer(TraceSink& sink, const std::string& path,
+                TraceStreamerConfig config = {});
+  /// Callback mode: each drain hands the batch (oldest first) to
+  /// `callback`.
+  TraceStreamer(TraceSink& sink, Callback callback,
+                TraceStreamerConfig config = {});
+  ~TraceStreamer();
+
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+
+  /// Drain whatever the ring currently holds (also called by the sink's
+  /// watermark trigger). Safe from any thread.
+  void drain();
+
+  /// Final drain + document footer + hook removal. Idempotent. Returns
+  /// false if any file write failed (callback mode always returns true).
+  bool close();
+
+  bool good() const;
+  /// Drain batches delivered so far.
+  std::uint64_t batches() const;
+  /// Events delivered so far.
+  std::uint64_t events() const;
+
+ private:
+  static void drainThunk(void* ctx);
+  void attach(const TraceStreamerConfig& config);
+  void deliverLocked(const std::vector<TraceEvent>& batch);
+
+  TraceSink& sink_;
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  bool file_mode_ = false;
+  bool file_ok_ = true;
+  bool header_written_ = false;
+  bool any_event_written_ = false;
+  bool closed_ = false;
+  Callback callback_;
+  std::vector<TraceEvent> batch_;  // reused across drains
+  std::uint64_t batches_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace iobts::obs

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+
 namespace iobts::obs {
 
 namespace {
@@ -26,16 +28,64 @@ std::uint64_t TraceSink::wallNowNs() const noexcept {
   return steadyNowNs() - wall_epoch_ns_;
 }
 
-void TraceSink::push(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ring_[head_] = event;
-  head_ = head_ + 1 == config_.capacity ? 0 : head_ + 1;
-  ++recorded_;
-  if (count_ < config_.capacity) {
-    ++count_;
-  } else {
-    ++dropped_;
+void TraceSink::recordSpanStatLocked(const TraceEvent& event) {
+  const auto key = reinterpret_cast<std::uintptr_t>(event.name);
+  std::size_t i = static_cast<std::size_t>(
+                      (static_cast<std::uint64_t>(key) *
+                       0x9e3779b97f4a7c15ULL) >> 32) &
+                  (kSpanSlots - 1);
+  for (std::size_t probe = 0; probe < kSpanSlots; ++probe) {
+    SpanStat& slot = span_stats_[i];
+    if (slot.name == nullptr) {
+      slot.name = event.name;
+      slot.category = event.category;
+    }
+    if (slot.name == event.name) {
+      ++slot.count;
+      slot.sum += event.dur;
+      std::size_t b = 0;
+      while (b < 8 && event.dur > kSpanStatBounds[b]) ++b;
+      ++slot.buckets[b];
+      return;
+    }
+    i = (i + 1) & (kSpanSlots - 1);
   }
+  ++span_stat_overflow_;
+}
+
+void TraceSink::push(const TraceEvent& event) {
+  void (*hook)(void*) = nullptr;
+  void* ctx = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_[head_] = event;
+    head_ = head_ + 1 == config_.capacity ? 0 : head_ + 1;
+    ++recorded_;
+    if (count_ < config_.capacity) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+    if (event.phase == Phase::Complete) recordSpanStatLocked(event);
+    if (drain_hook_ != nullptr) {
+      bool fire = count_ >= drain_trigger_count_;
+      if (drain_interval_ > 0.0) {
+        if (!drain_ts_armed_) {
+          // First event after (re)arming defines the interval origin.
+          next_drain_ts_ = event.ts + drain_interval_;
+          drain_ts_armed_ = true;
+        } else if (event.ts >= next_drain_ts_) {
+          fire = true;
+        }
+      }
+      if (fire) {
+        hook = drain_hook_;
+        ctx = drain_ctx_;
+      }
+    }
+  }
+  // The hook runs outside the sink lock so it may call drainInto().
+  if (hook != nullptr) hook(ctx);
 }
 
 void TraceSink::complete(const char* category, const char* name,
@@ -82,6 +132,38 @@ void TraceSink::counter(const char* category, const char* name,
   push(ev);
 }
 
+void TraceSink::flow(Phase phase, const char* category, const char* name,
+                     std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                     std::uint64_t journey) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.category = category;
+  ev.name = name;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.phase = phase;
+  ev.flow = journey;
+  push(ev);
+}
+
+void TraceSink::flowStart(const char* category, const char* name,
+                          std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                          std::uint64_t journey) {
+  flow(Phase::FlowStart, category, name, pid, tid, ts, journey);
+}
+
+void TraceSink::flowStep(const char* category, const char* name,
+                         std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                         std::uint64_t journey) {
+  flow(Phase::FlowStep, category, name, pid, tid, ts, journey);
+}
+
+void TraceSink::flowEnd(const char* category, const char* name,
+                        std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+                        std::uint64_t journey) {
+  flow(Phase::FlowEnd, category, name, pid, tid, ts, journey);
+}
+
 std::size_t TraceSink::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;
@@ -95,6 +177,92 @@ std::uint64_t TraceSink::recorded() const {
 std::uint64_t TraceSink::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+std::uint64_t TraceSink::streamed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streamed_;
+}
+
+std::size_t TraceSink::drainInto(std::vector<TraceEvent>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = count_;
+  if (n == 0) return 0;
+  const std::size_t start =
+      count_ == config_.capacity ? head_ : (head_ + config_.capacity - count_) %
+                                               config_.capacity;
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % config_.capacity]);
+  }
+  if (drain_interval_ > 0.0) {
+    // Next time-triggered drain is measured from the last drained event.
+    next_drain_ts_ = ring_[(start + n - 1) % config_.capacity].ts +
+                     drain_interval_;
+    drain_ts_armed_ = true;
+  }
+  count_ = 0;  // head_ keeps advancing; the ring is simply empty again
+  streamed_ += n;
+  return n;
+}
+
+void TraceSink::setDrainHook(void (*hook)(void*), void* ctx,
+                             double occupancy_watermark,
+                             sim::Time time_watermark) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_hook_ = hook;
+  drain_ctx_ = ctx;
+  std::size_t trigger = config_.capacity;
+  if (occupancy_watermark > 0.0) {
+    trigger = static_cast<std::size_t>(
+        occupancy_watermark * static_cast<double>(config_.capacity));
+    if (trigger < 1) trigger = 1;
+    if (trigger > config_.capacity) trigger = config_.capacity;
+  }
+  drain_trigger_count_ = trigger;
+  drain_interval_ = time_watermark > 0.0 ? time_watermark : 0.0;
+  drain_ts_armed_ = false;
+}
+
+void TraceSink::clearDrainHook() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  drain_hook_ = nullptr;
+  drain_ctx_ = nullptr;
+  drain_trigger_count_ = 0;
+  drain_interval_ = 0.0;
+  drain_ts_armed_ = false;
+}
+
+std::vector<SpanStat> TraceSink::spanStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanStat>(span_stats_, span_stats_ + kSpanSlots);
+}
+
+std::uint64_t TraceSink::spanStatOverflow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return span_stat_overflow_;
+}
+
+void TraceSink::exportMetrics(MetricsRegistry& registry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry.addCounter("obs.trace.recorded_events", recorded_);
+  registry.addCounter("obs.trace.dropped_events", dropped_);
+  registry.addCounter("obs.trace.streamed_events", streamed_);
+  registry.addCounter("obs.trace.span_stat_overflow", span_stat_overflow_);
+  registry.setGauge("obs.trace.retained_events",
+                    static_cast<double>(count_));
+  registry.setGauge("obs.trace.capacity",
+                    static_cast<double>(config_.capacity));
+  const std::vector<double> bounds(kSpanStatBounds,
+                                   kSpanStatBounds + 8);
+  for (const SpanStat& s : span_stats_) {
+    if (s.name == nullptr) continue;
+    std::string name = "obs.span.";
+    name += s.category;
+    name += '.';
+    name += s.name;
+    registry.mergeHistogram(name, bounds, s.buckets, s.count, s.sum);
+  }
 }
 
 std::vector<TraceEvent> TraceSink::snapshot() const {

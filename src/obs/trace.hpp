@@ -44,8 +44,19 @@ namespace iobts::obs {
 
 /// Chrome-trace-style event phases. Complete events carry a duration
 /// (possibly zero: a synchronous step in virtual time); instants mark a
-/// point; counters sample a value over time.
-enum class Phase : std::uint8_t { Complete = 0, Instant = 1, Counter = 2 };
+/// point; counters sample a value over time. Flow events ("s"/"t"/"f")
+/// correlate spans across tracks into one request journey: each carries a
+/// stable journey id in TraceEvent::flow and binds to the enclosing slice
+/// on its (pid, tid) track, so Perfetto renders one arrow chain from an
+/// MPI-IO submit through its paced sub-requests to the PFS transfer settle.
+enum class Phase : std::uint8_t {
+  Complete = 0,
+  Instant = 1,
+  Counter = 2,
+  FlowStart = 3,
+  FlowStep = 4,
+  FlowEnd = 5,
+};
 
 /// Fixed "process" ids, one per simulated subsystem. Thread ids within a
 /// process are stable simulation-state ids (channel index, stream id, job
@@ -58,6 +69,7 @@ inline constexpr std::uint32_t kStreams = 3;   // per-stream transfers (tid=stre
 inline constexpr std::uint32_t kAdio = 4;      // mpisim::AdioEngine (tid=stream)
 inline constexpr std::uint32_t kCluster = 5;   // cluster scheduler (tid=job)
 inline constexpr std::uint32_t kRtio = 6;      // rtio::IoThread (tid=op serial)
+inline constexpr std::uint32_t kTmio = 7;      // tmio tracer B_req (tid=rank)
 }  // namespace track
 
 /// One recorded event. POD; `category` and `name` must point at storage
@@ -72,6 +84,7 @@ struct TraceEvent {
   Phase phase = Phase::Instant;
   double value = 0.0;        // counter value / generic numeric argument
   std::uint64_t wall_ns = 0; // real duration (0 unless wall capture is on)
+  std::uint64_t flow = 0;    // journey id; flow events only (0 = none)
 };
 
 struct TraceSinkConfig {
@@ -82,6 +95,26 @@ struct TraceSinkConfig {
   /// byte-identical across identical runs.
   bool capture_wall_time = false;
 };
+
+class MetricsRegistry;
+
+/// Per-(category, name) duration statistics for closed spans, accumulated
+/// allocation-free on the recording path. Bucket edges are fixed
+/// (kSpanStatBounds); the slots merge into MetricsRegistry histograms at
+/// export time, where matching string *contents* (not just pointers)
+/// collapse into one histogram.
+struct SpanStat {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint64_t count = 0;
+  double sum = 0.0;  // virtual seconds
+  std::uint64_t buckets[9] = {};
+};
+
+/// Upper bucket edges (seconds) for span-duration histograms; one overflow
+/// bucket above the last edge brings the count to 9.
+inline constexpr double kSpanStatBounds[8] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                              1e-2, 1e-1, 1.0,  10.0};
 
 /// Fixed-capacity, thread-safe ring buffer of trace events.
 class TraceSink {
@@ -100,6 +133,19 @@ class TraceSink {
   void counter(const char* category, const char* name, std::uint32_t pid,
                std::uint32_t tid, sim::Time ts, double value);
 
+  /// Flow events correlating spans across tracks into one journey.
+  /// `journey` must be nonzero and stable across identical runs (derive it
+  /// from simulation state: rank/request ids, never global counters). The
+  /// exporter binds each flow event to the enclosing slice on its
+  /// (pid, tid) track -- emit them at a timestamp inside the span they
+  /// should attach to.
+  void flowStart(const char* category, const char* name, std::uint32_t pid,
+                 std::uint32_t tid, sim::Time ts, std::uint64_t journey);
+  void flowStep(const char* category, const char* name, std::uint32_t pid,
+                std::uint32_t tid, sim::Time ts, std::uint64_t journey);
+  void flowEnd(const char* category, const char* name, std::uint32_t pid,
+               std::uint32_t tid, sim::Time ts, std::uint64_t journey);
+
   bool captureWallTime() const noexcept { return config_.capture_wall_time; }
 
   /// Monotonic wall clock in nanoseconds since sink construction; returns 0
@@ -115,12 +161,47 @@ class TraceSink {
   std::uint64_t recorded() const;
   /// Events overwritten after the ring wrapped.
   std::uint64_t dropped() const;
+  /// Events handed to drainInto() (streaming export; see TraceStreamer).
+  std::uint64_t streamed() const;
 
   /// Copy of the retained events, oldest first.
   std::vector<TraceEvent> snapshot() const;
 
   /// Drop all retained events (drop/record counters keep counting).
   void clear();
+
+  // --- Streaming drain (see obs/stream.hpp) -------------------------------
+
+  /// Append all retained events to `out` oldest first and mark them
+  /// streamed (they leave the ring without counting as drops). Returns the
+  /// number of events moved.
+  std::size_t drainInto(std::vector<TraceEvent>& out);
+
+  /// Install a drain trigger: after recording an event, `hook(ctx)` fires
+  /// (outside the sink lock) when ring occupancy reaches
+  /// ceil(occupancy_watermark * capacity) events, or -- if `time_watermark`
+  /// is > 0 -- when the recorded event's virtual timestamp has advanced at
+  /// least `time_watermark` seconds past the end of the previous drain.
+  /// The hook typically calls drainInto(); it must tolerate reentrant
+  /// recording only if its own sink does. One hook at a time.
+  void setDrainHook(void (*hook)(void*), void* ctx, double occupancy_watermark,
+                    sim::Time time_watermark);
+  void clearDrainHook();
+
+  // --- Metrics export -----------------------------------------------------
+
+  /// Publish recording counters (obs.trace.recorded_events /
+  /// dropped_events / streamed_events, retained/capacity gauges) and the
+  /// per-span duration histograms ("obs.span.<category>.<name>") into
+  /// `registry`. Span stats cover every Complete event ever recorded,
+  /// including dropped and streamed ones.
+  void exportMetrics(MetricsRegistry& registry) const;
+
+  /// Read-only view of the accumulated span-duration stats (unused slots
+  /// have null names). `spanStatOverflow` counts Complete events whose
+  /// (category, name) could not claim a slot in the fixed table.
+  std::vector<SpanStat> spanStats() const;
+  std::uint64_t spanStatOverflow() const;
 
   // --- Track names (setup-time; allocation allowed) -----------------------
 
@@ -131,7 +212,13 @@ class TraceSink {
       const;
 
  private:
+  static constexpr std::size_t kSpanSlots = 64;
+
   void push(const TraceEvent& event);
+  void flow(Phase phase, const char* category, const char* name,
+            std::uint32_t pid, std::uint32_t tid, sim::Time ts,
+            std::uint64_t journey);
+  void recordSpanStatLocked(const TraceEvent& event);
 
   TraceSinkConfig config_;
   mutable std::mutex mutex_;
@@ -140,9 +227,22 @@ class TraceSink {
   std::size_t count_ = 0;  // retained events
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t streamed_ = 0;
   std::map<std::uint32_t, std::string> process_names_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names_;
   std::uint64_t wall_epoch_ns_ = 0;
+  // Span-stat table: open addressing keyed on the name pointer (string
+  // literals make pointer identity a near-perfect key; export merges by
+  // content anyway).
+  SpanStat span_stats_[kSpanSlots] = {};
+  std::uint64_t span_stat_overflow_ = 0;
+  // Drain trigger (null hook = streaming off).
+  void (*drain_hook_)(void*) = nullptr;
+  void* drain_ctx_ = nullptr;
+  std::size_t drain_trigger_count_ = 0;
+  sim::Time drain_interval_ = 0.0;
+  sim::Time next_drain_ts_ = 0.0;
+  bool drain_ts_armed_ = false;
 };
 
 namespace detail {

@@ -29,6 +29,9 @@ struct SharedLink::Transfer {
   std::optional<BytesPerSec> noise_cap{};
   /// Monotone per-link id; keys the deterministic fault verdict.
   std::uint64_t serial = 0;
+  /// Caller's journey id (0 = none); ties the settled span into the
+  /// request's flow chain.
+  std::uint64_t journey = 0;
   /// Points into the awaiting transfer() frame's TransferResult.status. The
   /// frame is suspended at done.wait() until fire() resumes it through the
   /// event queue, so the sink outlives this Transfer object (which is
@@ -226,7 +229,8 @@ void SharedLink::setRecordStream(StreamId stream, bool record) {
 }
 
 sim::Task<TransferResult> SharedLink::transfer(Channel channel,
-                                               StreamId stream, Bytes bytes) {
+                                               StreamId stream, Bytes bytes,
+                                               std::uint64_t journey) {
   IOBTS_CHECK(stream < streams_.size(), "unknown stream");
   TransferResult result;
   result.start = sim_.now();
@@ -244,6 +248,7 @@ sim::Task<TransferResult> SharedLink::transfer(Channel channel,
   t.start = sim_.now();
   t.last_settle = sim_.now();
   t.serial = next_transfer_serial_++;
+  t.journey = journey;
   t.status_sink = &result.status;
   if (config_.noise_sigma > 0.0) {
     const double factor =
@@ -372,6 +377,10 @@ void SharedLink::resolve(Channel channel) {
                                                            : "transfer.write"),
                        obs::track::kStreams, t->stream, t->start,
                        now - t->start, static_cast<double>(t->total));
+        if (t->journey != 0) {
+          sink->flowStep("journey", "io", obs::track::kStreams, t->stream,
+                         t->start, t->journey);
+        }
       }
       t->done.fire();
     }

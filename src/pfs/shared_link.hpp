@@ -144,8 +144,10 @@ class SharedLink {
   /// Move `bytes` through `channel` on behalf of `stream`; completes when the
   /// bytes have drained at the evolving fair-share rate. Check the result's
   /// status: with a fault plan installed, a transfer may complete Faulted.
+  /// A nonzero `journey` id ties the settled transfer span into the
+  /// caller's flow chain (obs::TraceSink flow events); 0 records nothing.
   sim::Task<TransferResult> transfer(Channel channel, StreamId stream,
-                                     Bytes bytes);
+                                     Bytes bytes, std::uint64_t journey = 0);
 
   // --- Fault plane ---------------------------------------------------------
 

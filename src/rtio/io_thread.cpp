@@ -202,13 +202,24 @@ void IoThread::serve() {
     if (obs::TraceSink* const sink = obs::traceSink()) {
       // rtio spans live on the wall clock (seconds since this thread's
       // construction): the real I/O thread has no virtual time.
+      const sim::Time op_start =
+          std::chrono::duration<double>(stats.start - epoch_).count();
+      const sim::Time op_dur =
+          std::chrono::duration<double>(stats.end - stats.start).count();
       sink->complete(
           "rtio",
           stats.failed ? "rtio.op.failed" : "rtio.op", obs::track::kRtio,
-          static_cast<std::uint32_t>(op.serial),
-          std::chrono::duration<double>(stats.start - epoch_).count(),
-          std::chrono::duration<double>(stats.end - stats.start).count(),
+          static_cast<std::uint32_t>(op.serial), op_start, op_dur,
           static_cast<double>(stats.bytes));
+      // Real-clock ops carry journeys too; the high bit keeps their id
+      // space disjoint from the simulated engine's journeyOf() values.
+      const std::uint64_t journey = (1ULL << 63) | op.serial;
+      sink->flowStart("journey", "io", obs::track::kRtio,
+                      static_cast<std::uint32_t>(op.serial), op_start,
+                      journey);
+      sink->flowEnd("journey", "io", obs::track::kRtio,
+                    static_cast<std::uint32_t>(op.serial), op_start + op_dur,
+                    journey);
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

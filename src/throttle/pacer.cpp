@@ -43,6 +43,7 @@ Seconds Pacer::onSubrequestDone(Bytes bytes, Seconds actual) {
   IOBTS_CHECK(actual >= 0.0, "durations must be non-negative");
   if (!limit_) return 0.0;
   ++stats_.subrequests;
+  stats_.paced_bytes += bytes;
   const Seconds required = requiredTime(bytes);
   if (actual >= required) {
     // Case B: too slow -- bank the overshoot to shorten future sleeps.

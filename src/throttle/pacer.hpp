@@ -45,6 +45,7 @@ struct PacerStats {
   std::uint64_t sleeps = 0;        // Case-A outcomes with a positive sleep
   Seconds slept = 0.0;             // total sleep returned (post-deficit)
   Seconds deficit_banked = 0.0;    // total Case-B overshoot banked
+  Bytes paced_bytes = 0;           // payload bytes reported under a limit
 };
 
 class Pacer {

@@ -1,0 +1,40 @@
+// Bridge from the TMIO tracer to the observability plane.
+//
+// The tracer already computes the paper's quantities -- per-phase required
+// bandwidth B_ij (Eq. 1), throughput T_ij (Eq. 2), the application-level
+// series (Eq. 3) -- as record vectors. This bridge publishes them through
+// the obs plane in two forms:
+//
+//   * exportTracerMetrics: deterministic counters/gauges/histograms in a
+//     MetricsRegistry ("tmio.*" names), so a metrics dump carries the
+//     bandwidth story next to the simulator's own counters;
+//   * annotateAppRequired: the Eq. 3 application-level required-bandwidth
+//     step series as Chrome-trace counter samples on the tmio track, so
+//     Perfetto plots B(t) directly under the request journeys it explains.
+//
+// (The *live* per-phase B_req samples are emitted by the tracer itself at
+// phase close -- "tmio.breq.write"/"tmio.breq.read" counters, one series
+// per rank; this bridge handles the collection-time aggregates.)
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tmio/tracer.hpp"
+
+namespace iobts::tmio {
+
+/// Publish the tracer's aggregate bandwidth telemetry into `registry`:
+/// record counts (tmio.phases / throughput_windows / limit_changes), and
+/// per channel the phase count, required-bandwidth histogram
+/// (tmio.<channel>.required_bw, decade buckets in bytes/s), phase-duration
+/// histogram (tmio.<channel>.phase_seconds), last-phase B_req gauge, plus
+/// the Sec. IV-C minimal application bandwidth (tmio.min_required_bw).
+void exportTracerMetrics(const Tracer& tracer, obs::MetricsRegistry& registry);
+
+/// Record the application-level required-bandwidth series (Eq. 3) of both
+/// channels into `sink` as counter samples ("tmio.app.breq.write"/".read",
+/// pid obs::track::kTmio, tid = channel index). Returns the number of
+/// samples recorded.
+std::size_t annotateAppRequired(const Tracer& tracer, obs::TraceSink& sink);
+
+}  // namespace iobts::tmio

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -128,6 +129,9 @@ void Tracer::attach(mpisim::World& world) {
   for (int r = 0; r < world.config().ranks; ++r) {
     ranks_.push_back(std::make_unique<RankState>(config_));
   }
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    sink->setProcessName(obs::track::kTmio, "tmio tracer (B_req per phase)");
+  }
 }
 
 Tracer::RankState& Tracer::state(int rank) {
@@ -223,6 +227,17 @@ void Tracer::closePhase(RankState& rs, OpenPhase& phase, int rank) {
     required += static_cast<double>(req.bytes) / window;
   }
   record.required = required;
+
+  // Live B_req telemetry: each closed phase publishes its required
+  // bandwidth (Eq. 1) as a counter sample at the phase end, one series per
+  // (channel, rank) -- the online signal an FTIO-style consumer would read.
+  if (obs::TraceSink* const sink = obs::traceSink()) {
+    sink->counter("tmio",
+                  phase.channel == pfs::Channel::Read ? "tmio.breq.read"
+                                                      : "tmio.breq.write",
+                  obs::track::kTmio, static_cast<std::uint32_t>(rank), te,
+                  record.required);
+  }
 
   // Strategy: limit for the next phase on this channel (Sec. IV-B).
   const int chan = static_cast<int>(phase.channel);

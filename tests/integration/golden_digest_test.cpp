@@ -7,7 +7,10 @@
 // byte accounting, resampled bandwidth series) are serialized to a canonical
 // hexfloat text and FNV-1a hashed against checked-in digests. Any solver or
 // scheduler change that shifts a paper-facing number by even one ULP flips
-// the digest, so results cannot drift silently.
+// the digest, so results cannot drift silently. (Exception: the noisy fig14
+// case digests a reduced-precision canonicalization -- see
+// appendNumberCanonical -- because its recompute-quantum accumulation
+// carries toolchain-dependent low bits.)
 //
 // When a change *intends* to alter results, regenerate the constants:
 //   IOBTS_DUMP_GOLDEN=1 ./build/tests/integration_test \
@@ -46,6 +49,39 @@ void appendNumber(std::string& out, const char* key, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%s=%a\n", key, value);
   out += buf;
+}
+
+// Canonicalized variant for the noisy fig14 pipeline. Its recompute-quantum
+// path rebuilds each stream's rate as a sum over many small re-solve slices,
+// and the step series then subtract two nearly-equal such sums wherever the
+// signal returns to zero; the residual is pure cancellation noise (observed
+// up to ~5e-7 on a bytes/s scale of ~5e8, i.e. relative 1e-16 -- and its
+// exact value shifts with the toolchain's rounding/contraction choices,
+// e.g. -1.19e-12 vs -5.92e-13 for the same term on two libstdc++ builds).
+// Hexfloat digests would flip on every compiler bump without any
+// paper-facing drift, so this case snaps |v| < 1e-3 to exactly zero (11+
+// orders below any real bandwidth or elapsed value here) and formats with
+// nine significant digits ("%.9g"): stable across conforming toolchains,
+// while real drift (>= 1 part in 1e9) still flips it.
+constexpr double kCanonicalZeroSnap = 1e-3;
+
+void appendNumberCanonical(std::string& out, const char* key, double value) {
+  if (std::fabs(value) < kCanonicalZeroSnap) value = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.9g\n", key, value);
+  out += buf;
+}
+
+void appendSeriesCanonical(std::string& out, const char* key,
+                           const StepSeries& series, double t_end) {
+  char buf[80];
+  for (int i = 0; i <= 64; ++i) {
+    const double t = t_end * static_cast<double>(i) / 64.0;
+    double v = series.at(t);
+    if (std::fabs(v) < kCanonicalZeroSnap) v = 0.0;
+    std::snprintf(buf, sizeof(buf), "%s[%d]=%.9g\n", key, i, v);
+    out += buf;
+  }
 }
 
 void appendSeries(std::string& out, const char* key, const StepSeries& series,
@@ -189,6 +225,58 @@ TEST(GoldenDigest, Fig13HaccStrategySweep) {
     appendNumber(canon, "lost", lost);
   }
   checkDigest("fig13_mini", canon, 0x6038e3b0b4acfdebULL);
+}
+
+TEST(GoldenDigest, Fig14NoisyDirectPipeline) {
+  // Fig. 14 at reduced scale: 16 ranks, 2 loops, direct strategy, and the
+  // bench's noisy-link recipe -- per-transfer lognormal slowdowns around a
+  // reference just above the applied write limit, re-solved on a 5 ms
+  // recompute quantum. This is the one pipeline whose outputs carry
+  // toolchain-dependent low bits (see appendNumberCanonical above), so it
+  // digests the canonicalized text, not hexfloats.
+  std::string canon = "fig14-mini\n";
+  for (const double noise_sigma : {0.0, 0.4}) {
+    mpisim::WorldConfig wcfg;
+    wcfg.ranks = 16;
+    wcfg.compute_jitter_sigma = 0.03;
+    workloads::HaccIoConfig hacc;
+    const double scale = std::pow(16.0, 0.55);
+    hacc.compute_seconds = 0.30 * scale;
+    hacc.verify_seconds = 0.25 * scale;
+    hacc.requests_per_write = 9;
+    hacc.loops = 2;
+    pfs::LinkConfig link = lichtenbergLink();
+    link.noise_sigma = noise_sigma;
+    const double write_requirement =
+        static_cast<double>(workloads::haccBytesPerRankPerLoop(hacc)) /
+        hacc.verify_seconds;
+    link.noise_reference_rate = 1.4 * write_requirement;
+    link.recompute_quantum = noise_sigma > 0.0 ? 5e-3 : 0.0;
+    MiniRun run(link, wcfg, tracerFor(tmio::StrategyKind::Direct));
+    run.run(workloads::haccIoProgram(hacc));
+
+    canon += std::string("case=sigma") + (noise_sigma > 0.0 ? "0.4" : "0") +
+             "\n";
+    const double t_end = run.world.elapsed();
+    appendNumberCanonical(canon, "elapsed", t_end);
+    double lost = 0.0;
+    for (int r = 0; r < wcfg.ranks; ++r) {
+      lost += run.tracer.rankSplit(r).write_lost +
+              run.tracer.rankSplit(r).read_lost;
+    }
+    appendNumberCanonical(canon, "lost", lost);
+    appendNumberCanonical(
+        canon, "bytes_write",
+        static_cast<double>(run.link.bytesMoved(pfs::Channel::Write)));
+    appendSeriesCanonical(
+        canon, "T", run.tracer.appThroughputSeries(pfs::Channel::Write),
+        t_end);
+    appendSeriesCanonical(
+        canon, "B", run.tracer.appRequiredSeries(pfs::Channel::Write), t_end);
+    appendSeriesCanonical(
+        canon, "BL", run.tracer.appLimitSeries(pfs::Channel::Write), t_end);
+  }
+  checkDigest("fig14_mini", canon, 0x7124f27e2f210614ULL);
 }
 
 TEST(GoldenDigest, FtioPublisherPipeline) {

@@ -98,7 +98,7 @@ TEST(TraceExport, ChromeTraceDocumentIsWellFormed) {
   const auto& events = root.at("traceEvents").asArray();
   ASSERT_FALSE(events.empty());
 
-  std::size_t metadata = 0, spans = 0, counters = 0;
+  std::size_t metadata = 0, spans = 0, counters = 0, flows = 0;
   for (const Json& ev : events) {
     ASSERT_TRUE(ev.isObject());
     const auto& o = ev.asObject();
@@ -121,6 +121,18 @@ TEST(TraceExport, ChromeTraceDocumentIsWellFormed) {
       ++spans;
     } else if (ph == "C") {
       ++counters;
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      // Flow events carry a hex-string journey id; "f" binds to the
+      // enclosing slice.
+      ASSERT_TRUE(o.count("id"));
+      const std::string& id = o.at("id").asString();
+      EXPECT_EQ(id.compare(0, 2, "0x"), 0);
+      EXPECT_NE(id, "0x0");
+      if (ph == "f") {
+        ASSERT_TRUE(o.count("bp"));
+        EXPECT_EQ(o.at("bp").asString(), "e");
+      }
+      ++flows;
     } else {
       EXPECT_EQ(ph, "i");
     }
@@ -128,6 +140,7 @@ TEST(TraceExport, ChromeTraceDocumentIsWellFormed) {
   EXPECT_GT(metadata, 0u);  // link/stream track names registered at setup
   EXPECT_GT(spans, 0u);
   EXPECT_GT(counters, 0u);  // sim heap-depth counter
+  EXPECT_GT(flows, 0u);     // request journeys
 
   // The ring accounting is embedded for the summarizer.
   const auto& other = root.at("otherData").asObject();

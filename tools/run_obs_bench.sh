@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Record the observability-plane overhead into BENCH_obs_overhead.json.
 #
-# Runs the BM_DispatchTracing{Off,On} pair from bench/micro_hotpath (the
-# identical event-dispatch churn with no sink vs. an installed TraceSink) and
-# merges the report via tools/bench_to_json. The items/s ratio of the two
-# benchmarks is the per-event cost of tracing; micro_hotpath's built-in
+# Runs the BM_DispatchTracing{Off,On,Streamed} trio from bench/micro_hotpath
+# (the identical event-dispatch churn with no sink, with an installed
+# TraceSink, and with a TraceStreamer draining that sink at the default
+# occupancy watermark) and merges the report via tools/bench_to_json. The
+# items/s ratio Off/On is the per-event cost of tracing; On/Streamed adds the
+# copy-out-and-deliver cost of streaming export. micro_hotpath's built-in
 # allocation assertions (which include the traced kernel probe) run first and
 # fail the recording outright on a regression.
 #

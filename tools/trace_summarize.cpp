@@ -1,9 +1,9 @@
 // Summarize a Chrome trace-event JSON export (see src/obs/export.hpp).
 //
 // Usage:
-//   trace_summarize TRACE.json [--top N]
+//   trace_summarize TRACE.json [--top N] [--journeys]
 //
-// Prints, per (category, name):
+// Default mode prints, per (category, name):
 //   * complete ("X") spans: count, total inclusive virtual time, mean, max --
 //     sorted by total inclusive virtual time, top N rows;
 //   * instant ("i") events: counts;
@@ -12,6 +12,12 @@
 // overlap freely in virtual time (that is the point of the trace), so the
 // sum can exceed the run's elapsed time -- it ranks where virtual time is
 // spent, it is not a wall-clock budget.
+//
+// --journeys reconstructs each request's critical path instead: flow
+// events ("s"/"t"/"f") are grouped by journey id, each is bound to the
+// enclosing spans on its track (the way Perfetto binds flow arrows), and
+// the bound spans are classified into queue / pace / link / fault-retry
+// time. One row per journey, ranked by end-to-end duration.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,7 @@
 namespace {
 
 using iobts::Json;
+using iobts::JsonArray;
 using iobts::JsonObject;
 
 std::string readFile(const std::string& path) {
@@ -67,23 +74,181 @@ void printDuration(double us) {
   }
 }
 
+// --- journey mode -----------------------------------------------------------
+
+struct Span {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string name;
+};
+
+struct Journey {
+  double t_min = 0.0, t_max = 0.0;
+  bool seen = false;
+  double queue_us = 0.0;  // adio.queue
+  double pace_us = 0.0;   // adio.pace
+  double link_us = 0.0;   // transfer.read/write settles
+  double fault_us = 0.0;  // transfer.faulted + adio.backoff
+  double total_us = 0.0;  // adio.request.* / rtio.op span
+  std::uint64_t subrequests = 0;
+  std::uint64_t flow_events = 0;
+  bool failed = false;
+};
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+int journeysMode(const JsonArray& events, std::size_t top) {
+  // Spans per (pid, tid) track, for flow binding.
+  std::map<std::pair<double, double>, std::vector<Span>> tracks;
+  // Flow events per journey id, in document (= recording) order.
+  std::map<std::string, std::vector<std::pair<std::pair<double, double>,
+                                              double>>>
+      flows;  // id -> [((pid, tid), ts)]
+  for (const Json& ev : events) {
+    if (!ev.isObject()) continue;
+    const auto& o = ev.asObject();
+    const std::string ph = stringField(o, "ph");
+    const std::pair<double, double> track{numberField(o, "pid", 0.0),
+                                          numberField(o, "tid", 0.0)};
+    if (ph == "X") {
+      tracks[track].push_back(Span{numberField(o, "ts", 0.0),
+                                   numberField(o, "dur", 0.0),
+                                   stringField(o, "name")});
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      flows[stringField(o, "id")].push_back(
+          {track, numberField(o, "ts", 0.0)});
+    }
+  }
+  if (flows.empty()) {
+    std::printf(
+        "no flow events -- this trace predates request journeys (re-run the "
+        "instrumented workload)\n");
+    return 0;
+  }
+
+  // Bind each flow event to its enclosing spans and classify. A span is
+  // counted once per journey even if several flow events bind to it
+  // (dedup by identity within the journey).
+  std::vector<std::pair<std::string, Journey>> journeys;
+  for (const auto& [id, chain] : flows) {
+    Journey j;
+    j.flow_events = chain.size();
+    std::vector<const Span*> bound;
+    for (const auto& [track, ts] : chain) {
+      if (!j.seen) {
+        j.t_min = j.t_max = ts;
+        j.seen = true;
+      } else {
+        j.t_min = std::min(j.t_min, ts);
+        j.t_max = std::max(j.t_max, ts);
+      }
+      const auto it = tracks.find(track);
+      if (it == tracks.end()) continue;
+      for (const Span& s : it->second) {
+        if (ts < s.ts || ts > s.ts + s.dur) continue;
+        if (std::find(bound.begin(), bound.end(), &s) != bound.end()) {
+          continue;
+        }
+        bound.push_back(&s);
+      }
+    }
+    for (const Span* s : bound) {
+      j.t_max = std::max(j.t_max, s->ts + s->dur);
+      if (s->name == "adio.queue") {
+        j.queue_us += s->dur;
+      } else if (s->name == "adio.pace") {
+        j.pace_us += s->dur;
+      } else if (s->name == "transfer.read" || s->name == "transfer.write") {
+        j.link_us += s->dur;
+      } else if (s->name == "transfer.faulted" || s->name == "adio.backoff") {
+        j.fault_us += s->dur;
+      } else if (s->name == "adio.subreq") {
+        ++j.subrequests;
+      } else if (startsWith(s->name, "adio.request.") ||
+                 startsWith(s->name, "rtio.op")) {
+        j.total_us += s->dur;
+        j.failed |= s->name == "adio.request.failed" ||
+                    s->name == "rtio.op.failed";
+      }
+    }
+    if (j.total_us == 0.0) j.total_us = j.t_max - j.t_min;
+    journeys.emplace_back(id, j);
+  }
+
+  std::stable_sort(journeys.begin(), journeys.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_us > b.second.total_us;
+                   });
+
+  std::printf("%zu journeys; critical-path split per journey "
+              "(queue | pace | link | fault):\n",
+              journeys.size());
+  std::printf("  %-20s %12s %12s %12s %12s %12s %7s\n", "journey", "total",
+              "queue", "pace", "link", "fault", "subreq");
+  double agg_total = 0, agg_queue = 0, agg_pace = 0, agg_link = 0,
+         agg_fault = 0;
+  for (std::size_t i = 0; i < journeys.size(); ++i) {
+    const auto& [id, j] = journeys[i];
+    agg_total += j.total_us;
+    agg_queue += j.queue_us;
+    agg_pace += j.pace_us;
+    agg_link += j.link_us;
+    agg_fault += j.fault_us;
+    if (i >= top) continue;
+    std::printf("  %-20s ", (id + (j.failed ? " !" : "")).c_str());
+    printDuration(j.total_us);
+    std::printf(" ");
+    printDuration(j.queue_us);
+    std::printf(" ");
+    printDuration(j.pace_us);
+    std::printf(" ");
+    printDuration(j.link_us);
+    std::printf(" ");
+    printDuration(j.fault_us);
+    std::printf(" %7llu\n", static_cast<unsigned long long>(j.subrequests));
+  }
+  if (journeys.size() > top) {
+    std::printf("  ... %zu more\n", journeys.size() - top);
+  }
+  std::printf("\n  %-20s ", "all journeys");
+  printDuration(agg_total);
+  std::printf(" ");
+  printDuration(agg_queue);
+  std::printf(" ");
+  printDuration(agg_pace);
+  std::printf(" ");
+  printDuration(agg_link);
+  std::printf(" ");
+  printDuration(agg_fault);
+  std::printf("\n  (pace = bandwidth limitation at work; link = fair-share "
+              "transfer time; fault = faulted settles + retry backoffs)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   std::size_t top = 20;
+  bool journeys = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--journeys") == 0) {
+      journeys = true;
     } else if (argv[i][0] != '-' && path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: trace_summarize TRACE.json [--top N]\n");
+      std::fprintf(
+          stderr, "usage: trace_summarize TRACE.json [--top N] [--journeys]\n");
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: trace_summarize TRACE.json [--top N]\n");
+    std::fprintf(
+        stderr, "usage: trace_summarize TRACE.json [--top N] [--journeys]\n");
     return 2;
   }
 
@@ -103,6 +268,8 @@ int main(int argc, char** argv) {
                  path.c_str());
     return 1;
   }
+
+  if (journeys) return journeysMode(events_it->second.asArray(), top);
 
   // key: "category/name" -> aggregate. std::map keeps the tie order stable.
   std::map<std::string, SpanAgg> spans;
