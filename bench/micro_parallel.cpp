@@ -1,0 +1,129 @@
+// Parallel-kernel benchmarks: a multi-link fleet spread across shards,
+// measured at 1/2/4 worker threads. The scenario is the sharded kernel's
+// design target -- several independent SharedLinks (one per shard, as in a
+// multi-cluster campaign) with heavy contended-resolve churn inside each
+// shard and a thin cross-shard completion feed. Thread-count speedup on
+// this workload is the "parallel" section of BENCH_hotpath.json
+// (tools/run_hotpath_bench.sh records it).
+//
+// Note on measurement: real-time ratios between thread counts are only
+// meaningful when the machine actually has that many cores. On a
+// single-core container the parallel runs serialize on the one CPU and the
+// barrier overhead makes threads>1 *slower*; record and read the numbers
+// with `parallel_cores` in mind.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pfs/shared_link.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace iobts;
+
+sim::Task<void> transferLoop(pfs::SharedLink& link, pfs::StreamId stream,
+                             int rounds, Bytes bytes) {
+  for (int r = 0; r < rounds; ++r) {
+    co_await link.transfer(pfs::Channel::Write, stream, bytes);
+  }
+}
+
+// One fleet run: kShards shards, each owning a SharedLink with kStreams
+// staggered write streams re-solved on every completion, plus a per-shard
+// "campaign report" cross-posted to shard 0 at a fixed latency. ~90k
+// shard-local events per run, a handful of cross posts -- the intended
+// compute/communication ratio for conservative windows.
+void runShardedFleet(unsigned threads, std::uint64_t& sink) {
+  constexpr std::uint32_t kShards = 8;
+  constexpr int kStreams = 64;
+  constexpr int kRounds = 12;
+  constexpr sim::Time kReportLatency = 0.05;
+
+  sim::ShardedSimulation sharded(
+      {.shards = kShards, .lookahead = kReportLatency, .threads = threads});
+
+  std::vector<std::unique_ptr<pfs::SharedLink>> links;
+  std::uint64_t reports = 0;
+  for (sim::ShardId s = 0; s < kShards; ++s) {
+    pfs::LinkConfig cfg;
+    cfg.write_capacity = 100e9;
+    cfg.read_capacity = 100e9;
+    cfg.record_total = false;
+    links.push_back(
+        std::make_unique<pfs::SharedLink>(sharded.shard(s), cfg));
+    pfs::SharedLink& link = *links.back();
+    for (int i = 0; i < kStreams; ++i) {
+      const auto stream = link.createStream("s" + std::to_string(i));
+      sharded.shard(s).spawn(transferLoop(
+          link, stream, kRounds, static_cast<Bytes>(i + 1) * 2 * kMiB));
+    }
+    // Periodic cross-shard heartbeat to shard 0: keeps the merge path and
+    // the lookahead constraint honest without dominating the run.
+    for (int beat = 1; beat <= 8; ++beat) {
+      sharded.shard(s).post(0.1 * beat, [&sharded, s, &reports] {
+        sim::crossPost(sharded.shard(s), 0, 0.05,
+                       [&reports] { ++reports; });
+      });
+    }
+  }
+
+  sharded.run(threads);
+  sink = sharded.eventsProcessed() + reports;
+}
+
+void BM_ShardedFleet(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    runShardedFleet(threads, events);
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_ShardedFleet)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The serial windowed coordinator vs a plain Simulation on the identical
+// single-shard workload: the cost of adopting the window protocol at all
+// (horizon scans + merge checks), which bounds what threads=1 pays.
+void BM_SingleShardWindowOverhead(benchmark::State& state) {
+  const bool windowed = state.range(0) != 0;
+  for (auto _ : state) {
+    std::uint64_t fired = 0;
+    if (windowed) {
+      sim::ShardedSimulation sharded({.shards = 1});
+      for (int i = 0; i < 10000; ++i) {
+        sharded.shard(0).post(1.0 + 0.001 * i, [&fired] { ++fired; });
+      }
+      sharded.run();
+    } else {
+      sim::Simulation sim;
+      for (int i = 0; i < 10000; ++i) {
+        sim.post(1.0 + 0.001 * i, [&fired] { ++fired; });
+      }
+      sim.run();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SingleShardWindowOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -194,6 +194,7 @@ sim::Task<void> Cluster::jobWatcher(JobId id) {
                      << failed_ranks << " ranks, "
                      << job.result.resubmits << " resubmits used)";
   }
+  if (completion_hook_) completion_hook_(id, job.result);
   tryStartJobs();
   if (++finished_jobs_ == static_cast<int>(jobs_.size())) all_done_.fire();
 }
@@ -325,6 +326,9 @@ void Cluster::exportMetrics(obs::MetricsRegistry& registry) const {
   registry.setGauge("cluster.free_nodes", static_cast<double>(free_nodes_));
   registry.setGauge("cluster.pending_jobs",
                     static_cast<double>(pending_queue_.size()));
+  if (sim_.isSharded()) {
+    registry.setGauge("cluster.shard", static_cast<double>(sim_.shardId()));
+  }
 }
 
 }  // namespace iobts::cluster

@@ -1,0 +1,81 @@
+#include "cluster/fleet.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace iobts::cluster {
+
+Fleet::Fleet(FleetConfig config, std::vector<ClusterConfig> cluster_configs)
+    : config_(config),
+      sharded_({.shards = static_cast<std::uint32_t>(
+                    std::max<std::size_t>(cluster_configs.size(), 1)),
+                .lookahead = config.report_latency,
+                .threads = config.threads}) {
+  IOBTS_CHECK(!cluster_configs.empty(), "a fleet needs >= 1 cluster");
+  IOBTS_CHECK(config.report_latency > 0.0,
+              "fleet report latency must be positive (it is the lookahead)");
+  clusters_.reserve(cluster_configs.size());
+  for (std::size_t s = 0; s < cluster_configs.size(); ++s) {
+    clusters_.push_back(std::make_unique<Cluster>(
+        sharded_.shard(static_cast<sim::ShardId>(s)),
+        std::move(cluster_configs[s])));
+  }
+}
+
+Fleet::~Fleet() = default;
+
+Cluster& Fleet::cluster(sim::ShardId id) {
+  IOBTS_CHECK(id < clusters_.size(), "unknown cluster");
+  return *clusters_[id];
+}
+
+const Cluster& Fleet::cluster(sim::ShardId id) const {
+  IOBTS_CHECK(id < clusters_.size(), "unknown cluster");
+  return *clusters_[id];
+}
+
+JobId Fleet::submit(sim::ShardId cluster_id, JobSpec spec) {
+  return cluster(cluster_id).submit(std::move(spec));
+}
+
+void Fleet::start() {
+  for (sim::ShardId s = 0; s < clusters_.size(); ++s) {
+    Cluster& member = *clusters_[s];
+    member.setJobCompletionHook(
+        [this, s](JobId job, const JobResult& result) {
+          // Runs on shard s at the job's end time; the record itself is
+          // shard-0 state and may only be touched there, so ship a copy
+          // across with the declared report latency.
+          CompletionRecord record;
+          record.cluster = s;
+          record.job = job;
+          record.end = result.end;
+          record.failed = result.failed;
+          sim::crossPost(sharded_.shard(s), 0, config_.report_latency,
+                         [this, record]() mutable {
+                           record.reported_at = sharded_.shard(0).now();
+                           completion_log_.push_back(record);
+                         });
+        });
+    member.start();
+  }
+}
+
+sim::Time Fleet::run(unsigned threads) { return sharded_.run(threads); }
+
+void Fleet::exportMetrics(obs::MetricsRegistry& registry) const {
+  std::uint64_t finished = 0, failed = 0;
+  for (const auto& record : completion_log_) {
+    ++finished;
+    if (record.failed) ++failed;
+  }
+  registry.setGauge("fleet.clusters", static_cast<double>(clusters_.size()));
+  registry.setGauge("fleet.report_latency", config_.report_latency);
+  registry.addCounter("fleet.completions_reported", finished);
+  registry.addCounter("fleet.completions_failed", failed);
+  sharded_.exportMetrics(registry);
+}
+
+}  // namespace iobts::cluster

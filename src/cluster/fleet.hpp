@@ -1,0 +1,93 @@
+// Multi-cluster fleet on the sharded parallel event kernel.
+//
+// A Fleet is the natural partition for ShardedSimulation: each cluster owns
+// its own PFS link, scheduler, and jobs, so it binds to one shard and its
+// whole event population stays shard-local. The only cross-shard traffic is
+// the completion feed: every cluster reports each job's final outcome to
+// shard 0 (the "fleet head") with a fixed report latency, which doubles as
+// the kernel's conservative lookahead. The head's completion log is
+// shard-local state, so its order -- (report time, source shard, per-shard
+// sequence) -- is byte-identical across thread counts.
+//
+// This is the fleet-scale campaign shape from ROADMAP: thousands of
+// generated scenarios, each an independent cluster, spread across worker
+// threads with a deterministic merged result feed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/sharded.hpp"
+
+namespace iobts::obs {
+class MetricsRegistry;
+}  // namespace iobts::obs
+
+namespace iobts::cluster {
+
+struct FleetConfig {
+  /// Virtual latency of a cluster's completion report reaching the fleet
+  /// head; also the ShardedSimulation lookahead (every cross-shard post is
+  /// a report, so this bound is exact).
+  sim::Time report_latency = 0.5;
+  /// Worker threads for run().
+  unsigned threads = 1;
+};
+
+class Fleet {
+ public:
+  /// One finalized job, as seen by the fleet head.
+  struct CompletionRecord {
+    sim::ShardId cluster = 0;
+    JobId job = 0;
+    /// Virtual time the report arrived at the head (= job end + latency).
+    sim::Time reported_at = 0.0;
+    sim::Time end = 0.0;
+    bool failed = false;
+  };
+
+  /// `cluster_configs` defines one cluster (= one shard) per entry, in
+  /// shard-id order. Must be non-empty.
+  Fleet(FleetConfig config, std::vector<ClusterConfig> cluster_configs);
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+  ~Fleet();
+
+  std::uint32_t clusterCount() const noexcept {
+    return static_cast<std::uint32_t>(clusters_.size());
+  }
+  Cluster& cluster(sim::ShardId id);
+  const Cluster& cluster(sim::ShardId id) const;
+
+  /// Submit a job to one cluster (before start()).
+  JobId submit(sim::ShardId cluster, JobSpec spec);
+
+  /// Start every cluster's scheduler and install the completion feed.
+  void start();
+
+  /// Drain the whole fleet with the configured (or given) worker count.
+  sim::Time run() { return run(config_.threads); }
+  sim::Time run(unsigned threads);
+
+  /// Completion reports in head arrival order (deterministic).
+  const std::vector<CompletionRecord>& completionLog() const noexcept {
+    return completion_log_;
+  }
+
+  sim::ShardedSimulation& sharded() noexcept { return sharded_; }
+
+  /// Publish fleet totals under "fleet.*" plus the kernel's
+  /// "sim.parallel.*" / "sim.shard.*" counters.
+  void exportMetrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  FleetConfig config_;
+  sim::ShardedSimulation sharded_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::vector<CompletionRecord> completion_log_;
+};
+
+}  // namespace iobts::cluster

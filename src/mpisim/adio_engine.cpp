@@ -65,7 +65,12 @@ sim::Task<void> AdioEngine::execute(Job& job) {
   RequestInfo& info = state.info;
   info.io_start = sim_.now();
 
-  const std::uint64_t journey = journeyOf(info.rank, info.id);
+  // Sampled: an unsampled request gets journey 0, which suppresses its
+  // whole flow chain here and downstream (the link treats 0 as "none").
+  // Spans (adio.queue/subreq/...) are always recorded; only the flow
+  // edges are sampled.
+  const std::uint64_t journey =
+      obs::sampledJourney(journeyOf(info.rank, info.id));
   if (obs::TraceSink* const sink = obs::traceSink()) {
     // Queue span: MPI call entry (submit) to the engine picking the job up.
     // The flow chain starts here, inside this span.
@@ -73,8 +78,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
         info.submit_time == sim::kNoTime ? info.io_start : info.submit_time;
     sink->complete("adio", "adio.queue", obs::track::kAdio, stream_, queued,
                    info.io_start - queued, static_cast<double>(info.bytes));
-    sink->flowStart("journey", "io", obs::track::kAdio, stream_, queued,
-                    journey);
+    if (journey != 0) {
+      sink->flowStart("journey", "io", obs::track::kAdio, stream_, queued,
+                      journey);
+    }
   }
 
   const pfs::Channel channel = channelOf(info.op);
@@ -109,8 +116,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
         if (obs::TraceSink* const sink = obs::traceSink()) {
           sink->complete("adio", "adio.subreq", obs::track::kAdio, stream_,
                          t0, actual, static_cast<double>(chunk));
-          sink->flowStep("journey", "io", obs::track::kAdio, stream_, t0,
-                         journey);
+          if (journey != 0) {
+            sink->flowStep("journey", "io", obs::track::kAdio, stream_, t0,
+                           journey);
+          }
         }
         if (r.ok()) {
           const Seconds sleep = pacer_.onSubrequestDone(chunk, actual);
@@ -120,8 +129,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
             if (obs::TraceSink* const sink = obs::traceSink()) {
               sink->complete("adio", "adio.pace", obs::track::kAdio, stream_,
                              sleep_start, sleep, pacer_.deficit());
-              sink->flowStep("journey", "io", obs::track::kAdio, stream_,
-                             sleep_start, journey);
+              if (journey != 0) {
+                sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                               sleep_start, journey);
+              }
             }
           }
           chunk_done = true;
@@ -151,8 +162,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
             sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
                            backoff_start, *backoff,
                            static_cast<double>(retry.retriesUsed()));
-            sink->flowStep("journey", "io", obs::track::kAdio, stream_,
-                           backoff_start, journey);
+            if (journey != 0) {
+              sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                             backoff_start, journey);
+            }
           }
         }
       }
@@ -182,8 +195,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
           sink->complete("adio", "adio.backoff", obs::track::kAdio, stream_,
                          backoff_start, *backoff,
                          static_cast<double>(retry.retriesUsed()));
-          sink->flowStep("journey", "io", obs::track::kAdio, stream_,
-                         backoff_start, journey);
+          if (journey != 0) {
+            sink->flowStep("journey", "io", obs::track::kAdio, stream_,
+                           backoff_start, journey);
+          }
         }
       }
     }
@@ -211,8 +226,10 @@ sim::Task<void> AdioEngine::execute(Job& job) {
                    static_cast<double>(info.bytes));
     // End of the journey: the request span's closing edge. The walker (and
     // Perfetto's "bp":"e" binding) treats span bounds as inclusive.
-    sink->flowEnd("journey", "io", obs::track::kAdio, stream_, info.io_end,
-                  journey);
+    if (journey != 0) {
+      sink->flowEnd("journey", "io", obs::track::kAdio, stream_, info.io_end,
+                    journey);
+    }
   }
   if (hooks_) hooks_->onComplete(info);
   state.done.fire();  // MPI_Grequest_complete

@@ -346,6 +346,10 @@ void World::exportMetrics(obs::MetricsRegistry& registry) const {
   registry.setGauge("mpisim.ranks", static_cast<double>(config_.ranks));
   registry.setGauge("mpisim.failed_ranks",
                     static_cast<double>(failed_ranks_));
+  if (sim_.isSharded()) {
+    registry.setGauge("mpisim.world.shard",
+                      static_cast<double>(sim_.shardId()));
+  }
   throttle::PacerStats pacing[pfs::kChannels];
   for (const auto& ctx : ranks_) {
     for (std::size_t c = 0; c < pfs::kChannels; ++c) {

@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <utility>
 
 #include "obs/metrics.hpp"
 
@@ -87,6 +89,8 @@ void TraceSink::push(const TraceEvent& event) {
   // The hook runs outside the sink lock so it may call drainInto().
   if (hook != nullptr) hook(ctx);
 }
+
+void TraceSink::record(const TraceEvent& event) { push(event); }
 
 void TraceSink::complete(const char* category, const char* name,
                          std::uint32_t pid, std::uint32_t tid, sim::Time ts,
@@ -309,10 +313,49 @@ TraceSink::threadNames() const {
 
 namespace detail {
 std::atomic<TraceSink*> g_trace_sink{nullptr};
+thread_local TraceSink* t_trace_sink_override = nullptr;
 }  // namespace detail
 
 void installTraceSink(TraceSink* sink) noexcept {
   detail::g_trace_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* installThreadTraceSink(TraceSink* sink) noexcept {
+  return std::exchange(detail::t_trace_sink_override, sink);
+}
+
+namespace {
+
+std::uint64_t journeyStrideFromEnv() noexcept {
+  const char* const value = std::getenv("IOBTS_TRACE_JOURNEY_SAMPLE");
+  if (value == nullptr || *value == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) return 1;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// 0 = "use the environment value"; set via setJourneySampleStride().
+std::atomic<std::uint64_t> g_journey_stride_override{0};
+
+}  // namespace
+
+std::uint64_t journeySampleStride() noexcept {
+  const std::uint64_t forced =
+      g_journey_stride_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const std::uint64_t env_stride = journeyStrideFromEnv();
+  return env_stride;
+}
+
+void setJourneySampleStride(std::uint64_t stride) noexcept {
+  g_journey_stride_override.store(stride, std::memory_order_relaxed);
+}
+
+std::uint64_t sampledJourney(std::uint64_t journey) noexcept {
+  const std::uint64_t stride = journeySampleStride();
+  if (stride <= 1) return journey;
+  return journey % stride == 0 ? journey : 0;
 }
 
 }  // namespace iobts::obs

@@ -146,6 +146,12 @@ class TraceSink {
   void flowEnd(const char* category, const char* name, std::uint32_t pid,
                std::uint32_t tid, sim::Time ts, std::uint64_t journey);
 
+  /// Record an already-built event verbatim (same path as the typed
+  /// recorders: ring push, span stats, drain hook). The sharded coordinator
+  /// uses this to replay per-shard staged events into the installed sink in
+  /// canonical order.
+  void record(const TraceEvent& event);
+
   bool captureWallTime() const noexcept { return config_.capture_wall_time; }
 
   /// Monotonic wall clock in nanoseconds since sink construction; returns 0
@@ -250,9 +256,18 @@ namespace detail {
 /// point; null means "tracing off" and costs exactly one relaxed load plus
 /// a branch.
 extern std::atomic<TraceSink*> g_trace_sink;
+/// Per-thread override consulted before the global sink. A sharded
+/// simulation worker points this at the staging sink of the shard it is
+/// currently draining, so instrumentation emitted from parallel windows
+/// lands in per-shard buffers that merge canonically at the window barrier
+/// (see sim/sharded.hpp). Null everywhere else; the cost when unused is one
+/// thread-local load and a predictable branch.
+extern thread_local TraceSink* t_trace_sink_override;
 }  // namespace detail
 
 inline TraceSink* traceSink() noexcept {
+  TraceSink* const override_sink = detail::t_trace_sink_override;
+  if (override_sink != nullptr) return override_sink;
   return detail::g_trace_sink.load(std::memory_order_relaxed);
 }
 
@@ -260,6 +275,35 @@ inline TraceSink* traceSink() noexcept {
 /// outlive its installation; install before constructing instrumented
 /// components if you want their setup-time track names registered.
 void installTraceSink(TraceSink* sink) noexcept;
+
+/// Install (or clear, with nullptr) this thread's override sink; returns
+/// the previous override. Used by sharded-simulation workers around each
+/// per-shard window; normal code never needs it.
+TraceSink* installThreadTraceSink(TraceSink* sink) noexcept;
+
+// --- Journey sampling -------------------------------------------------------
+//
+// Flow-event chains ("request journeys") are the densest trace traffic a
+// fleet run emits: every MPI-IO request adds a flowStart, one flowStep per
+// paced sub-request and backoff, and a flowEnd. IOBTS_TRACE_JOURNEY_SAMPLE=N
+// keeps every Nth journey and drops the rest *at journey-id level*: the
+// decision is a pure function of the stable journey id (journey % N == 0),
+// never of an RNG or a counter, so sampled traces are identical across
+// reruns and across thread counts, and a kept journey is always complete
+// (all of its flow events share the id, so they all pass the same test).
+
+/// Current stride: 1 records every journey (the default). Reads
+/// IOBTS_TRACE_JOURNEY_SAMPLE once; setJourneySampleStride() overrides it.
+std::uint64_t journeySampleStride() noexcept;
+
+/// Programmatic override for benchmarks/tests; 0 restores the environment
+/// value. Not thread-safe against concurrent recording -- call at setup.
+void setJourneySampleStride(std::uint64_t stride) noexcept;
+
+/// Maps a journey id to itself when the journey is sampled, else to 0 (the
+/// instrumentation sites' "no journey" value, which suppresses the whole
+/// flow chain downstream).
+std::uint64_t sampledJourney(std::uint64_t journey) noexcept;
 
 /// RAII installation for tests and examples.
 class ScopedTraceSink {

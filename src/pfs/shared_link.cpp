@@ -773,6 +773,9 @@ void SharedLink::exportMetrics(obs::MetricsRegistry& registry) const {
     registry.setGauge(prefix + ".contended", cs.contended ? 1.0 : 0.0);
   }
   registry.setGauge("pfs.streams", static_cast<double>(streams_.size()));
+  if (sim_.isSharded()) {
+    registry.setGauge("pfs.link.shard", static_cast<double>(sim_.shardId()));
+  }
 }
 
 }  // namespace iobts::pfs

@@ -1,0 +1,254 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace iobts::sim {
+
+ShardedSimulation::ShardedSimulation(ShardedConfig config)
+    : lookahead_(config.lookahead), config_threads_(config.threads) {
+  IOBTS_CHECK(config.shards >= 1, "a sharded simulation needs >= 1 shard");
+  IOBTS_CHECK(config.lookahead >= 0.0, "lookahead cannot be negative");
+  shards_.reserve(config.shards);
+  for (std::uint32_t s = 0; s < config.shards; ++s) {
+    auto shard = std::make_unique<Shardlet>();
+    shard->sim.shard_id_ = s;
+    shard->sim.shard_owner_ = this;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+void ShardedSimulation::stage(Shardlet& src, ShardId dst, Time t,
+                              SmallCallback cb) {
+  StagedPost post;
+  post.t = t;
+  post.src = src.sim.shardId();
+  post.dst = dst;
+  post.seq = src.next_cross_seq++;
+  post.cb = std::move(cb);
+  src.outbox.push_back(std::move(post));
+}
+
+Time ShardedSimulation::minNextEventTime() const noexcept {
+  Time min_t = kInfiniteTime;
+  for (const auto& shard : shards_) {
+    min_t = std::min(min_t, shard->sim.nextEventTime());
+  }
+  return min_t;
+}
+
+void ShardedSimulation::drainShardWindow(Shardlet& shard, Time horizon,
+                                         bool inclusive) {
+  obs::TraceSink* previous = nullptr;
+  if (shard.staging != nullptr) {
+    previous = obs::installThreadTraceSink(shard.staging.get());
+  }
+  shard.window_executed = shard.sim.runWindow(horizon, inclusive);
+  if (shard.staging != nullptr) obs::installThreadTraceSink(previous);
+}
+
+void ShardedSimulation::mergeOutboxes() {
+  merge_scratch_.clear();
+  for (auto& shard : shards_) {
+    for (auto& post : shard->outbox) {
+      merge_scratch_.push_back(std::move(post));
+    }
+    shard->outbox.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // Canonical order: timestamp, then stable source shard id, then the
+  // per-source sequence number. Total and interleaving-independent, so the
+  // destination shards' dispatch sequence numbers come out identical no
+  // matter how many workers produced the posts.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const StagedPost& a, const StagedPost& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  stats_.cross_posts_merged += merge_scratch_.size();
+  for (auto& post : merge_scratch_) {
+    shards_[post.dst]->sim.postAt(post.t, std::move(post.cb));
+  }
+  merge_scratch_.clear();
+}
+
+void ShardedSimulation::mergeTraces() {
+  if (global_sink_ == nullptr) return;
+  for (auto& shard : shards_) {
+    trace_scratch_.clear();
+    shard->staging->drainInto(trace_scratch_);
+    for (const obs::TraceEvent& event : trace_scratch_) {
+      global_sink_->record(event);
+    }
+    stats_.trace_events_merged += trace_scratch_.size();
+  }
+  trace_scratch_.clear();
+}
+
+bool ShardedSimulation::collectFatal() {
+  for (auto& shard : shards_) {
+    if (shard->sim.fatalError()) {
+      if (!fatal_) fatal_ = shard->sim.takeFatalError();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedSimulation::setupTraceStaging() {
+  global_sink_ = obs::traceSink();
+  if (global_sink_ == nullptr) return;
+  obs::TraceSinkConfig config;
+  config.capacity = global_sink_->capacity();
+  config.capture_wall_time = global_sink_->captureWallTime();
+  for (auto& shard : shards_) {
+    shard->staging = std::make_unique<obs::TraceSink>(config);
+  }
+}
+
+void ShardedSimulation::teardownTraceStaging() {
+  for (auto& shard : shards_) shard->staging.reset();
+  global_sink_ = nullptr;
+}
+
+Time ShardedSimulation::run(unsigned threads) {
+  const Time end =
+      (threads <= 1 || shards_.size() == 1) ? runSerial()
+                                            : runParallel(threads);
+  return end;
+}
+
+Time ShardedSimulation::runSerial() {
+  setupTraceStaging();
+  const bool inclusive = lookahead_ == 0.0;
+  mergeOutboxes();  // setup-time cross-shard posts
+  while (true) {
+    const Time min_t = minNextEventTime();
+    if (min_t == kInfiniteTime) break;
+    const Time horizon = min_t + lookahead_;
+    ++stats_.windows;
+    for (auto& shard : shards_) {
+      drainShardWindow(*shard, horizon, inclusive);
+      if (shard->window_executed == 0) ++stats_.window_stalls;
+    }
+    mergeTraces();
+    if (collectFatal()) break;
+    mergeOutboxes();
+  }
+  teardownTraceStaging();
+  if (fatal_) std::rethrow_exception(std::exchange(fatal_, nullptr));
+  return now();
+}
+
+Time ShardedSimulation::runParallel(unsigned threads) {
+  setupTraceStaging();
+  const bool inclusive = lookahead_ == 0.0;
+  const unsigned worker_count = static_cast<unsigned>(
+      std::min<std::size_t>(threads, shards_.size()));
+  mergeOutboxes();
+
+  // Shared window state. Plain (non-atomic) on purpose: every write by the
+  // coordinator is sequenced before a barrier phase the workers complete
+  // before reading, and vice versa -- std::barrier's phase completion is
+  // the synchronization edge. TSan agrees (see the Tsan CI leg).
+  bool stop = false;
+  Time horizon = 0.0;
+
+  std::barrier<> window_start(worker_count + 1);
+  std::barrier<> window_end(worker_count + 1);
+
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    workers.emplace_back([this, w, worker_count, inclusive, &stop, &horizon,
+                          &window_start, &window_end] {
+      while (true) {
+        window_start.arrive_and_wait();
+        if (stop) return;
+        // Static shard->worker assignment: a shard is drained by the same
+        // worker every window, so shard-local state (including suspended
+        // coroutine frames) never migrates threads mid-run without a
+        // barrier in between.
+        for (std::size_t s = w; s < shards_.size(); s += worker_count) {
+          drainShardWindow(*shards_[s], horizon, inclusive);
+        }
+        window_end.arrive_and_wait();
+      }
+    });
+  }
+
+  while (true) {
+    if (!stop) {
+      const Time min_t = minNextEventTime();
+      if (min_t == kInfiniteTime) {
+        stop = true;
+      } else {
+        horizon = min_t + lookahead_;
+      }
+    }
+    window_start.arrive_and_wait();
+    if (stop) break;
+    ++stats_.windows;
+    window_end.arrive_and_wait();
+    for (auto& shard : shards_) {
+      if (shard->window_executed == 0) ++stats_.window_stalls;
+    }
+    mergeTraces();
+    if (collectFatal()) {
+      stop = true;
+    } else {
+      mergeOutboxes();
+    }
+  }
+  for (auto& worker : workers) worker.join();
+  teardownTraceStaging();
+  if (fatal_) std::rethrow_exception(std::exchange(fatal_, nullptr));
+  return now();
+}
+
+Time ShardedSimulation::now() const noexcept {
+  Time latest = 0.0;
+  for (const auto& shard : shards_) {
+    latest = std::max(latest, shard->sim.now());
+  }
+  return latest;
+}
+
+std::uint64_t ShardedSimulation::eventsProcessed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim.eventsProcessed();
+  return total;
+}
+
+void ShardedSimulation::exportMetrics(obs::MetricsRegistry& registry) const {
+  registry.setGauge("sim.parallel.shards",
+                    static_cast<double>(shards_.size()));
+  if (lookahead_ != kInfiniteTime) {
+    registry.setGauge("sim.parallel.lookahead", lookahead_);
+  }
+  registry.addCounter("sim.parallel.windows", stats_.windows);
+  registry.addCounter("sim.parallel.window_stalls", stats_.window_stalls);
+  registry.addCounter("sim.parallel.cross_posts_merged",
+                      stats_.cross_posts_merged);
+  registry.addCounter("sim.parallel.trace_events_merged",
+                      stats_.trace_events_merged);
+  registry.addCounter("sim.parallel.events_dispatched", eventsProcessed());
+  for (const auto& shard : shards_) {
+    const std::string prefix =
+        "sim.shard." + std::to_string(shard->sim.shardId());
+    registry.addCounter(prefix + ".events_dispatched",
+                        shard->sim.eventsProcessed());
+    registry.setGauge(prefix + ".pending_events",
+                      static_cast<double>(shard->sim.pendingEvents()));
+  }
+}
+
+}  // namespace iobts::sim

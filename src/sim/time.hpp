@@ -6,11 +6,18 @@
 // order.
 #pragma once
 
+#include <limits>
+
 namespace iobts::sim {
 
 using Time = double;  // seconds of virtual time
 
 inline constexpr Time kNoTime = -1.0;
+
+/// "Never": later than every schedulable instant. nextEventTime() returns
+/// this for an empty queue; a sharded run with this lookahead never forces a
+/// window barrier (shards are fully independent).
+inline constexpr Time kInfiniteTime = std::numeric_limits<Time>::infinity();
 
 inline constexpr Time usec(double v) { return v * 1e-6; }
 inline constexpr Time msec(double v) { return v * 1e-3; }

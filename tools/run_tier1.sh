@@ -4,17 +4,49 @@
 # exposed to lifetime bugs: SBO callback relocation, pooled event slots,
 # in-place completion compaction).
 #
-# Usage: tools/run_tier1.sh [--skip-sanitize]
+# A ThreadSanitizer pass over the sharded parallel kernel follows: the
+# sim/pfs/mpisim/parallel suites rebuilt with -fsanitize=thread, so the
+# window-barrier protocol's "plain shared state synchronized by barrier
+# phases" claim is machine-checked, not just argued in comments.
+#
+# Usage: tools/run_tier1.sh [--skip-sanitize] [--skip-tsan] [--tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_SANITIZE=0
+SKIP_TSAN=0
+TSAN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --tsan-only) TSAN_ONLY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+run_tsan() {
+  echo "== tsan: configure + build (TSan, sim+pfs+mpisim+parallel tests) =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
+    -DIOBTS_BUILD_BENCH=OFF -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j --target sim_test pfs_test mpisim_test parallel_test
+
+  echo "== tsan: run sim_test + pfs_test + mpisim_test + parallel_test =="
+  # TSan also defeats coroutine symmetric transfer; lift the stack limit.
+  ulimit -s unlimited 2>/dev/null || true
+  ./build-tsan/tests/sim_test
+  ./build-tsan/tests/pfs_test
+  ./build-tsan/tests/mpisim_test
+  # The parallel suite is the point: worker drains, barrier phases, outbox
+  # merges and trace staging all run under the race detector.
+  ./build-tsan/tests/parallel_test
+}
+
+if [[ "$TSAN_ONLY" == 1 ]]; then
+  run_tsan
+  echo "== tsan: green =="
+  exit 0
+fi
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -23,8 +55,15 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
+if [[ "$SKIP_SANITIZE" == 1 && "$SKIP_TSAN" == 1 ]]; then
+  echo "== sanitize + tsan passes skipped =="
+  exit 0
+fi
+
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitize pass skipped (--skip-sanitize) =="
+  run_tsan
+  echo "== tier-1: all green =="
   exit 0
 fi
 
@@ -49,5 +88,11 @@ echo "== sanitize: hot-path allocation assertions =="
 # any benchmark; an empty filter runs just those probes (exit 1 on failure),
 # here with ASan+UBSan watching the exercised kernel/resolve paths.
 ./build-sanitize/bench/micro_hotpath --benchmark_filter='^$'
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== tsan pass skipped (--skip-tsan) =="
+else
+  run_tsan
+fi
 
 echo "== tier-1: all green =="
