@@ -1,0 +1,71 @@
+// Micro-benchmarks of the scenario compiler: front-end cost (generate +
+// lex/parse/validate), and full end-to-end runs of generated documents --
+// the per-scenario overhead a fuzzing campaign or a scenario-driven study
+// pays on top of the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/generator.hpp"
+#include "scenario/instance.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace iobts::scenario {
+namespace {
+
+void BM_GenerateDocument(benchmark::State& state) {
+  const GeneratorConfig config;
+  std::uint64_t seed = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string doc = generateScenario(config, seed++);
+    bytes += doc.size();
+    benchmark::DoNotOptimize(doc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_GenerateDocument);
+
+void BM_ScenarioParse(benchmark::State& state) {
+  // A representative generated document, parsed repeatedly: pure front-end
+  // cost (lexer + parser + semantic validation), no simulation.
+  const std::string doc = generateScenario(GeneratorConfig{}, 7);
+  for (auto _ : state) {
+    ScenarioSpec spec = parseScenario(doc);
+    benchmark::DoNotOptimize(spec.worlds.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_ScenarioParse);
+
+void BM_GeneratedScenarioRun(benchmark::State& state) {
+  // End-to-end: generate, parse, compile, run to completion. The seed
+  // range cycles so the benchmark averages across document classes
+  // (phased, streaming, faulted) instead of timing one lucky layout.
+  const GeneratorConfig config;
+  std::uint64_t seed = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    ScenarioSpec spec = parseScenario(generateScenario(config, seed));
+    seed = (seed + 1) % 64;
+    sim::Simulation sim;
+    Instance instance(sim, std::move(spec));
+    instance.launch();
+    sim.run();
+    instance.requireFinished();
+    ops += instance.stats().ops;
+    benchmark::DoNotOptimize(instance.stats().ops);
+  }
+  state.counters["ops/run"] = benchmark::Counter(
+      static_cast<double>(ops),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_GeneratedScenarioRun);
+
+}  // namespace
+}  // namespace iobts::scenario
+
+BENCHMARK_MAIN();

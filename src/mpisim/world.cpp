@@ -81,6 +81,12 @@ sim::Task<void> RankCtx::allreduce(Bytes bytes) {
   return collective(bytes, 2 * treeStages(size()));
 }
 
+sim::Task<void> RankCtx::recv(sim::Semaphore& channel) {
+  const sim::Time t0 = sim_.now();
+  co_await channel.acquire();
+  times_.comm += sim_.now() - t0;
+}
+
 File RankCtx::open(std::string path) { return File(this, std::move(path)); }
 
 sim::Task<void> RankCtx::chargeIntercept() {

@@ -153,6 +153,11 @@ class RankCtx {
   /// MPI_File_open analog (no cost; metadata only).
   File open(std::string path);
 
+  /// Block on an external rendezvous channel (the scenario compiler's
+  /// streaming `recv`; an MPI_Recv-shaped point-to-point stand-in). Blocked
+  /// time is charged to comm, like a collective.
+  sim::Task<void> recv(sim::Semaphore& channel);
+
   /// MPI_Wait analog; completes (and is intercepted for) one request.
   sim::Task<void> wait(Request& request);
 

@@ -1,0 +1,575 @@
+// Scenario compiler: lowers a parsed DSL program onto mpisim::RankCtx.
+//
+// "Compilation" here is building a World::RankProgram whose coroutine walks
+// the validated AST per rank. The interpreter's arithmetic contract is what
+// makes DSL twins bit-identical to hand-written C++ workloads:
+//
+//   * int op int    -> 64-bit integer, wraparound via unsigned arithmetic
+//                      (no UB); `/` truncates like C++; div/mod-by-zero is a
+//                      runtime ScenarioError, never a trap.
+//   * any double    -> both operands promoted to double, one IEEE op per AST
+//                      node. Each node's result round-trips through a Value,
+//                      so the evaluator can never fuse mul+add into an FMA --
+//                      exactly the non-contracted sequence the hand-written
+//                      workloads compile to across statement boundaries.
+//   * builtins      -> the same libm/util calls the workloads use
+//                      (std::pow, splitmix64), so bit patterns match.
+//
+// Runtime guards (op budget, positive sizes, finite compute, pending
+// requests at program end) throw ScenarioError; the World does not catch
+// it, so it surfaces from sim::Simulation::run() with line info intact.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/instance.hpp"
+#include "util/rng.hpp"
+
+namespace iobts::scenario {
+namespace {
+
+/// Per-rank interpreted statements; a pure termination backstop far above
+/// any scenario the generator or the corpus produces (loops are already
+/// capped at 1e6 iterations).
+constexpr std::uint64_t kOpBudget = 2'000'000;
+/// Pending requests one slot may accumulate before waitall.
+constexpr std::size_t kMaxSlotRequests = 4096;
+
+[[noreturn]] void fail(int line, const std::string& field,
+                       const std::string& message) {
+  throw ScenarioError(line, field, message);
+}
+
+struct Value {
+  bool is_int = true;
+  std::int64_t i = 0;
+  double d = 0.0;
+
+  static Value ofInt(std::int64_t v) { return Value{true, v, 0.0}; }
+  static Value ofDouble(double v) { return Value{false, 0, v}; }
+  double asDouble() const {
+    return is_int ? static_cast<double>(i) : d;
+  }
+  bool truthy() const { return is_int ? i != 0 : d != 0.0; }
+};
+
+struct RankEnv {
+  Instance* instance = nullptr;
+  const WorldSpec* world = nullptr;
+  mpisim::RankCtx* ctx = nullptr;
+  /// Scope stack; lookups scan innermost-last so shadowing works.
+  std::vector<std::vector<std::pair<std::string, Value>>> scopes;
+  std::map<std::string, mpisim::File> files;
+  std::map<std::string, std::vector<mpisim::Request>> slots;
+  std::uint64_t ops = 0;
+
+  const std::string& worldName() const { return world->name; }
+};
+
+// --- expression evaluation -------------------------------------------------
+
+Value lookupVar(const RankEnv& env, const Expr& expr) {
+  if (expr.name == "rank") return Value::ofInt(env.ctx->rank());
+  if (expr.name == "ranks") return Value::ofInt(env.ctx->size());
+  for (auto scope = env.scopes.rbegin(); scope != env.scopes.rend(); ++scope) {
+    for (auto binding = scope->rbegin(); binding != scope->rend(); ++binding) {
+      if (binding->first == expr.name) return binding->second;
+    }
+  }
+  // Unreachable after static validation; kept as a hard error, not UB.
+  fail(expr.line, env.worldName(), "unknown variable '" + expr.name + "'");
+}
+
+std::uint64_t u64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+std::int64_t i64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+Value evalExpr(const Expr& expr, RankEnv& env);
+
+std::int64_t intOperand(const Expr& parent, const Value& v,
+                        const RankEnv& env) {
+  if (!v.is_int) {
+    fail(parent.line, env.worldName(),
+         "operator '" + parent.op + "' requires integer operands");
+  }
+  return v.i;
+}
+
+Value evalBinary(const Expr& expr, RankEnv& env) {
+  const std::string& op = expr.op;
+  // Short-circuit logic first: the untaken side is never evaluated, so a
+  // guarded division like `n != 0 && total / n > 1` is safe.
+  if (op == "&&" || op == "||") {
+    const bool lhs = evalExpr(expr.args[0], env).truthy();
+    if (op == "&&" && !lhs) return Value::ofInt(0);
+    if (op == "||" && lhs) return Value::ofInt(1);
+    return Value::ofInt(evalExpr(expr.args[1], env).truthy() ? 1 : 0);
+  }
+
+  const Value a = evalExpr(expr.args[0], env);
+  const Value b = evalExpr(expr.args[1], env);
+
+  if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+      op == ">=") {
+    bool result;
+    if (a.is_int && b.is_int) {
+      result = op == "==" ? a.i == b.i
+               : op == "!=" ? a.i != b.i
+               : op == "<" ? a.i < b.i
+               : op == "<=" ? a.i <= b.i
+               : op == ">" ? a.i > b.i
+                           : a.i >= b.i;
+    } else {
+      const double x = a.asDouble(), y = b.asDouble();
+      result = op == "==" ? x == y
+               : op == "!=" ? x != y
+               : op == "<" ? x < y
+               : op == "<=" ? x <= y
+               : op == ">" ? x > y
+                           : x >= y;
+    }
+    return Value::ofInt(result ? 1 : 0);
+  }
+
+  if (op == "&" || op == "|" || op == "^" || op == "<<" || op == ">>" ||
+      op == "%") {
+    const std::int64_t x = intOperand(expr, a, env);
+    const std::int64_t y = intOperand(expr, b, env);
+    if (op == "&") return Value::ofInt(i64(u64(x) & u64(y)));
+    if (op == "|") return Value::ofInt(i64(u64(x) | u64(y)));
+    if (op == "^") return Value::ofInt(i64(u64(x) ^ u64(y)));
+    if (op == "<<" || op == ">>") {
+      if (y < 0 || y > 63) {
+        fail(expr.line, env.worldName(),
+             "shift amount must lie in [0, 63], got " + std::to_string(y));
+      }
+      // Both shifts are logical over the 64-bit pattern (defined for any
+      // operand; tags and hashes want the raw bits).
+      return Value::ofInt(op == "<<" ? i64(u64(x) << y) : i64(u64(x) >> y));
+    }
+    // "%"
+    if (y == 0) {
+      fail(expr.line, env.worldName(), "modulo by zero");
+    }
+    if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+      return Value::ofInt(0);
+    }
+    return Value::ofInt(x % y);
+  }
+
+  if (a.is_int && b.is_int) {
+    const std::int64_t x = a.i, y = b.i;
+    if (op == "+") return Value::ofInt(i64(u64(x) + u64(y)));
+    if (op == "-") return Value::ofInt(i64(u64(x) - u64(y)));
+    if (op == "*") return Value::ofInt(i64(u64(x) * u64(y)));
+    // "/"
+    if (y == 0) {
+      fail(expr.line, env.worldName(), "division by zero");
+    }
+    if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+      return Value::ofInt(x);  // wraps to itself, like the unsigned negate
+    }
+    return Value::ofInt(x / y);
+  }
+
+  const double x = a.asDouble(), y = b.asDouble();
+  if (op == "+") return Value::ofDouble(x + y);
+  if (op == "-") return Value::ofDouble(x - y);
+  if (op == "*") return Value::ofDouble(x * y);
+  return Value::ofDouble(x / y);  // IEEE: /0 yields inf/nan, caught at use
+}
+
+Value evalCall(const Expr& expr, RankEnv& env) {
+  if (expr.name == "splitmix") {
+    const Value v = evalExpr(expr.args[0], env);
+    if (!v.is_int) {
+      fail(expr.line, env.worldName(), "splitmix takes an integer");
+    }
+    std::uint64_t state = u64(v.i);
+    return Value::ofInt(i64(splitmix64(state)));
+  }
+  if (expr.name == "pow") {
+    const double base = evalExpr(expr.args[0], env).asDouble();
+    const double exponent = evalExpr(expr.args[1], env).asDouble();
+    return Value::ofDouble(std::pow(base, exponent));
+  }
+  if (expr.name == "min" || expr.name == "max") {
+    const Value a = evalExpr(expr.args[0], env);
+    const Value b = evalExpr(expr.args[1], env);
+    const bool want_min = expr.name == "min";
+    if (a.is_int && b.is_int) {
+      return Value::ofInt(want_min ? std::min(a.i, b.i) : std::max(a.i, b.i));
+    }
+    const double x = a.asDouble(), y = b.asDouble();
+    return Value::ofDouble(want_min ? std::min(x, y) : std::max(x, y));
+  }
+  // "abs"
+  const Value v = evalExpr(expr.args[0], env);
+  if (v.is_int) {
+    return Value::ofInt(v.i < 0 ? i64(0u - u64(v.i)) : v.i);
+  }
+  return Value::ofDouble(std::fabs(v.d));
+}
+
+Value evalExpr(const Expr& expr, RankEnv& env) {
+  switch (expr.kind) {
+    case Expr::Kind::IntLit:
+      return Value::ofInt(expr.int_value);
+    case Expr::Kind::FloatLit:
+      return Value::ofDouble(expr.float_value);
+    case Expr::Kind::Var:
+      return lookupVar(env, expr);
+    case Expr::Kind::Unary: {
+      const Value v = evalExpr(expr.args[0], env);
+      if (expr.op == "!") return Value::ofInt(v.truthy() ? 0 : 1);
+      // "-"
+      if (v.is_int) return Value::ofInt(i64(0u - u64(v.i)));
+      return Value::ofDouble(-v.d);
+    }
+    case Expr::Kind::Ternary:
+      return evalExpr(expr.args[0], env).truthy()
+                 ? evalExpr(expr.args[1], env)
+                 : evalExpr(expr.args[2], env);
+    case Expr::Kind::Binary:
+      return evalBinary(expr, env);
+    case Expr::Kind::Call:
+      return evalCall(expr, env);
+  }
+  fail(expr.line, env.worldName(), "corrupt expression node");
+}
+
+// --- conversions at use sites ----------------------------------------------
+
+Seconds asSeconds(const Value& v, int line, const RankEnv& env,
+                  const char* noun) {
+  const double s = v.asDouble();
+  if (!std::isfinite(s) || s < 0.0) {
+    fail(line, env.worldName(),
+         std::string(noun) + " must be finite and non-negative, got " +
+             std::to_string(s));
+  }
+  return s;
+}
+
+Bytes asByteValue(const Value& v, int line, const RankEnv& env,
+                  const char* noun, bool require_positive) {
+  std::int64_t raw;
+  if (v.is_int) {
+    raw = v.i;
+  } else {
+    if (!std::isfinite(v.d) || v.d != std::floor(v.d) ||
+        std::fabs(v.d) > 9.0e18) {
+      fail(line, env.worldName(),
+           std::string(noun) + " must be a whole number of bytes, got " +
+               std::to_string(v.d));
+    }
+    raw = static_cast<std::int64_t>(v.d);
+  }
+  if (raw < 0 || (require_positive && raw == 0)) {
+    fail(line, env.worldName(),
+         std::string(noun) + " must be " +
+             (require_positive ? "positive" : "non-negative") + ", got " +
+             std::to_string(raw));
+  }
+  return static_cast<Bytes>(raw);
+}
+
+pfs::ContentTag asTag(const Value& v, int line, const RankEnv& env) {
+  if (!v.is_int) {
+    fail(line, env.worldName(), "tag must be an integer");
+  }
+  return u64(v.i);
+}
+
+std::int64_t asLoopCount(const Value& v, int line, const RankEnv& env) {
+  if (!v.is_int) {
+    fail(line, env.worldName(), "loop count must be an integer");
+  }
+  if (v.i < 0 || v.i > 1'000'000) {
+    fail(line, env.worldName(),
+         "loop count must lie in [0, 1000000], got " + std::to_string(v.i));
+  }
+  return v.i;
+}
+
+// --- statement execution ---------------------------------------------------
+
+std::string substitutePath(const std::string& path, int rank) {
+  const std::string token = "{rank}";
+  std::string out;
+  out.reserve(path.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = path.find(token, pos);
+    if (hit == std::string::npos) {
+      out.append(path, pos, std::string::npos);
+      return out;
+    }
+    out.append(path, pos, hit - pos);
+    out += std::to_string(rank);
+    pos = hit + token.size();
+  }
+}
+
+mpisim::File& fileFor(RankEnv& env, const std::string& path_template) {
+  const std::string path = substitutePath(path_template, env.ctx->rank());
+  auto it = env.files.find(path);
+  if (it == env.files.end()) {
+    it = env.files.emplace(path, env.ctx->open(path)).first;
+  }
+  return it->second;
+}
+
+void defineVar(RankEnv& env, const std::string& name, Value value) {
+  env.scopes.back().emplace_back(name, value);
+}
+
+void chargeOp(RankEnv& env) {
+  ++env.ops;
+  ++env.instance->stats().ops;
+  if (env.ops > kOpBudget) {
+    fail(0, env.worldName(),
+         "rank " + std::to_string(env.ctx->rank()) + " exceeded the " +
+             std::to_string(kOpBudget) + "-statement budget (runaway loop?)");
+  }
+}
+
+sim::Task<void> execBlock(const std::vector<Stmt>& stmts, RankEnv& env);
+
+sim::Task<void> execStmt(const Stmt& stmt, RankEnv& env) {
+  RunStats& stats = env.instance->stats();
+  mpisim::RankCtx& ctx = *env.ctx;
+  switch (stmt.kind) {
+    case Stmt::Kind::Let:
+      defineVar(env, stmt.name, evalExpr(*stmt.a, env));
+      break;
+    case Stmt::Kind::Compute:
+      co_await ctx.compute(asSeconds(evalExpr(*stmt.a, env), stmt.line, env,
+                                     "compute duration"));
+      break;
+    case Stmt::Kind::Barrier:
+      ++stats.collectives;
+      co_await ctx.barrier();
+      break;
+    case Stmt::Kind::Bcast:
+    case Stmt::Kind::Allreduce: {
+      const Bytes bytes = asByteValue(evalExpr(*stmt.a, env), stmt.line, env,
+                                      "collective payload",
+                                      /*require_positive=*/true);
+      ++stats.collectives;
+      if (stmt.kind == Stmt::Kind::Bcast) {
+        co_await ctx.bcast(bytes);
+      } else {
+        co_await ctx.allreduce(bytes);
+      }
+      break;
+    }
+    case Stmt::Kind::Write:
+    case Stmt::Kind::Read:
+    case Stmt::Kind::IWrite:
+    case Stmt::Kind::IRead: {
+      mpisim::File& file = fileFor(env, stmt.path);
+      const Bytes offset = asByteValue(evalExpr(*stmt.a, env), stmt.line, env,
+                                       "file offset",
+                                       /*require_positive=*/false);
+      const Bytes len = asByteValue(evalExpr(*stmt.b, env), stmt.line, env,
+                                    "byte count", /*require_positive=*/true);
+      ++stats.io_submitted;
+      if (stmt.kind == Stmt::Kind::Write || stmt.kind == Stmt::Kind::IWrite) {
+        stats.write_bytes_requested += len;
+        const pfs::ContentTag tag =
+            stmt.c ? asTag(evalExpr(*stmt.c, env), stmt.line, env) : 0;
+        if (stmt.kind == Stmt::Kind::Write) {
+          co_await file.writeAt(offset, len, tag);
+        } else {
+          auto& slot = env.slots[stmt.slot];
+          if (slot.size() >= kMaxSlotRequests) {
+            fail(stmt.line, env.worldName(),
+                 "slot '" + stmt.slot + "' accumulated more than " +
+                     std::to_string(kMaxSlotRequests) + " pending requests");
+          }
+          slot.push_back(co_await file.iwriteAt(offset, len, tag));
+        }
+      } else {
+        stats.read_bytes_requested += len;
+        if (stmt.kind == Stmt::Kind::Read) {
+          co_await file.readAt(offset, len);
+        } else {
+          auto& slot = env.slots[stmt.slot];
+          if (slot.size() >= kMaxSlotRequests) {
+            fail(stmt.line, env.worldName(),
+                 "slot '" + stmt.slot + "' accumulated more than " +
+                     std::to_string(kMaxSlotRequests) + " pending requests");
+          }
+          slot.push_back(co_await file.ireadAt(offset, len));
+        }
+      }
+      break;
+    }
+    case Stmt::Kind::Wait: {
+      auto& slot = env.slots[stmt.name];
+      if (slot.empty()) break;  // like `if (req.valid()) wait(req)`
+      if (slot.size() > 1) {
+        fail(stmt.line, env.worldName(),
+             "slot '" + stmt.name + "' holds " +
+                 std::to_string(slot.size()) +
+                 " pending requests; use waitall");
+      }
+      co_await ctx.wait(slot.front());
+      if (slot.front().failed()) ++stats.failed_requests;
+      slot.clear();
+      break;
+    }
+    case Stmt::Kind::WaitAll: {
+      auto& slot = env.slots[stmt.name];
+      if (slot.empty()) break;
+      co_await ctx.waitAll(std::span<mpisim::Request>(slot));
+      for (const mpisim::Request& request : slot) {
+        if (request.failed()) ++stats.failed_requests;
+      }
+      slot.clear();
+      break;
+    }
+    case Stmt::Kind::Verify: {
+      mpisim::File& file = fileFor(env, stmt.path);
+      const Bytes offset = asByteValue(evalExpr(*stmt.a, env), stmt.line, env,
+                                       "file offset",
+                                       /*require_positive=*/false);
+      const Bytes len = asByteValue(evalExpr(*stmt.b, env), stmt.line, env,
+                                    "byte count", /*require_positive=*/true);
+      const pfs::ContentTag tag = asTag(evalExpr(*stmt.c, env), stmt.line,
+                                        env);
+      if (file.verify(offset, len, tag)) {
+        ++stats.verified;
+      } else {
+        ++stats.verify_failures;
+      }
+      break;
+    }
+    case Stmt::Kind::Signal: {
+      std::int64_t count = 1;
+      if (stmt.a) {
+        const Value v = evalExpr(*stmt.a, env);
+        if (!v.is_int || v.i <= 0 || v.i > 1'000'000) {
+          fail(stmt.line, env.worldName(),
+               "signal count must be a positive integer");
+        }
+        count = v.i;
+      }
+      env.instance->channel(stmt.name, ctx.rank())
+          .release(static_cast<std::size_t>(count));
+      stats.signals += static_cast<std::uint64_t>(count);
+      break;
+    }
+    case Stmt::Kind::Recv:
+      co_await ctx.recv(env.instance->channel(stmt.name, ctx.rank()));
+      ++stats.recvs;
+      break;
+    case Stmt::Kind::Loop: {
+      const std::int64_t count =
+          asLoopCount(evalExpr(*stmt.a, env), stmt.line, env);
+      env.scopes.emplace_back();
+      defineVar(env, stmt.name, Value::ofInt(0));
+      for (std::int64_t i = 0; i < count; ++i) {
+        env.scopes.back().back().second = Value::ofInt(i);
+        co_await execBlock(stmt.body, env);
+      }
+      env.scopes.pop_back();
+      break;
+    }
+    case Stmt::Kind::If:
+      if (evalExpr(*stmt.a, env).truthy()) {
+        co_await execBlock(stmt.body, env);
+      } else {
+        co_await execBlock(stmt.else_body, env);
+      }
+      break;
+  }
+}
+
+sim::Task<void> execBlock(const std::vector<Stmt>& stmts, RankEnv& env) {
+  env.scopes.emplace_back();
+  for (const Stmt& stmt : stmts) {
+    chargeOp(env);
+    const sim::Time before = env.ctx->now();
+    co_await execStmt(stmt, env);
+    if (env.ctx->now() < before) {
+      env.instance->stats().time_monotone = false;
+    }
+  }
+  env.scopes.pop_back();
+}
+
+sim::Task<void> runPhases(RankEnv& env) {
+  const std::vector<Phase>& phases = env.world->phases;
+  // Phase names were resolved and the chain proven acyclic by validation.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    index.emplace(phases[i].name, i);
+  }
+  std::size_t at = 0;
+  while (at < phases.size()) {
+    const Phase& phase = phases[at];
+    env.scopes.emplace_back();
+    if (phase.repeat) {
+      const std::int64_t count =
+          asLoopCount(evalExpr(*phase.repeat, env), phase.line, env);
+      defineVar(env, phase.loop_var, Value::ofInt(0));
+      for (std::int64_t i = 0; i < count; ++i) {
+        env.scopes.back().back().second = Value::ofInt(i);
+        co_await execBlock(phase.body, env);
+      }
+    } else {
+      co_await execBlock(phase.body, env);
+    }
+    env.scopes.pop_back();
+    at = phase.next.empty() ? at + 1 : index.at(phase.next);
+  }
+}
+
+sim::Task<void> runProgram(Instance* instance, const WorldSpec* world,
+                           mpisim::RankCtx& ctx) {
+  RankEnv env;
+  env.instance = instance;
+  env.world = world;
+  env.ctx = &ctx;
+
+  // Program-scoped frame: global lets, evaluated per rank in order.
+  env.scopes.emplace_back();
+  for (const Stmt& global : instance->spec().globals) {
+    chargeOp(env);
+    defineVar(env, global.name, evalExpr(*global.a, env));
+  }
+
+  if (!world->phases.empty()) {
+    co_await runPhases(env);
+  } else {
+    co_await execBlock(world->stmts, env);
+  }
+
+  for (const auto& [slot, requests] : env.slots) {
+    if (!requests.empty()) {
+      fail(0, world->name,
+           "rank " + std::to_string(ctx.rank()) + " ended with " +
+               std::to_string(requests.size()) +
+               " unwaited request(s) in slot '" + slot + "'");
+    }
+  }
+}
+
+}  // namespace
+
+mpisim::World::RankProgram compileProgram(Instance& instance,
+                                          const WorldSpec& world) {
+  Instance* inst = &instance;
+  const WorldSpec* spec = &world;
+  return [inst, spec](mpisim::RankCtx& ctx) -> sim::Task<void> {
+    return runProgram(inst, spec, ctx);
+  };
+}
+
+}  // namespace iobts::scenario

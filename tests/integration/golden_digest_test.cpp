@@ -5,22 +5,25 @@
 // pipeline (the online JSONL record stream + periodicity verdict) are executed
 // in-process; their observable outputs (elapsed time, exploit breakdowns,
 // byte accounting, resampled bandwidth series) are serialized to a canonical
-// hexfloat text and FNV-1a hashed against checked-in digests. Any solver or
-// scheduler change that shifts a paper-facing number by even one ULP flips
-// the digest, so results cannot drift silently. (Exception: the noisy fig14
-// case digests a reduced-precision canonicalization -- see
-// appendNumberCanonical -- because its recompute-quantum accumulation
-// carries toolchain-dependent low bits.)
+// hexfloat text (tests/support/golden.hpp) and FNV-1a hashed against
+// checked-in digests. Any solver or scheduler change that shifts a
+// paper-facing number by even one ULP flips the digest, so results cannot
+// drift silently. (Exception: the noisy fig14 case digests a
+// reduced-precision canonicalization -- see appendNumberCanonical -- because
+// its recompute-quantum accumulation carries toolchain-dependent low bits.)
+//
+// The fig10/fig13 configurations and digests live in workloads/quick.hpp,
+// shared with the scenario twin suite: the DSL re-expression of each figure
+// must hash to the *same* constant as these hand-coded runs.
 //
 // When a change *intends* to alter results, regenerate the constants:
 //   IOBTS_DUMP_GOLDEN=1 ./build/tests/integration_test \
 //       --gtest_filter='GoldenDigest.*'
 // prints each case's canonical text and digest; review the textual diff
-// before updating the constants below.
+// before updating the constants.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,78 +38,23 @@
 #include "tmio/publisher.hpp"
 #include "tmio/report.hpp"
 #include "tmio/tracer.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "workloads/hacc_io.hpp"
+#include "workloads/quick.hpp"
 #include "workloads/wacomm.hpp"
+
+#include "../support/golden.hpp"
 
 namespace iobts {
 namespace {
 
-// %a renders the exact bit pattern of a double, so the digest is exactly as
-// strict as the byte-identity gate on the fig harness outputs.
-void appendNumber(std::string& out, const char* key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, value);
-  out += buf;
-}
-
-// Canonicalized variant for the noisy fig14 pipeline. Its recompute-quantum
-// path rebuilds each stream's rate as a sum over many small re-solve slices,
-// and the step series then subtract two nearly-equal such sums wherever the
-// signal returns to zero; the residual is pure cancellation noise (observed
-// up to ~5e-7 on a bytes/s scale of ~5e8, i.e. relative 1e-16 -- and its
-// exact value shifts with the toolchain's rounding/contraction choices,
-// e.g. -1.19e-12 vs -5.92e-13 for the same term on two libstdc++ builds).
-// Hexfloat digests would flip on every compiler bump without any
-// paper-facing drift, so this case snaps |v| < 1e-3 to exactly zero (11+
-// orders below any real bandwidth or elapsed value here) and formats with
-// nine significant digits ("%.9g"): stable across conforming toolchains,
-// while real drift (>= 1 part in 1e9) still flips it.
-constexpr double kCanonicalZeroSnap = 1e-3;
-
-void appendNumberCanonical(std::string& out, const char* key, double value) {
-  if (std::fabs(value) < kCanonicalZeroSnap) value = 0.0;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s=%.9g\n", key, value);
-  out += buf;
-}
-
-void appendSeriesCanonical(std::string& out, const char* key,
-                           const StepSeries& series, double t_end) {
-  char buf[80];
-  for (int i = 0; i <= 64; ++i) {
-    const double t = t_end * static_cast<double>(i) / 64.0;
-    double v = series.at(t);
-    if (std::fabs(v) < kCanonicalZeroSnap) v = 0.0;
-    std::snprintf(buf, sizeof(buf), "%s[%d]=%.9g\n", key, i, v);
-    out += buf;
-  }
-}
-
-void appendSeries(std::string& out, const char* key, const StepSeries& series,
-                  double t_end) {
-  char buf[64];
-  for (int i = 0; i <= 64; ++i) {
-    const double t = t_end * static_cast<double>(i) / 64.0;
-    std::snprintf(buf, sizeof(buf), "%s[%d]=%a\n", key, i, series.at(t));
-    out += buf;
-  }
-}
-
-void checkDigest(const std::string& name, const std::string& canon,
-                 std::uint64_t expected) {
-  const std::uint64_t actual = hashName(canon);
-  if (std::getenv("IOBTS_DUMP_GOLDEN") != nullptr) {
-    std::printf("--- %s ---\n%sdigest(%s) = 0x%016llxULL\n", name.c_str(),
-                canon.c_str(), name.c_str(),
-                static_cast<unsigned long long>(actual));
-  }
-  EXPECT_EQ(actual, expected)
-      << name << " digest changed: paper-facing outputs drifted. If the "
-      << "change is intentional, rerun with IOBTS_DUMP_GOLDEN=1, review the "
-      << "canonical-text diff, and update the constant.";
-}
+using testsupport::appendLost;
+using testsupport::appendNumber;
+using testsupport::appendNumberCanonical;
+using testsupport::appendSeries;
+using testsupport::appendSeriesCanonical;
+using testsupport::appendTracedCase;
+using testsupport::checkDigest;
 
 // The fig harnesses' TracedRun wiring, replicated so the test depends only
 // on library targets.
@@ -131,44 +79,6 @@ struct MiniRun {
   mpisim::World world;
 };
 
-pfs::LinkConfig lichtenbergLink() {
-  pfs::LinkConfig cfg;
-  cfg.write_capacity = 106e9;
-  cfg.read_capacity = 120e9;
-  cfg.client_rate_cap = 1.5e9;
-  return cfg;
-}
-
-tmio::TracerConfig tracerFor(tmio::StrategyKind strategy) {
-  tmio::TracerConfig cfg;
-  cfg.strategy = strategy;
-  cfg.params.tolerance = 1.1;
-  return cfg;
-}
-
-void appendTracedCase(std::string& out, const char* label, MiniRun& run) {
-  out += std::string("case=") + label + "\n";
-  const double t_end = run.world.elapsed();
-  appendNumber(out, "elapsed", t_end);
-  const tmio::ExploitBreakdown e =
-      tmio::exploitBreakdown(run.tracer, run.world);
-  appendNumber(out, "sync_write", e.sync_write);
-  appendNumber(out, "async_write_lost", e.async_write_lost);
-  appendNumber(out, "async_read_lost", e.async_read_lost);
-  appendNumber(out, "async_write_exploit", e.async_write_exploit);
-  appendNumber(out, "async_read_exploit", e.async_read_exploit);
-  appendNumber(out, "bytes_write",
-               static_cast<double>(run.link.bytesMoved(pfs::Channel::Write)));
-  appendNumber(out, "bytes_read",
-               static_cast<double>(run.link.bytesMoved(pfs::Channel::Read)));
-  appendSeries(out, "T", run.tracer.appThroughputSeries(pfs::Channel::Write),
-               t_end);
-  appendSeries(out, "B", run.tracer.appRequiredSeries(pfs::Channel::Write),
-               t_end);
-  appendSeries(out, "BL", run.tracer.appLimitSeries(pfs::Channel::Write),
-               t_end);
-}
-
 TEST(GoldenDigest, Fig10WacommPipeline) {
   // Fig. 10 at reduced scale: 48 ranks, 6 iterations, same per-iteration
   // compute split, congestion, and tolerance as bench/fig10_wacomm_9216.
@@ -176,20 +86,15 @@ TEST(GoldenDigest, Fig10WacommPipeline) {
   for (const auto strategy :
        {tmio::StrategyKind::UpOnly, tmio::StrategyKind::None}) {
     mpisim::WorldConfig wcfg;
-    wcfg.ranks = 48;
-    pfs::LinkConfig link = lichtenbergLink();
-    link.congestion_gamma = 2e-4;
-    MiniRun run(link, wcfg, tracerFor(strategy));
-    workloads::WacommConfig cfg;
-    cfg.bytes_per_particle = 2048;
-    cfg.iteration_compute_core_seconds = 48.0;
-    cfg.iteration_fixed_seconds = 2.2;
-    cfg.iterations = 6;
-    run.run(workloads::wacommProgram(cfg));
+    wcfg.ranks = workloads::kFig10QuickRanks;
+    MiniRun run(workloads::fig10QuickLinkConfig(), wcfg,
+                workloads::quickTracerConfig(strategy));
+    run.run(workloads::wacommProgram(workloads::fig10QuickWacommConfig()));
     appendTracedCase(
-        canon, strategy == tmio::StrategyKind::None ? "none" : "up-only", run);
+        canon, strategy == tmio::StrategyKind::None ? "none" : "up-only",
+        run.world, run.tracer, run.link);
   }
-  checkDigest("fig10_mini", canon, 0x8c4748554547ac7bULL);
+  checkDigest("fig10_mini", canon, workloads::kFig10QuickDigest);
 }
 
 TEST(GoldenDigest, Fig13HaccStrategySweep) {
@@ -207,24 +112,14 @@ TEST(GoldenDigest, Fig13HaccStrategySweep) {
   };
   for (const auto& s : settings) {
     mpisim::WorldConfig wcfg;
-    wcfg.ranks = 32;
-    MiniRun run(lichtenbergLink(), wcfg, tracerFor(s.strategy));
-    workloads::HaccIoConfig hacc;
-    const double scale = std::pow(32.0, 0.55);
-    hacc.compute_seconds = 0.30 * scale;
-    hacc.verify_seconds = 0.25 * scale;
-    hacc.requests_per_write = 9;
-    hacc.loops = 2;
-    run.run(workloads::haccIoProgram(hacc));
-    appendTracedCase(canon, s.label, run);
-    double lost = 0.0;
-    for (int r = 0; r < wcfg.ranks; ++r) {
-      lost += run.tracer.rankSplit(r).write_lost +
-              run.tracer.rankSplit(r).read_lost;
-    }
-    appendNumber(canon, "lost", lost);
+    wcfg.ranks = workloads::kFig13QuickRanks;
+    MiniRun run(workloads::lichtenbergLinkConfig(), wcfg,
+                workloads::quickTracerConfig(s.strategy));
+    run.run(workloads::haccIoProgram(workloads::fig13QuickHaccConfig()));
+    appendTracedCase(canon, s.label, run.world, run.tracer, run.link);
+    appendLost(canon, run.tracer, wcfg.ranks);
   }
-  checkDigest("fig13_mini", canon, 0x6038e3b0b4acfdebULL);
+  checkDigest("fig13_mini", canon, workloads::kFig13QuickDigest);
 }
 
 TEST(GoldenDigest, Fig14NoisyDirectPipeline) {
@@ -232,8 +127,9 @@ TEST(GoldenDigest, Fig14NoisyDirectPipeline) {
   // bench's noisy-link recipe -- per-transfer lognormal slowdowns around a
   // reference just above the applied write limit, re-solved on a 5 ms
   // recompute quantum. This is the one pipeline whose outputs carry
-  // toolchain-dependent low bits (see appendNumberCanonical above), so it
-  // digests the canonicalized text, not hexfloats.
+  // toolchain-dependent low bits (see appendNumberCanonical in
+  // tests/support/golden.hpp), so it digests the canonicalized text, not
+  // hexfloats.
   std::string canon = "fig14-mini\n";
   for (const double noise_sigma : {0.0, 0.4}) {
     mpisim::WorldConfig wcfg;
@@ -245,14 +141,15 @@ TEST(GoldenDigest, Fig14NoisyDirectPipeline) {
     hacc.verify_seconds = 0.25 * scale;
     hacc.requests_per_write = 9;
     hacc.loops = 2;
-    pfs::LinkConfig link = lichtenbergLink();
+    pfs::LinkConfig link = workloads::lichtenbergLinkConfig();
     link.noise_sigma = noise_sigma;
     const double write_requirement =
         static_cast<double>(workloads::haccBytesPerRankPerLoop(hacc)) /
         hacc.verify_seconds;
     link.noise_reference_rate = 1.4 * write_requirement;
     link.recompute_quantum = noise_sigma > 0.0 ? 5e-3 : 0.0;
-    MiniRun run(link, wcfg, tracerFor(tmio::StrategyKind::Direct));
+    MiniRun run(link, wcfg,
+                workloads::quickTracerConfig(tmio::StrategyKind::Direct));
     run.run(workloads::haccIoProgram(hacc));
 
     canon += std::string("case=sigma") + (noise_sigma > 0.0 ? "0.4" : "0") +
@@ -291,11 +188,12 @@ TEST(GoldenDigest, FtioPublisherPipeline) {
   tmio::MemorySink* sink = owned.get();
   publisher.addSink(std::move(owned));
 
-  tmio::TracerConfig tcfg = tracerFor(tmio::StrategyKind::UpOnly);
+  tmio::TracerConfig tcfg =
+      workloads::quickTracerConfig(tmio::StrategyKind::UpOnly);
   tcfg.publisher = &publisher;
   mpisim::WorldConfig wcfg;
   wcfg.ranks = 16;
-  MiniRun run(lichtenbergLink(), wcfg, tcfg);
+  MiniRun run(workloads::lichtenbergLinkConfig(), wcfg, tcfg);
   workloads::HaccIoConfig hacc;
   hacc.compute_seconds = 1.6;
   hacc.verify_seconds = 1.2;

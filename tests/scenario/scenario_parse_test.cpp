@@ -1,0 +1,312 @@
+// Error-path coverage for the scenario DSL front end: every malformed
+// document must be rejected with a ScenarioError carrying a precise line
+// and field, and must never crash (this suite runs under ASan/UBSan in the
+// sanitize tier and under TSan in the tsan tier). Runtime-side violations
+// (division by zero, op budget) surface through sim.run(), which rethrows
+// the first uncaught process exception.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/instance.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace iobts::scenario {
+namespace {
+
+// Minimal valid prologue most fragments below build on.
+constexpr const char* kWorld = "scenario \"t\"\nworld main { ranks = 2 }\n";
+
+/// Assert that parsing `text` throws a ScenarioError whose line, field and
+/// message match. line < 0 or empty strings skip that check.
+void expectParseError(const std::string& text, int line,
+                      const std::string& field_part,
+                      const std::string& message_part) {
+  try {
+    parseScenario(text);
+    FAIL() << "expected ScenarioError, document parsed:\n" << text;
+  } catch (const ScenarioError& e) {
+    if (line >= 0) EXPECT_EQ(e.line(), line) << e.what();
+    if (!field_part.empty()) {
+      EXPECT_NE(e.field().find(field_part), std::string::npos) << e.what();
+    }
+    if (!message_part.empty()) {
+      EXPECT_NE(e.message().find(message_part), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+/// Compile + run a parseable document and assert the runtime rejects it.
+void expectRuntimeError(const std::string& text,
+                        const std::string& message_part) {
+  ScenarioSpec spec = parseScenario(text);
+  sim::Simulation sim;
+  Instance instance(sim, std::move(spec));
+  instance.launch();
+  try {
+    sim.run();
+    FAIL() << "expected runtime ScenarioError:\n" << text;
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(e.message().find(message_part), std::string::npos) << e.what();
+  }
+}
+
+// --- lexer -----------------------------------------------------------------
+
+TEST(ScenarioParseError, UnterminatedString) {
+  expectParseError("scenario \"oops\n", 1, "string", "unterminated string");
+}
+
+TEST(ScenarioParseError, HexLiteralOverflow) {
+  expectParseError(std::string(kWorld) +
+                       "program main { compute 0x1ffffffffffffffff }",
+                   3, "number", "overflows 64 bits");
+}
+
+TEST(ScenarioParseError, IntLiteralOverflow) {
+  expectParseError(std::string(kWorld) +
+                       "program main { bcast 99999999999999999999 }",
+                   3, "number", "overflows 63 bits");
+}
+
+TEST(ScenarioParseError, ByteSuffixOverflow) {
+  expectParseError(std::string(kWorld) +
+                       "program main { read file \"/f\" at 0 bytes "
+                       "99999999999GiB }",
+                   3, "number", "overflows a byte count");
+}
+
+// --- block structure ---------------------------------------------------------
+
+TEST(ScenarioParseError, UnknownLinkKey) {
+  expectParseError("scenario \"t\"\nlink { bandwith = 1e9 }\n"
+                   "world main { ranks = 2 }\nprogram main { barrier }",
+                   2, "link", "unknown key 'bandwith'");
+}
+
+TEST(ScenarioParseError, UnknownWorldKey) {
+  expectParseError("scenario \"t\"\nworld main { ranks = 2  color = 3 }\n"
+                   "program main { barrier }",
+                   2, "world main", "unknown key 'color'");
+}
+
+TEST(ScenarioParseError, UnknownStrategy) {
+  expectParseError("scenario \"t\"\n"
+                   "world main { ranks = 2  strategy = \"turbo\" }\n"
+                   "program main { barrier }",
+                   2, "world main", "unknown strategy 'turbo'");
+}
+
+TEST(ScenarioParseError, DuplicateLinkBlock) {
+  expectParseError("scenario \"t\"\nlink { write = 1e9 }\n"
+                   "link { read = 1e9 }\n"
+                   "world main { ranks = 2 }\nprogram main { barrier }",
+                   3, "link", "duplicate link block");
+}
+
+TEST(ScenarioParseError, UnterminatedBlock) {
+  expectParseError(std::string(kWorld) + "program main { compute 1.0\n", -1,
+                   "", "");
+}
+
+TEST(ScenarioParseError, ReservedWordAsWorldName) {
+  expectParseError("scenario \"t\"\nworld program { ranks = 2 }", 2, "",
+                   "reserved word");
+}
+
+TEST(ScenarioParseError, ProgramWithoutWorld) {
+  expectParseError(std::string(kWorld) +
+                       "program main { barrier }\n"
+                       "program ghost { barrier }",
+                   4, "program ghost", "");
+}
+
+TEST(ScenarioParseError, DuplicateWorld) {
+  expectParseError(std::string(kWorld) + "world main { ranks = 2 }\n"
+                   "program main { barrier }",
+                   3, "world main", "duplicate world name");
+}
+
+TEST(ScenarioParseError, NoWorlds) {
+  expectParseError("scenario \"empty\"", -1, "scenario",
+                   "scenario declares no worlds");
+}
+
+// --- semantic validation -----------------------------------------------------
+
+TEST(ScenarioParseError, RanksOutOfRange) {
+  expectParseError("scenario \"t\"\nworld main { ranks = 0 }\n"
+                   "program main { barrier }",
+                   2, "world main", "ranks must lie in [1, 4096]");
+  expectParseError("scenario \"t\"\nworld main { ranks = 5000 }\n"
+                   "program main { barrier }",
+                   2, "world main", "ranks must lie in [1, 4096]");
+}
+
+TEST(ScenarioParseError, ZeroByteCount) {
+  expectParseError(std::string(kWorld) +
+                       "program main { write file \"/f\" at 0 bytes 0 }",
+                   3, "", "byte count must be positive");
+}
+
+TEST(ScenarioParseError, NegativeOffset) {
+  expectParseError(std::string(kWorld) +
+                       "program main { write file \"/f\" at -8 bytes 8 }",
+                   3, "", "must be non-negative");
+}
+
+TEST(ScenarioParseError, OverflowingLoopCount) {
+  expectParseError(std::string(kWorld) +
+                       "program main { loop i : 2000000 { barrier } }",
+                   3, "", "overflows the 1000000-iteration budget");
+}
+
+TEST(ScenarioParseError, NegativeLoopCount) {
+  expectParseError(std::string(kWorld) +
+                       "program main { loop i : -3 { compute 1.0 } }",
+                   3, "", "loop count must be non-negative");
+}
+
+TEST(ScenarioParseError, CyclicPhaseGraph) {
+  expectParseError(std::string(kWorld) +
+                       "program main {\n"
+                       "  phase a { barrier } -> b\n"
+                       "  phase b { barrier } -> a\n"
+                       "}",
+                   -1, "world main", "cyclic phase graph");
+}
+
+TEST(ScenarioParseError, UnreachablePhase) {
+  expectParseError(std::string(kWorld) +
+                       "program main {\n"
+                       "  phase a { barrier } -> c\n"
+                       "  phase b { compute 1.0 }\n"
+                       "  phase c { barrier }\n"
+                       "}",
+                   -1, "world main", "unreachable from the start phase");
+}
+
+TEST(ScenarioParseError, PhaseLinksToUnknownPhase) {
+  expectParseError(std::string(kWorld) +
+                       "program main { phase a { barrier } -> ghost }",
+                   3, "world main", "links to unknown phase 'ghost'");
+}
+
+TEST(ScenarioParseError, CollectiveUnderRankDependentIf) {
+  expectParseError(std::string(kWorld) +
+                       "program main { if rank == 0 { barrier } }",
+                   3, "", "rank-dependent control flow would deadlock");
+}
+
+TEST(ScenarioParseError, RecvUnderRankDependentIf) {
+  expectParseError(
+      "scenario \"t\"\nworld a { ranks = 2 }\nworld b { ranks = 2 }\n"
+      "program a { signal c\nif rank == 0 { recv c } }\n"
+      "program b { compute 1.0 }",
+      -1, "", "rank-dependent control flow");
+}
+
+TEST(ScenarioParseError, UnknownVariable) {
+  expectParseError(std::string(kWorld) + "program main { compute mystery }",
+                   3, "", "unknown variable 'mystery'");
+}
+
+TEST(ScenarioParseError, WaitTargetNeverAssigned) {
+  expectParseError(std::string(kWorld) + "program main { wait pending }", -1,
+                   "world main", "never assigned by iwrite/iread");
+}
+
+TEST(ScenarioParseError, SlotAssignedNeverWaited) {
+  expectParseError(
+      std::string(kWorld) +
+          "program main { iwrite file \"/f\" at 0 bytes 8 -> p }",
+      -1, "world main", "assigned but never waited");
+}
+
+TEST(ScenarioParseError, WaitAndWaitAllOnSameSlot) {
+  expectParseError(std::string(kWorld) +
+                       "program main {\n"
+                       "  iwrite file \"/f\" at 0 bytes 8 -> p\n"
+                       "  wait p\n"
+                       "  iwrite file \"/f\" at 8 bytes 8 -> p\n"
+                       "  waitall p\n"
+                       "}",
+                   -1, "world main", "both wait and waitall");
+}
+
+TEST(ScenarioParseError, RecvWithoutSignal) {
+  expectParseError(std::string(kWorld) + "program main { recv nobody }", -1,
+                   "channel nobody", "received but never signaled");
+}
+
+TEST(ScenarioParseError, ChannelCouplesUnequalWorlds) {
+  expectParseError(
+      "scenario \"t\"\nworld a { ranks = 2 }\nworld b { ranks = 3 }\n"
+      "program a { signal c }\nprogram b { recv c }",
+      -1, "channel c", "different rank counts");
+}
+
+// --- runtime guards ----------------------------------------------------------
+
+TEST(ScenarioParseError, RuntimeDivisionByZero) {
+  // Integer division: float division by zero yields inf and is caught by
+  // the finite-duration guard instead (also covered here).
+  expectRuntimeError(std::string(kWorld) +
+                         "let z = 0\nprogram main { bcast 8 / z }",
+                     "division by zero");
+  expectRuntimeError(std::string(kWorld) +
+                         "let z = 0\nprogram main { compute 1.0 / z }",
+                     "must be finite and non-negative");
+}
+
+TEST(ScenarioParseError, RuntimeModuloByZero) {
+  expectRuntimeError(std::string(kWorld) +
+                         "let z = 0\nprogram main { bcast 8 % z }",
+                     "modulo by zero");
+}
+
+TEST(ScenarioParseError, RuntimeZeroByteCount) {
+  // A size that is only zero at runtime slips past the literal check and
+  // must be caught by the interpreter guard instead.
+  expectRuntimeError(std::string(kWorld) +
+                         "let n = 4 - 4\n"
+                         "program main { write file \"/f\" at 0 bytes n }",
+                     "byte count must be positive");
+}
+
+TEST(ScenarioParseError, FileDiagnosticsCarryPath) {
+  try {
+    loadScenarioFile("/nonexistent/missing.scn");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(e.field().find("/nonexistent/missing.scn"), std::string::npos);
+    EXPECT_NE(e.message().find("cannot open"), std::string::npos);
+  }
+}
+
+// --- well-formed corner cases must still parse -------------------------------
+
+TEST(ScenarioParse, AcceptsUnitSuffixesAndHex) {
+  const ScenarioSpec spec = parseScenario(
+      std::string(kWorld) +
+      "let a = 4KiB\nlet b = 2MiB\nlet c = 0xff\n"
+      "program main { write file \"/f\" at c bytes a + b tag 0xdead }");
+  EXPECT_EQ(spec.worlds.size(), 1u);
+  EXPECT_EQ(spec.globals.size(), 3u);
+}
+
+TEST(ScenarioParse, AcceptsPhaseChainWithExplicitLinks) {
+  const ScenarioSpec spec = parseScenario(
+      std::string(kWorld) +
+      "program main {\n"
+      "  phase warm { compute 0.5 } -> io\n"
+      "  phase io { write file \"/f\" at 0 bytes 8 }\n"
+      "}");
+  EXPECT_EQ(spec.worlds[0].phases.size(), 2u);
+  EXPECT_EQ(spec.worlds[0].phases[0].next, "io");
+}
+
+}  // namespace
+}  // namespace iobts::scenario

@@ -1,0 +1,121 @@
+// Canonical run serialization for golden-digest tests.
+//
+// A traced run's observable outputs (elapsed time, exploit breakdown, byte
+// accounting, resampled write-channel series) are rendered to hexfloat text
+// and FNV-1a hashed; tests compare the hash against checked-in constants.
+// Shared between the integration golden gate and the scenario twin suite so
+// "byte-identical" means one serializer, not two.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mpisim/world.hpp"
+#include "pfs/shared_link.hpp"
+#include "tmio/report.hpp"
+#include "tmio/tracer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace iobts::testsupport {
+
+// %a renders the exact bit pattern of a double, so the digest is exactly as
+// strict as a byte-identity gate on the fig harness outputs.
+inline void appendNumber(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%a\n", key, value);
+  out += buf;
+}
+
+// Canonicalized variant for noisy pipelines whose recompute-quantum sums
+// carry toolchain-dependent low bits (see the fig14 comment in
+// golden_digest_test.cpp): snaps |v| < 1e-3 to zero and formats with nine
+// significant digits.
+inline constexpr double kCanonicalZeroSnap = 1e-3;
+
+inline void appendNumberCanonical(std::string& out, const char* key,
+                                  double value) {
+  if (std::fabs(value) < kCanonicalZeroSnap) value = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.9g\n", key, value);
+  out += buf;
+}
+
+inline void appendSeries(std::string& out, const char* key,
+                         const StepSeries& series, double t_end) {
+  char buf[64];
+  for (int i = 0; i <= 64; ++i) {
+    const double t = t_end * static_cast<double>(i) / 64.0;
+    std::snprintf(buf, sizeof(buf), "%s[%d]=%a\n", key, i, series.at(t));
+    out += buf;
+  }
+}
+
+inline void appendSeriesCanonical(std::string& out, const char* key,
+                                  const StepSeries& series, double t_end) {
+  char buf[80];
+  for (int i = 0; i <= 64; ++i) {
+    const double t = t_end * static_cast<double>(i) / 64.0;
+    double v = series.at(t);
+    if (std::fabs(v) < kCanonicalZeroSnap) v = 0.0;
+    std::snprintf(buf, sizeof(buf), "%s[%d]=%.9g\n", key, i, v);
+    out += buf;
+  }
+}
+
+/// One traced case: elapsed, exploit breakdown, byte totals, and the
+/// write-channel throughput/required/limit series resampled on 65 points.
+inline void appendTracedCase(std::string& out, const char* label,
+                             const mpisim::World& world,
+                             const tmio::Tracer& tracer,
+                             const pfs::SharedLink& link) {
+  out += std::string("case=") + label + "\n";
+  const double t_end = world.elapsed();
+  appendNumber(out, "elapsed", t_end);
+  const tmio::ExploitBreakdown e = tmio::exploitBreakdown(tracer, world);
+  appendNumber(out, "sync_write", e.sync_write);
+  appendNumber(out, "async_write_lost", e.async_write_lost);
+  appendNumber(out, "async_read_lost", e.async_read_lost);
+  appendNumber(out, "async_write_exploit", e.async_write_exploit);
+  appendNumber(out, "async_read_exploit", e.async_read_exploit);
+  appendNumber(out, "bytes_write",
+               static_cast<double>(link.bytesMoved(pfs::Channel::Write)));
+  appendNumber(out, "bytes_read",
+               static_cast<double>(link.bytesMoved(pfs::Channel::Read)));
+  appendSeries(out, "T", tracer.appThroughputSeries(pfs::Channel::Write),
+               t_end);
+  appendSeries(out, "B", tracer.appRequiredSeries(pfs::Channel::Write),
+               t_end);
+  appendSeries(out, "BL", tracer.appLimitSeries(pfs::Channel::Write), t_end);
+}
+
+/// Per-rank lost-overlap sum appended by the fig13 cases.
+inline void appendLost(std::string& out, const tmio::Tracer& tracer,
+                       int ranks) {
+  double lost = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    lost += tracer.rankSplit(r).write_lost + tracer.rankSplit(r).read_lost;
+  }
+  appendNumber(out, "lost", lost);
+}
+
+inline void checkDigest(const std::string& name, const std::string& canon,
+                        std::uint64_t expected) {
+  const std::uint64_t actual = hashName(canon);
+  if (std::getenv("IOBTS_DUMP_GOLDEN") != nullptr) {
+    std::printf("--- %s ---\n%sdigest(%s) = 0x%016llxULL\n", name.c_str(),
+                canon.c_str(), name.c_str(),
+                static_cast<unsigned long long>(actual));
+  }
+  EXPECT_EQ(actual, expected)
+      << name << " digest changed: paper-facing outputs drifted. If the "
+      << "change is intentional, rerun with IOBTS_DUMP_GOLDEN=1, review the "
+      << "canonical-text diff, and update the constant.";
+}
+
+}  // namespace iobts::testsupport

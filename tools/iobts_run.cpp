@@ -8,12 +8,26 @@
 //             up-only|adaptive|mfu [--tol X] [--loops N] [--particles N]
 //             [--write-bw 106GB] [--read-bw 120GB] [--noise SIGMA]
 //             [--burst-buffer] [--jsonl FILE] [--csv PREFIX] [--chart]
+//
+// or compiles and runs a scenario DSL file (src/scenario) instead:
+//
+//   iobts_run --scenario FILE [--trace TRACE.json] [--jsonl FILE]
+//             [--csv PREFIX]
+//
+// --trace installs the observability sink for the whole run and writes a
+// Perfetto-loadable Chrome trace with per-request journey flows; inspect it
+// with tools/trace_summarize TRACE.json --journeys.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "mpisim/world.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "scenario/instance.hpp"
+#include "scenario/scenario.hpp"
 #include "tmio/ftio.hpp"
 #include "tmio/report.hpp"
 #include "tmio/tracer.hpp"
@@ -41,6 +55,8 @@ struct CliOptions {
   std::optional<std::string> csv;
   bool chart = false;
   bool ftio = false;
+  std::optional<std::string> scenario;
+  std::optional<std::string> trace;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,8 +66,10 @@ struct CliOptions {
       "          [--strategy none|direct|up-only|adaptive|mfu] [--tol X]\n"
       "          [--loops N] [--particles N] [--write-bw 106GB]\n"
       "          [--read-bw 120GB] [--noise SIGMA] [--burst-buffer]\n"
-      "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n",
-      argv0);
+      "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n"
+      "       %s --scenario FILE [--trace TRACE.json] [--jsonl FILE]\n"
+      "          [--csv PREFIX]\n",
+      argv0, argv0);
   std::exit(2);
 }
 
@@ -77,6 +95,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--csv") opt.csv = next(i);
     else if (arg == "--chart") opt.chart = true;
     else if (arg == "--ftio") opt.ftio = true;
+    else if (arg == "--scenario") opt.scenario = next(i);
+    else if (arg == "--trace") opt.trace = next(i);
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -87,10 +107,81 @@ CliOptions parse(int argc, char** argv) {
   return opt;
 }
 
+/// Compile + run a scenario DSL file and print per-world paper metrics.
+int runScenario(const CliOptions& opt) {
+  // Install the trace sink before any instrumented component exists so
+  // setup-time track names land in the trace metadata.
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::ScopedTraceSink> install;
+  if (opt.trace) {
+    sink = std::make_unique<obs::TraceSink>();
+    install = std::make_unique<obs::ScopedTraceSink>(*sink);
+  }
+
+  sim::Simulation sim;
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::loadScenarioFile(*opt.scenario);
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const std::string name = spec.name;
+  scenario::Instance instance(sim, std::move(spec));
+  instance.launch();
+  try {
+    sim.run();
+    instance.requireFinished();
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("scenario=%s worlds=%zu elapsed=%.3f s\n", name.c_str(),
+              instance.worldCount(), instance.elapsed());
+  for (std::size_t w = 0; w < instance.worldCount(); ++w) {
+    const mpisim::World& world = instance.world(w);
+    const tmio::Tracer& tracer = instance.tracer(w);
+    const tmio::ExploitBreakdown e = tmio::exploitBreakdown(tracer, world);
+    std::printf("world %zu: elapsed %.3f s  required bandwidth %s\n", w,
+                world.elapsed(),
+                formatBandwidth(tracer.minimalRequiredBandwidth()).c_str());
+    std::printf("  async exploit %.1f %%  async lost %.1f %%  sync I/O "
+                "%.1f %%\n",
+                e.async_write_exploit + e.async_read_exploit,
+                e.async_write_lost + e.async_read_lost,
+                e.sync_write + e.sync_read);
+  }
+  const scenario::RunStats& stats = instance.stats();
+  std::printf(
+      "ops=%llu io=%llu write=%llu B read=%llu B collectives=%llu "
+      "signals=%llu verified=%llu\n",
+      static_cast<unsigned long long>(stats.ops),
+      static_cast<unsigned long long>(stats.io_submitted),
+      static_cast<unsigned long long>(stats.write_bytes_requested),
+      static_cast<unsigned long long>(stats.read_bytes_requested),
+      static_cast<unsigned long long>(stats.collectives),
+      static_cast<unsigned long long>(stats.signals),
+      static_cast<unsigned long long>(stats.verified));
+
+  if (opt.jsonl) instance.tracer(0).writeJsonl(*opt.jsonl);
+  if (opt.csv) instance.tracer(0).writeCsv(*opt.csv);
+  if (opt.trace) {
+    if (!obs::writeChromeTrace(*sink, *opt.trace)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", opt.trace->c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (trace_summarize --journeys)\n",
+                sink->size(), opt.trace->c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
+  if (opt.scenario) return runScenario(opt);
 
   sim::Simulation sim;
   pfs::LinkConfig link_cfg;

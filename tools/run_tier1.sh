@@ -26,12 +26,12 @@ for arg in "$@"; do
 done
 
 run_tsan() {
-  echo "== tsan: configure + build (TSan, sim+pfs+mpisim+parallel tests) =="
+  echo "== tsan: configure + build (TSan, sim+pfs+mpisim+parallel+scenario tests) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan \
     -DIOBTS_BUILD_BENCH=OFF -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j --target sim_test pfs_test mpisim_test parallel_test
+  cmake --build build-tsan -j --target sim_test pfs_test mpisim_test parallel_test scenario_test
 
-  echo "== tsan: run sim_test + pfs_test + mpisim_test + parallel_test =="
+  echo "== tsan: run sim_test + pfs_test + mpisim_test + parallel_test + scenario_test =="
   # TSan also defeats coroutine symmetric transfer; lift the stack limit.
   ulimit -s unlimited 2>/dev/null || true
   ./build-tsan/tests/sim_test
@@ -40,6 +40,9 @@ run_tsan() {
   # The parallel suite is the point: worker drains, barrier phases, outbox
   # merges and trace staging all run under the race detector.
   ./build-tsan/tests/parallel_test
+  # Scenario fuzz + sharded-equivalence: generated programs drive the
+  # multi-threaded kernel with the race detector watching.
+  ./build-tsan/tests/scenario_test
 }
 
 if [[ "$TSAN_ONLY" == 1 ]]; then
@@ -55,6 +58,30 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
+echo "== tier-1: test-registration audit =="
+# Every *_test binary in the build tree must be ctest-registered (the
+# manifest is written by tests/CMakeLists.txt). A suite that compiles but
+# never runs is a silent coverage hole -- fail loudly.
+MANIFEST=build/tests/registered_tests.txt
+if [[ ! -f "$MANIFEST" ]]; then
+  echo "missing $MANIFEST -- reconfigure the build" >&2
+  exit 1
+fi
+AUDIT_FAILED=0
+for bin in build/tests/*_test; do
+  [[ -f "$bin" && -x "$bin" ]] || continue
+  name="$(basename "$bin")"
+  if ! grep -qx "$name" "$MANIFEST"; then
+    echo "test binary '$name' exists but is not ctest-registered" >&2
+    AUDIT_FAILED=1
+  fi
+done
+if [[ "$AUDIT_FAILED" == 1 ]]; then
+  echo "== tier-1: registration audit FAILED ==" >&2
+  exit 1
+fi
+echo "all $(grep -c . "$MANIFEST") test binaries registered"
+
 if [[ "$SKIP_SANITIZE" == 1 && "$SKIP_TSAN" == 1 ]]; then
   echo "== sanitize + tsan passes skipped =="
   exit 0
@@ -67,12 +94,12 @@ if [[ "$SKIP_SANITIZE" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitize: configure + build (ASan+UBSan, sim+pfs+fault tests + hotpath asserts) =="
+echo "== sanitize: configure + build (ASan+UBSan, sim+pfs+fault+scenario tests + hotpath asserts) =="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize \
   -DIOBTS_BUILD_BENCH=ON -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-sanitize -j --target sim_test pfs_test fault_test micro_hotpath
+cmake --build build-sanitize -j --target sim_test pfs_test fault_test scenario_test micro_hotpath
 
-echo "== sanitize: run sim_test + pfs_test + fault_test =="
+echo "== sanitize: run sim_test + pfs_test + fault_test + scenario_test =="
 # ASan instrumentation defeats the coroutine symmetric-transfer tail call,
 # so the 100k-deep Task chain test consumes real stack per hop; lift the
 # stack limit for the sanitized run only.
@@ -82,6 +109,10 @@ ulimit -s unlimited 2>/dev/null || true
 # The fault suite crosses every layer (fault plan -> link -> engine -> world
 # -> cluster) including teardown-by-abort paths: prime lifetime-bug ground.
 ./build-sanitize/tests/fault_test
+# The scenario suite's error-path and 512-seed fuzz coverage is the point
+# here: malformed documents and generated programs must never trip
+# ASan/UBSan anywhere in the lexer -> parser -> compiler -> runtime chain.
+./build-sanitize/tests/scenario_test
 
 echo "== sanitize: hot-path allocation assertions =="
 # micro_hotpath's main() runs the zero-allocation steady-state probes before
