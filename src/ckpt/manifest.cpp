@@ -1,0 +1,325 @@
+#include "ckpt/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fault/plan.hpp"
+
+namespace iobts::ckpt {
+namespace {
+
+/// Canonical-text digest accumulator (hexfloat doubles, so the digest is
+/// bit-exact across hosts).
+class DigestText {
+ public:
+  void kv(const char* key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    text_ += key;
+    text_ += '=';
+    text_ += buf;
+    text_ += '\n';
+  }
+  void kv(const char* key, std::uint64_t value) {
+    text_ += key;
+    text_ += '=';
+    text_ += std::to_string(value);
+    text_ += '\n';
+  }
+  void kv(const char* key, const std::string& value) {
+    text_ += key;
+    text_ += '=';
+    text_ += value;
+    text_ += '\n';
+  }
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+void digestFaultPlan(DigestText& d, const fault::FaultPlan* plan) {
+  if (plan == nullptr) {
+    d.kv("fault_plan", std::uint64_t{0});
+    return;
+  }
+  d.kv("fault_plan", std::uint64_t{1});
+  for (const auto& e : plan->degradations()) {
+    d.kv("degrade.channel", static_cast<std::uint64_t>(e.channel));
+    d.kv("degrade.factor", e.factor);
+    d.kv("degrade.begin", e.window.begin);
+    d.kv("degrade.end", e.window.end);
+  }
+  for (const auto& e : plan->stragglers()) {
+    d.kv("straggle.stream", static_cast<std::uint64_t>(e.stream));
+    d.kv("straggle.multiplier", e.multiplier);
+    d.kv("straggle.begin", e.window.begin);
+    d.kv("straggle.end", e.window.end);
+  }
+  for (const auto& e : plan->transferFaults()) {
+    d.kv("fault.channel",
+         e.channel ? static_cast<std::uint64_t>(*e.channel) + 1 : 0);
+    d.kv("fault.stream",
+         e.stream ? static_cast<std::uint64_t>(*e.stream) + 1 : 0);
+    d.kv("fault.probability", e.probability);
+    d.kv("fault.begin", e.window.begin);
+    d.kv("fault.end", e.window.end);
+  }
+  for (const auto& e : plan->blackouts()) {
+    d.kv("blackout.begin", e.window.begin);
+    d.kv("blackout.end", e.window.end);
+  }
+  for (const auto& e : plan->outages()) {
+    d.kv("outage.fraction", e.fraction);
+    d.kv("outage.begin", e.window.begin);
+    d.kv("outage.end", e.window.end);
+  }
+}
+
+std::string formatRecord(const cluster::Fleet::CompletionRecord& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%u %zu %a %a %d %" PRIu64 "\n",
+                static_cast<unsigned>(r.cluster), r.job, r.reported_at, r.end,
+                r.failed ? 1 : 0, r.seq);
+  return buf;
+}
+
+cluster::Fleet::CompletionRecord parseRecord(const std::string& line,
+                                             const std::string& origin) {
+  cluster::Fleet::CompletionRecord r;
+  unsigned cluster_id = 0;
+  std::size_t job = 0;
+  double reported_at = 0.0;
+  double end = 0.0;
+  int failed = 0;
+  unsigned long long seq = 0;
+  if (std::sscanf(line.c_str(), "%u %zu %la %la %d %llu", &cluster_id, &job,
+                  &reported_at, &end, &failed, &seq) != 6 ||
+      (failed != 0 && failed != 1)) {
+    throw CheckpointError(ErrorKind::Malformed,
+                          origin + ": unparseable completion record '" +
+                              line + "'");
+  }
+  r.cluster = cluster_id;
+  r.job = job;
+  r.reported_at = reported_at;
+  r.end = end;
+  r.failed = failed == 1;
+  r.seq = seq;
+  return r;
+}
+
+std::uint64_t parseHex64(const std::string& value, const char* key,
+                         const std::string& origin) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+  if (errno != 0 || value.empty() || end != value.c_str() + value.size()) {
+    throw CheckpointError(ErrorKind::Malformed,
+                          origin + ": bad value '" + value + "' for '" + key +
+                              "' in manifest");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t campaignDigest(const cluster::Fleet& fleet) {
+  DigestText d;
+  d.kv("clusters", static_cast<std::uint64_t>(fleet.clusterCount()));
+  d.kv("report_latency", fleet.config().report_latency);
+  for (sim::ShardId s = 0; s < fleet.clusterCount(); ++s) {
+    const cluster::Cluster& member = fleet.cluster(s);
+    const cluster::ClusterConfig& cfg = member.config();
+    d.kv("nodes", static_cast<std::uint64_t>(cfg.nodes));
+    d.kv("cores", static_cast<std::uint64_t>(cfg.cores_per_node));
+    d.kv("seed", cfg.seed);
+    d.kv("pfs.read", cfg.pfs.read_capacity);
+    d.kv("pfs.write", cfg.pfs.write_capacity);
+    d.kv("pfs.noise", cfg.pfs.noise_sigma);
+    d.kv("pfs.gamma", cfg.pfs.congestion_gamma);
+    d.kv("pfs.seed", cfg.pfs.seed);
+    d.kv("retry.max", static_cast<std::uint64_t>(cfg.retry.max_retries));
+    d.kv("retry.base", cfg.retry.base_backoff);
+    d.kv("retry.mult", cfg.retry.multiplier);
+    d.kv("retry.cap", cfg.retry.max_backoff);
+    d.kv("retry.jitter", cfg.retry.jitter);
+    d.kv("retry.deadline", cfg.retry.deadline);
+    digestFaultPlan(d, cfg.fault_plan);
+    d.kv("jobs", static_cast<std::uint64_t>(member.jobCount()));
+    for (cluster::JobId j = 0; j < member.jobCount(); ++j) {
+      const cluster::JobSpec& spec = member.spec(j);
+      d.kv("job.name", spec.name);
+      d.kv("job.nodes", static_cast<std::uint64_t>(spec.nodes));
+      d.kv("job.submit", spec.submit_time);
+      d.kv("job.io", static_cast<std::uint64_t>(spec.io));
+      d.kv("job.loops", static_cast<std::uint64_t>(spec.loops));
+      d.kv("job.bytes", static_cast<std::uint64_t>(spec.write_bytes_per_node));
+      d.kv("job.compute", spec.compute_seconds);
+      d.kv("job.resubmits", static_cast<std::uint64_t>(spec.max_resubmits));
+      d.kv("job.ckpt", static_cast<std::uint64_t>(spec.checkpoint_interval));
+    }
+  }
+  return fnv1a(d.text());
+}
+
+void writeFleetManifest(const std::string& path,
+                        const FleetManifest& manifest) {
+  CheckpointFile file;
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "campaign=0x%016" PRIx64 "\nclusters=%u\ncompleted=%zu\n",
+                  manifest.campaign_digest, manifest.clusters,
+                  manifest.completed.size());
+    file.sections.push_back({"fleet", buf});
+  }
+  for (const auto& [cluster_id, records] : manifest.completed) {
+    std::string payload;
+    for (const auto& r : records) payload += formatRecord(r);
+    file.sections.push_back(
+        {"completed." + std::to_string(cluster_id), std::move(payload)});
+  }
+  writeCheckpointFile(path, file);
+}
+
+FleetManifest readFleetManifest(const std::string& path) {
+  const CheckpointFile file = readCheckpointFile(path);
+  const Section& fleet_section = file.require("fleet");
+  FleetManifest manifest;
+  std::size_t declared_completed = 0;
+  {
+    std::size_t pos = 0;
+    bool have_campaign = false, have_clusters = false, have_completed = false;
+    while (pos < fleet_section.payload.size()) {
+      const std::size_t eol = fleet_section.payload.find('\n', pos);
+      if (eol == std::string::npos) {
+        throw CheckpointError(ErrorKind::Malformed,
+                              path + ": manifest fleet section lacks a "
+                                     "trailing newline");
+      }
+      const std::string line = fleet_section.payload.substr(pos, eol - pos);
+      pos = eol + 1;
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        throw CheckpointError(ErrorKind::Malformed,
+                              path + ": manifest line '" + line +
+                                  "' is not key=value");
+      }
+      const std::string key = line.substr(0, eq);
+      const std::string value = line.substr(eq + 1);
+      if (key == "campaign") {
+        manifest.campaign_digest = parseHex64(value, "campaign", path);
+        have_campaign = true;
+      } else if (key == "clusters") {
+        manifest.clusters =
+            static_cast<std::uint32_t>(parseHex64(value, "clusters", path));
+        have_clusters = true;
+      } else if (key == "completed") {
+        declared_completed =
+            static_cast<std::size_t>(parseHex64(value, "completed", path));
+        have_completed = true;
+      } else {
+        throw CheckpointError(ErrorKind::Malformed,
+                              path + ": unknown manifest key '" + key + "'");
+      }
+    }
+    if (!have_campaign || !have_clusters || !have_completed) {
+      throw CheckpointError(ErrorKind::Malformed,
+                            path + ": manifest fleet section is incomplete");
+    }
+  }
+  for (const Section& s : file.sections) {
+    if (s.name == "fleet") continue;
+    constexpr const char* kPrefix = "completed.";
+    if (s.name.rfind(kPrefix, 0) != 0) {
+      throw CheckpointError(ErrorKind::Malformed,
+                            path + ": unexpected manifest section '" +
+                                s.name + "'");
+    }
+    const std::uint32_t cluster_id = static_cast<std::uint32_t>(
+        parseHex64(s.name.substr(std::strlen(kPrefix)), "cluster id", path));
+    if (cluster_id >= manifest.clusters) {
+      throw CheckpointError(ErrorKind::Malformed,
+                            path + ": manifest section '" + s.name +
+                                "' names a cluster outside the campaign");
+    }
+    std::vector<cluster::Fleet::CompletionRecord> records;
+    std::size_t pos = 0;
+    while (pos < s.payload.size()) {
+      const std::size_t eol = s.payload.find('\n', pos);
+      if (eol == std::string::npos) {
+        throw CheckpointError(ErrorKind::Malformed,
+                              path + ": manifest section '" + s.name +
+                                  "' lacks a trailing newline");
+      }
+      records.push_back(parseRecord(s.payload.substr(pos, eol - pos), path));
+      pos = eol + 1;
+    }
+    manifest.completed.emplace(cluster_id, std::move(records));
+  }
+  if (manifest.completed.size() != declared_completed) {
+    throw CheckpointError(
+        ErrorKind::Malformed,
+        path + ": manifest declares " + std::to_string(declared_completed) +
+            " completed cluster(s) but carries " +
+            std::to_string(manifest.completed.size()));
+  }
+  return manifest;
+}
+
+FleetManifestSession::FleetManifestSession(cluster::Fleet& fleet,
+                                           std::string path)
+    : fleet_(fleet), path_(std::move(path)) {
+  const std::uint64_t digest = campaignDigest(fleet_);
+  bool exists = false;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f != nullptr) {
+      std::fclose(f);
+      exists = true;
+    }
+  }
+  if (exists) {
+    manifest_ = readFleetManifest(path_);
+    if (manifest_.campaign_digest != digest) {
+      char buf[112];
+      std::snprintf(buf, sizeof(buf),
+                    ": manifest belongs to campaign 0x%016" PRIx64
+                    ", this fleet is campaign 0x%016" PRIx64,
+                    manifest_.campaign_digest, digest);
+      throw CheckpointError(ErrorKind::ScenarioMismatch, path_ + buf);
+    }
+    if (manifest_.clusters != fleet_.clusterCount()) {
+      throw CheckpointError(ErrorKind::Malformed,
+                            path_ + ": manifest cluster count does not match "
+                                    "the fleet (digest collision?)");
+    }
+    for (const auto& [cluster_id, records] : manifest_.completed) {
+      fleet_.markClusterPrecompleted(cluster_id);
+      for (const auto& r : records) fleet_.preloadCompletion(r);
+      ++resumed_;
+    }
+  } else {
+    manifest_.campaign_digest = digest;
+    manifest_.clusters = fleet_.clusterCount();
+    persist();  // an empty manifest claims the path early (Io errors now,
+                // not after hours of simulation)
+  }
+  fleet_.setClusterCompletionHook([this](sim::ShardId done) {
+    // Head-side, between events: collect the cluster's records from the
+    // head log and rewrite the manifest atomically.
+    std::vector<cluster::Fleet::CompletionRecord> records;
+    for (const auto& r : fleet_.completionLog()) {
+      if (r.cluster == done) records.push_back(r);
+    }
+    manifest_.completed[done] = std::move(records);
+    persist();
+  });
+}
+
+void FleetManifestSession::persist() { writeFleetManifest(path_, manifest_); }
+
+}  // namespace iobts::ckpt

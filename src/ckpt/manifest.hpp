@@ -1,0 +1,73 @@
+// Fleet campaign manifest: crash-resumable multi-cluster campaigns.
+//
+// A campaign (one cluster::Fleet, its configs and all submitted jobs) is
+// identified by a digest over everything that determines its results. The
+// manifest file -- the same checksummed container as a checkpoint -- maps
+// that digest to the set of clusters that have fully completed, with their
+// completion records verbatim. Because the fleet's clusters are independent
+// (the only cross-shard traffic is the completion feed), a resumed process
+// skips completed clusters entirely, preloads their records, and re-runs
+// only the rest; Fleet::canonicalLog() then merges preloaded and live
+// records into the byte-identical sequence a straight run produces.
+//
+// FleetManifestSession is the driver-facing wrapper: construct it after
+// submitting every job (the campaign must be fully defined) and before
+// start(). It loads + verifies an existing manifest, applies it to the
+// fleet, and installs the hook that rewrites the manifest atomically each
+// time another cluster finishes -- so a SIGKILL at any point loses at most
+// the in-flight clusters' progress.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "cluster/fleet.hpp"
+
+namespace iobts::ckpt {
+
+struct FleetManifest {
+  /// campaignDigest() of the fleet this manifest belongs to.
+  std::uint64_t campaign_digest = 0;
+  std::uint32_t clusters = 0;
+  /// Fully-completed clusters -> their completion records in per-cluster
+  /// report order.
+  std::map<std::uint32_t, std::vector<cluster::Fleet::CompletionRecord>>
+      completed;
+};
+
+/// Digest over everything that fixes the campaign's results: fleet shape,
+/// each cluster's config, and every submitted job spec. Two processes
+/// agreeing on this digest will compute identical completion logs.
+std::uint64_t campaignDigest(const cluster::Fleet& fleet);
+
+/// Atomic write (same rename discipline as checkpoints).
+void writeFleetManifest(const std::string& path, const FleetManifest& manifest);
+
+/// Strict read; throws CheckpointError on any container or content defect.
+FleetManifest readFleetManifest(const std::string& path);
+
+/// See file comment. Lifetime: must outlive fleet.run().
+class FleetManifestSession {
+ public:
+  /// Loads `path` if it exists (rejecting manifests of other campaigns
+  /// with ScenarioMismatch), marks its completed clusters precompleted,
+  /// preloads their records, and installs the persistence hook.
+  FleetManifestSession(cluster::Fleet& fleet, std::string path);
+
+  /// Clusters skipped because the manifest already had their results.
+  std::uint32_t resumedClusters() const noexcept { return resumed_; }
+  std::uint64_t campaign() const noexcept { return manifest_.campaign_digest; }
+
+ private:
+  void persist();
+
+  cluster::Fleet& fleet_;
+  std::string path_;
+  FleetManifest manifest_;
+  std::uint32_t resumed_ = 0;
+};
+
+}  // namespace iobts::ckpt

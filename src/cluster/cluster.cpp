@@ -138,7 +138,7 @@ void Cluster::tryStartJobs() {
     job.world = std::make_unique<mpisim::World>(
         sim_, *link_, store_, wcfg, job.tracer.get());
     if (job.tracer) job.tracer->attach(*job.world);
-    job.world->launch(makeProgram(job.spec));
+    job.world->launch(makeProgram(id));
     IOBTS_LOG_DEBUG() << "job " << job.spec.name << " started on "
                       << job.spec.nodes << " nodes at t=" << sim_.now();
 
@@ -255,12 +255,20 @@ sim::Task<void> Cluster::contentionMonitor(JobId id, double tolerance,
   }
 }
 
-mpisim::World::RankProgram Cluster::makeProgram(const JobSpec& spec) {
+mpisim::World::RankProgram Cluster::makeProgram(JobId id) {
+  Job* const job = jobs_[id].get();
+  const JobSpec& spec = job->spec;
   const std::string prefix = "/pfs/" + spec.name + ".out";
-  return [spec, prefix](mpisim::RankCtx& ctx) -> sim::Task<void> {
+  // Resume from the last recorded application checkpoint: a requeued
+  // attempt re-runs only the loops after it. Loop indices stay absolute so
+  // a resumed attempt writes the same content tags as a straight run.
+  const int start_loop =
+      spec.checkpoint_interval > 0 ? job->result.checkpointed_loops : 0;
+  return [spec, prefix, start_loop, job, id](mpisim::RankCtx& ctx)
+             -> sim::Task<void> {
     auto file = ctx.open(prefix + "." + std::to_string(ctx.rank()));
     mpisim::Request pending;
-    for (int loop = 0; loop < spec.loops; ++loop) {
+    for (int loop = start_loop; loop < spec.loops; ++loop) {
       co_await ctx.compute(spec.compute_seconds);
       if (pending.valid()) {
         co_await ctx.wait(pending);
@@ -276,6 +284,27 @@ mpisim::World::RankProgram Cluster::makeProgram(const JobSpec& spec) {
         pending = co_await file.iwriteAt(0, spec.write_bytes_per_node, tag);
       } else {
         co_await file.writeAt(0, spec.write_bytes_per_node, tag);
+      }
+      if (spec.checkpoint_interval > 0 && loop + 1 < spec.loops &&
+          (loop + 1) % spec.checkpoint_interval == 0) {
+        // Consistent application checkpoint: the burst must be on disk
+        // before progress is recorded, and every rank must have reached the
+        // boundary (a checkpoint covering only some ranks' loops would be
+        // unrestartable).
+        if (pending.valid()) {
+          co_await ctx.wait(pending);
+          if (pending.failed()) throw mpisim::IoFailure(pending.info());
+          pending = {};
+        }
+        co_await ctx.barrier();
+        if (ctx.rank() == 0) {
+          job->result.checkpointed_loops = loop + 1;
+          if (obs::TraceSink* const sink = obs::traceSink()) {
+            sink->instant("cluster", "job.checkpoint", obs::track::kCluster,
+                          static_cast<std::uint32_t>(id), ctx.now(),
+                          static_cast<double>(loop + 1));
+          }
+        }
       }
     }
     if (pending.valid()) {

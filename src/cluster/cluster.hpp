@@ -67,6 +67,14 @@ struct JobSpec {
   /// Times a job that fails (ranks exhausting their I/O retry budget) is
   /// put back on the FCFS queue before the failure becomes final.
   int max_resubmits = 0;
+
+  /// Application-level checkpoint cadence, in loops (0 = never). Every
+  /// `checkpoint_interval` completed loops the job drains its in-flight
+  /// burst, barriers, and records its progress; a requeued attempt then
+  /// resumes from the last recorded checkpoint instead of loop 0. With the
+  /// default 0 the rank program is byte-identical to the uncheckpointed
+  /// one (the golden cluster digests do not move).
+  int checkpoint_interval = 0;
 };
 
 using JobId = std::size_t;
@@ -82,6 +90,9 @@ struct JobResult {
   int failed_ranks = 0;
   /// Resubmits consumed (<= JobSpec::max_resubmits).
   int resubmits = 0;
+  /// Loops covered by the job's last recorded application checkpoint; a
+  /// requeued attempt starts here (0 with checkpointing disabled).
+  int checkpointed_loops = 0;
   /// Transfer retries summed over all ranks and attempts.
   std::uint64_t io_retries = 0;
 
@@ -137,6 +148,7 @@ class Cluster {
 
   pfs::SharedLink& link() noexcept { return *link_; }
   sim::Simulation& sim() noexcept { return sim_; }
+  const ClusterConfig& config() const noexcept { return config_; }
   int freeNodes() const noexcept { return free_nodes_; }
 
   /// Publish scheduler totals (jobs finished/failed, requeues, retries)
@@ -152,7 +164,7 @@ class Cluster {
   sim::Task<void> contentionMonitor(JobId id, double tolerance,
                                     sim::Time poll_interval);
   void tryStartJobs();
-  mpisim::World::RankProgram makeProgram(const JobSpec& spec);
+  mpisim::World::RankProgram makeProgram(JobId id);
 
   sim::Simulation& sim_;
   ClusterConfig config_;

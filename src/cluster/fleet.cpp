@@ -1,5 +1,6 @@
 #include "cluster/fleet.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -22,6 +23,9 @@ Fleet::Fleet(FleetConfig config, std::vector<ClusterConfig> cluster_configs)
         sharded_.shard(static_cast<sim::ShardId>(s)),
         std::move(cluster_configs[s])));
   }
+  next_report_seq_.assign(clusters_.size(), 0);
+  head_live_reports_.assign(clusters_.size(), 0);
+  precompleted_.assign(clusters_.size(), false);
 }
 
 Fleet::~Fleet() = default;
@@ -41,7 +45,13 @@ JobId Fleet::submit(sim::ShardId cluster_id, JobSpec spec) {
 }
 
 void Fleet::start() {
+  IOBTS_CHECK(!started_, "start() may only be called once");
+  started_ = true;
   for (sim::ShardId s = 0; s < clusters_.size(); ++s) {
+    // A precompleted cluster was fully finished by an earlier process (its
+    // results arrived via preloadCompletion); its scheduler never starts,
+    // so the shard contributes no events and its jobs do not re-run.
+    if (precompleted_[s]) continue;
     Cluster& member = *clusters_[s];
     member.setJobCompletionHook(
         [this, s](JobId job, const JobResult& result) {
@@ -53,14 +63,52 @@ void Fleet::start() {
           record.job = job;
           record.end = result.end;
           record.failed = result.failed;
+          record.seq = next_report_seq_[s]++;
           sim::crossPost(sharded_.shard(s), 0, config_.report_latency,
                          [this, record]() mutable {
                            record.reported_at = sharded_.shard(0).now();
+                           const sim::ShardId src = record.cluster;
                            completion_log_.push_back(record);
+                           if (++head_live_reports_[src] ==
+                                   clusters_[src]->jobCount() &&
+                               cluster_completion_hook_) {
+                             cluster_completion_hook_(src);
+                           }
                          });
         });
     member.start();
   }
+}
+
+std::vector<Fleet::CompletionRecord> Fleet::canonicalLog() const {
+  std::vector<CompletionRecord> log = completion_log_;
+  std::sort(log.begin(), log.end(),
+            [](const CompletionRecord& a, const CompletionRecord& b) {
+              if (a.reported_at != b.reported_at) {
+                return a.reported_at < b.reported_at;
+              }
+              if (a.cluster != b.cluster) return a.cluster < b.cluster;
+              return a.seq < b.seq;
+            });
+  return log;
+}
+
+void Fleet::preloadCompletion(CompletionRecord record) {
+  IOBTS_CHECK(!started_, "preloadCompletion() before start()");
+  IOBTS_CHECK(record.cluster < clusters_.size(),
+              "preloaded record names an unknown cluster");
+  completion_log_.push_back(record);
+}
+
+void Fleet::markClusterPrecompleted(sim::ShardId cluster_id) {
+  IOBTS_CHECK(!started_, "markClusterPrecompleted() before start()");
+  IOBTS_CHECK(cluster_id < clusters_.size(), "unknown cluster");
+  precompleted_[cluster_id] = true;
+}
+
+bool Fleet::clusterPrecompleted(sim::ShardId cluster_id) const {
+  IOBTS_CHECK(cluster_id < clusters_.size(), "unknown cluster");
+  return precompleted_[cluster_id];
 }
 
 sim::Time Fleet::run(unsigned threads) { return sharded_.run(threads); }
@@ -73,6 +121,9 @@ void Fleet::exportMetrics(obs::MetricsRegistry& registry) const {
   }
   registry.setGauge("fleet.clusters", static_cast<double>(clusters_.size()));
   registry.setGauge("fleet.report_latency", config_.report_latency);
+  std::uint64_t precompleted = 0;
+  for (const bool skipped : precompleted_) precompleted += skipped ? 1 : 0;
+  registry.addCounter("fleet.clusters_precompleted", precompleted);
   registry.addCounter("fleet.completions_reported", finished);
   registry.addCounter("fleet.completions_failed", failed);
   sharded_.exportMetrics(registry);

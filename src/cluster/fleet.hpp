@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,12 @@ class Fleet {
     sim::Time reported_at = 0.0;
     sim::Time end = 0.0;
     bool failed = false;
+    /// Per-cluster report index (the order the cluster finalized its jobs).
+    /// (reported_at, cluster, seq) is a total order over all records of a
+    /// campaign, which is what lets a resumed run merge manifest-preloaded
+    /// records with live ones into the same canonical log a straight run
+    /// produces.
+    std::uint64_t seq = 0;
   };
 
   /// `cluster_configs` defines one cluster (= one shard) per entry, in
@@ -77,7 +84,33 @@ class Fleet {
     return completion_log_;
   }
 
+  /// The log in canonical (reported_at, cluster, seq) order. For a straight
+  /// run this equals completionLog(); for a manifest-resumed run it merges
+  /// preloaded and live records into the identical sequence.
+  std::vector<CompletionRecord> canonicalLog() const;
+
+  // --- Campaign resume (see ckpt::FleetManifestSession) -------------------
+
+  /// Before start(): seed the head log with a record persisted by an
+  /// earlier process (reported_at/seq keep their original values).
+  void preloadCompletion(CompletionRecord record);
+
+  /// Before start(): declare the cluster already fully completed by an
+  /// earlier process. Its scheduler is never started and its jobs never
+  /// re-run; its results are expected to arrive via preloadCompletion().
+  void markClusterPrecompleted(sim::ShardId cluster);
+  bool clusterPrecompleted(sim::ShardId cluster) const;
+
+  /// Invoked on the fleet head, between events, each time a cluster's last
+  /// live completion report arrives (not for precompleted clusters).
+  /// Incremental manifest persistence hangs off this.
+  using ClusterCompletionHook = std::function<void(sim::ShardId)>;
+  void setClusterCompletionHook(ClusterCompletionHook hook) {
+    cluster_completion_hook_ = std::move(hook);
+  }
+
   sim::ShardedSimulation& sharded() noexcept { return sharded_; }
+  const FleetConfig& config() const noexcept { return config_; }
 
   /// Publish fleet totals under "fleet.*" plus the kernel's
   /// "sim.parallel.*" / "sim.shard.*" counters.
@@ -88,6 +121,14 @@ class Fleet {
   sim::ShardedSimulation sharded_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   std::vector<CompletionRecord> completion_log_;
+  /// Next report seq per cluster; written only by that cluster's shard.
+  std::vector<std::uint64_t> next_report_seq_;
+  /// Live (non-preloaded) reports per cluster, head-owned; drives the
+  /// cluster-completion hook.
+  std::vector<std::size_t> head_live_reports_;
+  std::vector<bool> precompleted_;
+  ClusterCompletionHook cluster_completion_hook_;
+  bool started_ = false;
 };
 
 }  // namespace iobts::cluster

@@ -53,6 +53,14 @@ FaultPlan& FaultPlan::addBlackout(TimeWindow window) {
   return *this;
 }
 
+FaultPlan& FaultPlan::addOutage(double fraction, TimeWindow window) {
+  validateWindow(window);
+  IOBTS_CHECK(fraction > 0.0 && fraction <= 1.0 && !std::isnan(fraction),
+              "outage fraction must lie in (0, 1]");
+  outages_.push_back(OutageEvent{fraction, window});
+  return *this;
+}
+
 bool FaultPlan::faultVerdict(pfs::Channel channel, pfs::StreamId stream,
                              std::uint64_t serial,
                              sim::Time completion) const noexcept {
@@ -92,6 +100,12 @@ void FaultPlan::annotate(obs::TraceSink& sink) const {
     for (std::uint32_t tid = 0; tid < pfs::kChannels; ++tid) {
       edge("fault.plan.blackout.begin", tid, ev.window.begin, 0.0);
       edge("fault.plan.blackout.end", tid, ev.window.end, 0.0);
+    }
+  }
+  for (const OutageEvent& ev : outages_) {
+    for (std::uint32_t tid = 0; tid < pfs::kChannels; ++tid) {
+      edge("fault.plan.outage.begin", tid, ev.window.begin, ev.fraction);
+      edge("fault.plan.outage.end", tid, ev.window.end, ev.fraction);
     }
   }
   for (const StragglerEvent& ev : stragglers_) {

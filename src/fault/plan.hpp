@@ -80,6 +80,16 @@ struct BlackoutEvent {
   TimeWindow window{};
 };
 
+/// Correlated whole-outage: a `fraction` of the link's capacity (both
+/// channels simultaneously -- the paper's "whole-OST outage" shape, where
+/// one failed server takes the same slice of read and write bandwidth with
+/// it) disappears for the window. fraction == 1 is a full correlated
+/// blackout: transfers stall and resume, exactly like BlackoutEvent.
+struct OutageEvent {
+  double fraction = 1.0;  // in (0, 1]
+  TimeWindow window{};
+};
+
 class FaultPlan {
  public:
   /// A default-constructed plan is the null plan: no events, no verdicts.
@@ -93,10 +103,11 @@ class FaultPlan {
                             TimeWindow window);
   FaultPlan& addTransferFault(TransferFaultRule rule);
   FaultPlan& addBlackout(TimeWindow window);
+  FaultPlan& addOutage(double fraction, TimeWindow window);
 
   bool empty() const noexcept {
     return degradations_.empty() && stragglers_.empty() && faults_.empty() &&
-           blackouts_.empty();
+           blackouts_.empty() && outages_.empty();
   }
   bool hasTransferFaults() const noexcept { return !faults_.empty(); }
 
@@ -111,6 +122,9 @@ class FaultPlan {
   }
   const std::vector<BlackoutEvent>& blackouts() const noexcept {
     return blackouts_;
+  }
+  const std::vector<OutageEvent>& outages() const noexcept {
+    return outages_;
   }
 
   /// Deterministic fault verdict for the transfer with serial number
@@ -136,6 +150,7 @@ class FaultPlan {
   std::vector<StragglerEvent> stragglers_;
   std::vector<TransferFaultRule> faults_;
   std::vector<BlackoutEvent> blackouts_;
+  std::vector<OutageEvent> outages_;
 };
 
 }  // namespace iobts::fault

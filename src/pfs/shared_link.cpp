@@ -683,6 +683,24 @@ void SharedLink::applyBlackout(fault::TimeWindow window) {
   }
 }
 
+void SharedLink::applyOutage(double fraction, fault::TimeWindow window) {
+  IOBTS_CHECK(fraction > 0.0 && fraction <= 1.0 && !std::isnan(fraction),
+              "outage fraction must lie in (0, 1]");
+  IOBTS_CHECK(window.end > window.begin, "outage window must be non-empty");
+  IOBTS_CHECK(window.begin >= sim_.now(),
+              "outage window must not start in the past");
+  // The surviving fraction is a plain degradation factor applied to both
+  // channels with identical edges, so the loss is correlated by
+  // construction (fraction 1 collapses to the blackout factor 0).
+  const double factor = 1.0 - fraction;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const Channel channel = static_cast<Channel>(c);
+    degradations_[c].push_back(
+        fault::DegradationEvent{channel, factor, window});
+    scheduleDegradationEdges(channel, window);
+  }
+}
+
 void SharedLink::installFaultPlan(const fault::FaultPlan& plan) {
   IOBTS_CHECK(fault_plan_ == nullptr, "a fault plan is already installed");
   fault_plan_ = &plan;
@@ -695,6 +713,9 @@ void SharedLink::installFaultPlan(const fault::FaultPlan& plan) {
   }
   for (const fault::BlackoutEvent& ev : plan.blackouts()) {
     applyBlackout(ev.window);
+  }
+  for (const fault::OutageEvent& ev : plan.outages()) {
+    applyOutage(ev.fraction, ev.window);
   }
 }
 

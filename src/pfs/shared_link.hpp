@@ -167,6 +167,12 @@ class SharedLink {
   /// and resume at the window's end; they are not failed.
   void applyBlackout(fault::TimeWindow window);
 
+  /// Correlated whole-outage: remove `fraction` (in (0, 1]) of BOTH
+  /// channels' capacity simultaneously during `window` -- a failed server
+  /// takes the same slice of read and write bandwidth with it. fraction == 1
+  /// degenerates to applyBlackout (transfers stall, they are not failed).
+  void applyOutage(double fraction, fault::TimeWindow window);
+
   /// Install a fault plan: schedules its degradation/straggler/blackout
   /// windows and enables its per-transfer fault verdicts at settle time.
   /// Call at most once, before the simulation runs past any window's start;

@@ -33,6 +33,9 @@ fault::FaultPlan toFaultPlan(const FaultSpec& spec) {
       case FaultDecl::Kind::Blackout:
         plan.addBlackout(window);
         break;
+      case FaultDecl::Kind::Outage:
+        plan.addOutage(decl.value, window);
+        break;
       case FaultDecl::Kind::TransferFault: {
         fault::TransferFaultRule rule;
         rule.channel = decl.channel;

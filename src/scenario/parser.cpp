@@ -515,10 +515,15 @@ class Parser {
         decl.channel = parseFaultChannel("transfer_fault", /*allow_any=*/true);
         decl.value = expectNumber("transfer_fault.probability");
         parseWindow(decl, "transfer_fault");
+      } else if (word == "outage") {
+        decl.kind = FaultDecl::Kind::Outage;
+        decl.value = expectNumber("outage.fraction");
+        parseWindow(decl, "outage");
       } else {
         fail(line, "faults",
              "unknown fault declaration '" + word +
-                 "' (expected seed, degrade, blackout or transfer_fault)");
+                 "' (expected seed, degrade, blackout, outage or "
+                 "transfer_fault)");
       }
       faults.decls.push_back(std::move(decl));
     }
@@ -1221,6 +1226,13 @@ void checkFaultSpec(const FaultSpec& faults) {
         if (decl.value < 0.0 || decl.value > 1.0) {
           fail(decl.line, "faults",
                "transfer fault probability must lie in [0, 1], got " +
+                   std::to_string(decl.value));
+        }
+        break;
+      case FaultDecl::Kind::Outage:
+        if (!(decl.value > 0.0) || decl.value > 1.0) {
+          fail(decl.line, "faults",
+               "outage fraction must lie in (0, 1], got " +
                    std::to_string(decl.value));
         }
         break;

@@ -174,12 +174,13 @@ struct LinkSpec {
 };
 
 struct FaultDecl {
-  enum class Kind { Degrade, Blackout, TransferFault };
+  enum class Kind { Degrade, Blackout, TransferFault, Outage };
   Kind kind = Kind::Degrade;
   int line = 0;
   /// Degrade: the degraded channel. TransferFault: nullopt = both channels.
   std::optional<pfs::Channel> channel;
   /// Degrade: capacity factor in (0,1]. TransferFault: probability in [0,1].
+  /// Outage: fraction of both channels' capacity lost, in (0,1].
   double value = 1.0;
   double begin = 0.0;
   double end = 0.0;

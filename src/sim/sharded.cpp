@@ -126,6 +126,28 @@ Time ShardedSimulation::run(unsigned threads) {
   return end;
 }
 
+Time ShardedSimulation::runUntil(Time t_limit) {
+  setupTraceStaging();
+  const bool inclusive = lookahead_ == 0.0;
+  mergeOutboxes();  // setup-time cross-shard posts
+  while (true) {
+    const Time min_t = minNextEventTime();
+    if (min_t == kInfiniteTime || min_t > t_limit) break;
+    const Time horizon = min_t + lookahead_;
+    ++stats_.windows;
+    for (auto& shard : shards_) {
+      drainShardWindow(*shard, horizon, inclusive);
+      if (shard->window_executed == 0) ++stats_.window_stalls;
+    }
+    mergeTraces();
+    if (collectFatal()) break;
+    mergeOutboxes();
+  }
+  teardownTraceStaging();
+  if (fatal_) std::rethrow_exception(std::exchange(fatal_, nullptr));
+  return now();
+}
+
 Time ShardedSimulation::runSerial() {
   setupTraceStaging();
   const bool inclusive = lookahead_ == 0.0;

@@ -145,6 +145,25 @@ class ShardedSimulation {
   Time run() { return run(config_threads_); }
   Time run(unsigned threads);
 
+  /// Run *complete* lookahead windows until the next window's trigger time
+  /// (the minimum next-event time across shards) would exceed `t_limit`,
+  /// then stop at the window barrier. Because window horizons are a pure
+  /// function of simulation state -- never of t_limit -- the windows
+  /// executed are exactly the prefix a plain run() would execute, and the
+  /// stop point is a quiescent point: all outboxes merged, no worker
+  /// mid-window, every shard parked at the same barrier any run of the same
+  /// scenario parks at. This is the sharded checkpoint capture point (see
+  /// src/ckpt); resuming with run() continues the identical window sequence.
+  /// Runs serially (capture is not a hot path); the subsequent run() may use
+  /// any thread count. Returns the latest shard clock.
+  Time runUntil(Time t_limit);
+
+  /// True when every shard's queue is empty (run()/runUntil() finished the
+  /// whole simulation).
+  bool quiescentlyDone() const noexcept {
+    return minNextEventTime() == kInfiniteTime;
+  }
+
   /// Latest shard clock (shards advance independently between barriers).
   Time now() const noexcept;
 

@@ -123,6 +123,33 @@ bool Simulation::step() {
   return true;
 }
 
+std::uint64_t Simulation::pendingEventsDigest() const {
+  // Copy out (t, seq) pairs and order them canonically: the heap's array
+  // layout depends on insertion history, but the *schedule* it represents is
+  // the sorted sequence.
+  std::vector<std::pair<Time, std::uint64_t>> schedule;
+  schedule.reserve(heap_.size());
+  for (const HeapEntry& entry : heap_.entries()) {
+    schedule.emplace_back(entry.t, entry.seq);
+  }
+  std::sort(schedule.begin(), schedule.end());
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [t, seq] : schedule) {
+    std::uint64_t t_bits;
+    static_assert(sizeof(t_bits) == sizeof(t));
+    std::memcpy(&t_bits, &t, sizeof(t_bits));
+    mix(t_bits);
+    mix(seq);
+  }
+  return h;
+}
+
 void Simulation::exportMetrics(obs::MetricsRegistry& registry) const {
   registry.addCounter("sim.events_processed", events_processed_);
   registry.setGauge("sim.pending_events",

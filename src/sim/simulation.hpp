@@ -331,6 +331,18 @@ class Simulation {
   std::size_t pendingEvents() const noexcept { return heap_.size(); }
   std::size_t liveProcesses() const noexcept { return processes_.size(); }
   std::uint64_t eventsProcessed() const noexcept { return events_processed_; }
+  /// Sequence number the next scheduled event will receive. Part of the
+  /// checkpoint watermark: two runs in the same state have scheduled exactly
+  /// the same events, so their next_seq values must agree.
+  std::uint64_t nextSequence() const noexcept { return next_seq_; }
+
+  /// FNV-1a digest over the (time, seq) pairs of every pending event, in
+  /// (time, seq) order. The callbacks themselves are native code and cannot
+  /// be serialized -- but their *schedule* can, and because dispatch order is
+  /// a pure function of (time, seq), two runs whose schedules digest equal
+  /// will dispatch identically. This is the event-heap leg of the
+  /// checkpoint/restore exactness proof (see src/ckpt).
+  std::uint64_t pendingEventsDigest() const;
 
   /// Publish kernel totals (events processed, queue depth, pooled slots)
   /// into `registry` under "sim.*".
@@ -365,6 +377,7 @@ class Simulation {
     bool empty() const noexcept { return entries_.empty(); }
     std::size_t size() const noexcept { return entries_.size(); }
     const HeapEntry& top() const noexcept { return entries_.front(); }
+    const std::vector<HeapEntry>& entries() const noexcept { return entries_; }
 
     void push(const HeapEntry& entry) {
       entries_.push_back(entry);

@@ -17,11 +17,16 @@ void RetryPolicy::validate() const {
               "max backoff must be >= base backoff");
   IOBTS_CHECK(jitter >= 0.0 && jitter < 1.0,
               "jitter fraction must lie in [0, 1)");
-  IOBTS_CHECK(deadline > 0.0 && !std::isnan(deadline),
-              "retry deadline must be positive");
+  // A zero deadline is legal and terminal: it expires before any first
+  // attempt completes, so nextBackoff() always returns a clean "no retry".
+  IOBTS_CHECK(deadline >= 0.0 && !std::isnan(deadline),
+              "retry deadline must be non-negative");
 }
 
 std::optional<Seconds> RetryState::nextBackoff(Seconds elapsed) {
+  // Terminal verdicts, in priority order: a zero retry budget fails fast,
+  // and a deadline at or before the first attempt's completion (including
+  // elapsed == +inf against an infinite deadline) never grants a retry.
   if (retries_ >= policy_.max_retries) return std::nullopt;
   if (elapsed >= policy_.deadline) return std::nullopt;
   Seconds backoff = policy_.base_backoff;
@@ -31,6 +36,11 @@ std::optional<Seconds> RetryState::nextBackoff(Seconds elapsed) {
     backoff *= std::pow(policy_.multiplier, static_cast<double>(retries_));
   }
   backoff = std::min(backoff, policy_.max_backoff);
+  // Overflow near kInfiniteTime: with an unbounded max_backoff the
+  // exponential can saturate to +inf. An infinite (or NaN) sleep would wedge
+  // the caller's clock forever, which is a wrap-around failure, not a
+  // schedule -- declare the budget exhausted instead.
+  if (!std::isfinite(backoff)) return std::nullopt;
   ++retries_;
   if (policy_.jitter > 0.0 && backoff > 0.0) {
     const double u =

@@ -1,0 +1,340 @@
+// Campaign-level resume: fleet manifests (skip completed clusters, merge
+// preloaded and live completion records into the straight run's canonical
+// log), application checkpoints inside cluster jobs (a requeued attempt
+// resumes from its last recorded loop instead of loop 0), and the
+// quiescent-park property on the cluster-contention pipeline (runUntil +
+// run == run, the identity every checkpoint capture relies on).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/manifest.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/fleet.hpp"
+#include "fault/plan.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace iobts::ckpt {
+namespace {
+
+std::string tempPath(const char* stem) {
+  return testing::TempDir() + stem + "_" + std::to_string(::getpid()) +
+         ".manifest";
+}
+
+// --- Fleet manifests ------------------------------------------------------
+
+std::vector<cluster::ClusterConfig> campaignConfigs() {
+  std::vector<cluster::ClusterConfig> configs(3);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].nodes = 8;
+    configs[i].pfs.write_capacity = 1e9;
+    configs[i].pfs.read_capacity = 1e9;
+    configs[i].seed = 100 + i;
+  }
+  return configs;
+}
+
+void submitCampaign(cluster::Fleet& fleet) {
+  for (sim::ShardId s = 0; s < fleet.clusterCount(); ++s) {
+    for (int j = 0; j < 2; ++j) {
+      cluster::JobSpec spec;
+      spec.name = "job" + std::to_string(s) + std::to_string(j);
+      spec.nodes = 2;
+      spec.io = j == 0 ? cluster::JobIo::Sync : cluster::JobIo::Async;
+      spec.loops = 2 + j;
+      spec.compute_seconds = 0.5 + 0.25 * static_cast<double>(s);
+      spec.write_bytes_per_node = 64 * kMiB;
+      fleet.submit(s, spec);
+    }
+  }
+}
+
+std::string canon(const std::vector<cluster::Fleet::CompletionRecord>& log) {
+  std::string out;
+  for (const auto& r : log) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%u %llu %a %a %d %llu\n", r.cluster,
+                  static_cast<unsigned long long>(r.job), r.reported_at,
+                  r.end, r.failed ? 1 : 0,
+                  static_cast<unsigned long long>(r.seq));
+    out += buf;
+  }
+  return out;
+}
+
+std::string straightCampaignLog() {
+  cluster::Fleet fleet({.report_latency = 0.5, .threads = 1},
+                       campaignConfigs());
+  submitCampaign(fleet);
+  fleet.start();
+  fleet.run(1);
+  return canon(fleet.canonicalLog());
+}
+
+TEST(CkptManifest, SessionPersistsEveryCompletedCluster) {
+  const std::string reference = straightCampaignLog();
+  const std::string path = tempPath("full");
+  std::filesystem::remove(path);
+
+  cluster::Fleet fleet({.report_latency = 0.5, .threads = 1},
+                       campaignConfigs());
+  submitCampaign(fleet);
+  FleetManifestSession session(fleet, path);
+  EXPECT_EQ(session.resumedClusters(), 0u);
+  fleet.start();
+  fleet.run(1);
+  EXPECT_EQ(canon(fleet.canonicalLog()), reference);
+
+  const FleetManifest manifest = readFleetManifest(path);
+  EXPECT_EQ(manifest.campaign_digest, campaignDigest(fleet));
+  EXPECT_EQ(manifest.clusters, fleet.clusterCount());
+  EXPECT_EQ(manifest.completed.size(), 3u);
+}
+
+TEST(CkptManifest, ResumeSkipsCompletedClustersAndMergesTheLog) {
+  const std::string reference = straightCampaignLog();
+  const std::string path = tempPath("partial");
+  std::filesystem::remove(path);
+
+  // Phase 1: a full run persists the complete manifest.
+  {
+    cluster::Fleet fleet({.report_latency = 0.5, .threads = 1},
+                         campaignConfigs());
+    submitCampaign(fleet);
+    FleetManifestSession session(fleet, path);
+    fleet.start();
+    fleet.run(1);
+  }
+
+  // Simulate a crash that only got cluster 1's results to disk: strip the
+  // other clusters' entries, as if the process died before they finished.
+  {
+    FleetManifest manifest = readFleetManifest(path);
+    ASSERT_EQ(manifest.completed.size(), 3u);
+    manifest.completed.erase(0);
+    manifest.completed.erase(2);
+    writeFleetManifest(path, manifest);
+  }
+
+  // Phase 2: the resumed process re-runs clusters 0 and 2 only, yet the
+  // canonical log is byte-identical to the straight run's.
+  cluster::Fleet fleet({.report_latency = 0.5, .threads = 2},
+                       campaignConfigs());
+  submitCampaign(fleet);
+  FleetManifestSession session(fleet, path);
+  EXPECT_EQ(session.resumedClusters(), 1u);
+  EXPECT_TRUE(fleet.clusterPrecompleted(1));
+  EXPECT_FALSE(fleet.clusterPrecompleted(0));
+  fleet.start();
+  fleet.run(2);
+  EXPECT_EQ(canon(fleet.canonicalLog()), reference);
+
+  // The rewritten manifest is whole again: a second resume is a no-op run.
+  cluster::Fleet fleet2({.report_latency = 0.5, .threads = 1},
+                        campaignConfigs());
+  submitCampaign(fleet2);
+  FleetManifestSession session2(fleet2, path);
+  EXPECT_EQ(session2.resumedClusters(), 3u);
+  fleet2.start();
+  fleet2.run(1);
+  EXPECT_EQ(canon(fleet2.canonicalLog()), reference);
+}
+
+TEST(CkptManifest, ForeignCampaignManifestIsRejected) {
+  const std::string path = tempPath("foreign");
+  std::filesystem::remove(path);
+  {
+    cluster::Fleet fleet({.report_latency = 0.5, .threads = 1},
+                         campaignConfigs());
+    submitCampaign(fleet);
+    FleetManifestSession session(fleet, path);
+    fleet.start();
+    fleet.run(1);
+  }
+  // Same shape, one job spec field different: a different campaign.
+  cluster::Fleet other({.report_latency = 0.5, .threads = 1},
+                       campaignConfigs());
+  submitCampaign(other);
+  cluster::JobSpec extra;
+  extra.name = "straggler";
+  extra.nodes = 1;
+  extra.loops = 1;
+  extra.compute_seconds = 0.1;
+  extra.write_bytes_per_node = kMiB;
+  other.submit(0, extra);
+  try {
+    FleetManifestSession session(other, path);
+    FAIL() << "manifest of a different campaign must be rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::ScenarioMismatch);
+    EXPECT_NE(std::string(e.what()).find("campaign"), std::string::npos);
+  }
+}
+
+TEST(CkptManifest, CampaignDigestSeesConfigAndSpecChanges) {
+  cluster::Fleet a({.report_latency = 0.5, .threads = 1}, campaignConfigs());
+  submitCampaign(a);
+  const std::uint64_t base = campaignDigest(a);
+
+  cluster::Fleet b({.report_latency = 0.5, .threads = 1}, campaignConfigs());
+  submitCampaign(b);
+  EXPECT_EQ(campaignDigest(b), base) << "digest must be reproducible";
+
+  auto configs = campaignConfigs();
+  configs[2].pfs.write_capacity *= 2;
+  cluster::Fleet c({.report_latency = 0.5, .threads = 1}, std::move(configs));
+  submitCampaign(c);
+  EXPECT_NE(campaignDigest(c), base);
+}
+
+// --- JobSpec::checkpoint_interval -----------------------------------------
+
+cluster::ClusterConfig slowLinkConfig(const fault::FaultPlan* plan) {
+  cluster::ClusterConfig config;
+  config.nodes = 2;
+  config.pfs.write_capacity = 100;  // 100 B/s: 50 B writes take 0.5 s
+  config.pfs.read_capacity = 100;
+  config.fault_plan = plan;
+  return config;
+}
+
+cluster::JobSpec checkpointedJob(int interval) {
+  cluster::JobSpec spec;
+  spec.name = "ckpt";
+  spec.nodes = 1;
+  spec.io = cluster::JobIo::Sync;
+  spec.loops = 6;
+  spec.compute_seconds = 1.0;
+  spec.write_bytes_per_node = 50;
+  spec.max_resubmits = 1;
+  spec.checkpoint_interval = interval;
+  return spec;
+}
+
+struct RequeueOutcome {
+  cluster::JobResult result;
+  std::uint64_t bytes_written = 0;
+};
+
+RequeueOutcome runRequeue(int interval) {
+  // Sync loops are 1.5 s each (1.0 compute + 0.5 write), so writes land at
+  // 1.5, 3.0, 4.5, 6.0, 7.5, 9.0. The fault window kills exactly the loop-5
+  // write at 7.5; with interval=2 the job has recorded checkpoints after
+  // loops 2 and 4 by then.
+  sim::Simulation sim;
+  fault::FaultPlan plan;
+  plan.addTransferFault({.window = {7.2, 7.8}, .probability = 1.0});
+  cluster::Cluster cl(sim, slowLinkConfig(&plan));
+  const auto id = cl.submit(checkpointedJob(interval));
+  cl.start();
+  sim.run();
+  return {cl.result(id), cl.link().bytesMoved(pfs::Channel::Write)};
+}
+
+TEST(CkptCluster, RequeuedJobResumesFromLastCheckpoint) {
+  const RequeueOutcome with = runRequeue(/*interval=*/2);
+  EXPECT_TRUE(with.result.succeeded());
+  EXPECT_EQ(with.result.resubmits, 1);
+  EXPECT_EQ(with.result.checkpointed_loops, 4);
+
+  const RequeueOutcome without = runRequeue(/*interval=*/0);
+  EXPECT_TRUE(without.result.succeeded());
+  EXPECT_EQ(without.result.resubmits, 1);
+  EXPECT_EQ(without.result.checkpointed_loops, 0);
+
+  // The resumed attempt re-ran loops 4..5 instead of 0..5: four 50-byte
+  // writes of wasted work saved.
+  EXPECT_EQ(with.bytes_written + 200, without.bytes_written);
+  // And the requeued run finishes earlier for the same reason.
+  EXPECT_LT(with.result.end, without.result.end);
+}
+
+TEST(CkptCluster, CheckpointResumeIsDeterministic) {
+  const RequeueOutcome a = runRequeue(/*interval=*/2);
+  const RequeueOutcome b = runRequeue(/*interval=*/2);
+  EXPECT_EQ(a.result.end, b.result.end);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.result.checkpointed_loops, b.result.checkpointed_loops);
+}
+
+TEST(CkptCluster, IntervalZeroLeavesTheProgramUntouched) {
+  // With checkpointing disabled the rank program must be byte-identical to
+  // the pre-checkpoint build: same end time, same bytes, no recorded loops.
+  sim::Simulation sim;
+  cluster::Cluster cl(sim, slowLinkConfig(nullptr));
+  const auto id = cl.submit(checkpointedJob(0));
+  cl.start();
+  sim.run();
+  EXPECT_TRUE(cl.result(id).succeeded());
+  EXPECT_EQ(cl.result(id).checkpointed_loops, 0);
+  EXPECT_EQ(cl.result(id).resubmits, 0);
+}
+
+// --- Cluster-contention quiescent parking ---------------------------------
+
+std::string contentionCanon(const std::vector<double>& park_times) {
+  // The golden-digest cluster-contention pipeline at reduced scale; any
+  // divergence between a parked and a straight drive here would break the
+  // capture contract for campaign checkpoints.
+  sim::Simulation sim;
+  cluster::ClusterConfig config;
+  config.nodes = 64;
+  config.pfs.read_capacity = 12e9;
+  config.pfs.write_capacity = 12e9;
+  cluster::Cluster cl(sim, config);
+  std::vector<cluster::JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    cluster::JobSpec spec;
+    spec.name = "sync" + std::to_string(i);
+    spec.nodes = 12;
+    spec.io = cluster::JobIo::Sync;
+    spec.loops = 3;
+    spec.compute_seconds = 1.5 + 0.7 * i;
+    spec.write_bytes_per_node = 4 * kGB;
+    ids.push_back(cl.submit(spec));
+  }
+  cluster::JobSpec async_spec;
+  async_spec.name = "async";
+  async_spec.nodes = 28;
+  async_spec.io = cluster::JobIo::Async;
+  async_spec.loops = 2;
+  async_spec.compute_seconds = 20.0;
+  async_spec.write_bytes_per_node = 1 * kGB;
+  const auto async_id = cl.submit(async_spec);
+  ids.push_back(async_id);
+  cl.enableContentionLimiting(async_id, 1.2, 0.25);
+  cl.start();
+  for (const double t : park_times) sim.runUntil(t);
+  sim.run();
+
+  std::string out;
+  for (const auto id : ids) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s %a %a %d\n", cl.spec(id).name.c_str(),
+                  cl.result(id).start, cl.result(id).end,
+                  cl.result(id).failed ? 1 : 0);
+    out += buf;
+  }
+  out += std::to_string(cl.link().bytesMoved(pfs::Channel::Write)) + "\n";
+  return out;
+}
+
+TEST(CkptCluster, ContentionPipelineParkAndResumeEqualsStraightRun) {
+  const std::string straight = contentionCanon({});
+  EXPECT_EQ(contentionCanon({5.0}), straight);
+  EXPECT_EQ(contentionCanon({3.0, 11.0, 26.0}), straight);
+  EXPECT_EQ(contentionCanon({0.5, 0.6, 0.7, 40.0}), straight);
+}
+
+}  // namespace
+}  // namespace iobts::ckpt

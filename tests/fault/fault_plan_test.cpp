@@ -145,5 +145,43 @@ TEST(FaultPlan, ZeroProbabilityNeverFaults) {
   }
 }
 
+TEST(FaultPlan, OutageStoresFractionAndWindow) {
+  FaultPlan plan;
+  plan.addOutage(0.5, {10.0, 20.0}).addOutage(1.0, {30.0, 40.0});
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.outages().size(), 2u);
+  EXPECT_EQ(plan.outages()[0].fraction, 0.5);
+  EXPECT_EQ(plan.outages()[0].window.begin, 10.0);
+  EXPECT_EQ(plan.outages()[0].window.end, 20.0);
+  EXPECT_EQ(plan.outages()[1].fraction, 1.0);
+  // Outages carry no verdicts: transfers are slowed, never failed.
+  EXPECT_FALSE(plan.hasTransferFaults());
+  EXPECT_FALSE(plan.faultVerdict(pfs::Channel::Write, 0, 0, 15.0));
+}
+
+TEST(FaultPlan, OutageRejectsBadInputs) {
+  FaultPlan plan;
+  // Fraction must lie in (0, 1] -- 0 would be a no-op, > 1 is meaningless.
+  EXPECT_THROW(plan.addOutage(0.0, {0.0, 1.0}), CheckError);
+  EXPECT_THROW(plan.addOutage(-0.25, {0.0, 1.0}), CheckError);
+  EXPECT_THROW(plan.addOutage(1.5, {0.0, 1.0}), CheckError);
+  EXPECT_THROW(plan.addOutage(std::numeric_limits<double>::quiet_NaN(),
+                              {0.0, 1.0}),
+               CheckError);
+  // Windows follow the same rules as every other event class.
+  EXPECT_THROW(plan.addOutage(0.5, {5.0, 5.0}), CheckError);
+  EXPECT_THROW(plan.addOutage(0.5, {5.0, 4.0}), CheckError);
+  EXPECT_THROW(plan.addOutage(0.5, {-1.0, 4.0}), CheckError);
+  EXPECT_TRUE(plan.outages().empty());
+}
+
+TEST(FaultPlan, NullPlanStaysEmptyWithOutageSupportPresent) {
+  // The satellite contract: adding the outage event class must not change
+  // what a default-constructed (null) plan means.
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.outages().empty());
+}
+
 }  // namespace
 }  // namespace iobts::fault

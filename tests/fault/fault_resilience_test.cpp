@@ -82,6 +82,62 @@ TEST(FaultLink, BlackoutStallsAndResumesWithoutFailing) {
   EXPECT_EQ(link.bytesMoved(pfs::Channel::Write), 1000u);
 }
 
+TEST(FaultLink, OutageRemovesCorrelatedCapacityFraction) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  const auto s = link.createStream("rank0");
+  link.applyOutage(0.5, {2.0, 4.0});
+  pfs::TransferResult result;
+  double write_capacity = -1.0;
+  double read_capacity = -1.0;
+  auto probe = [&]() -> sim::Task<void> {
+    co_await sim.delay(3.0);
+    write_capacity = link.effectiveCapacity(pfs::Channel::Write);
+    read_capacity = link.effectiveCapacity(pfs::Channel::Read);
+  };
+  sim.spawn(transferAt(sim, link, s, 0.0, 1000, result));
+  sim.spawn(probe());
+  sim.run();
+  // Both channels lose the same slice for the same window -- the
+  // correlated "one server down" shape, not two independent degradations.
+  EXPECT_DOUBLE_EQ(write_capacity, 50.0);
+  EXPECT_DOUBLE_EQ(read_capacity, 50.0);
+  // 200 B before the outage, 100 B at half rate, then 700 B at full rate.
+  EXPECT_NEAR(result.end, 4.0 + 700.0 / 100.0, 1e-9);
+  EXPECT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(link.effectiveCapacity(pfs::Channel::Write), 100.0);
+  EXPECT_DOUBLE_EQ(link.effectiveCapacity(pfs::Channel::Read), 100.0);
+}
+
+TEST(FaultLink, FullFractionOutageBehavesLikeABlackout) {
+  sim::Simulation sim;
+  pfs::SharedLink link(sim, smallLink());
+  const auto s = link.createStream("rank0");
+  link.applyOutage(1.0, {2.0, 4.0});
+  pfs::TransferResult result;
+  sim.spawn(transferAt(sim, link, s, 0.0, 1000, result));
+  sim.run();
+  // Identical schedule to BlackoutStallsAndResumesWithoutFailing.
+  EXPECT_NEAR(result.end, 12.0, 1e-9);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(link.bytesMoved(pfs::Channel::Write), 1000u);
+}
+
+TEST(FaultLink, OutageViaInstalledPlan) {
+  sim::Simulation sim;
+  fault::FaultPlan plan;
+  plan.addOutage(0.75, {1.0, 3.0});
+  pfs::SharedLink link(sim, smallLink());
+  link.installFaultPlan(plan);
+  const auto s = link.createStream("rank0");
+  pfs::TransferResult result;
+  // 100 B by t=1, 50 B at 25 B/s over [1, 3), then 850 B at full rate.
+  sim.spawn(transferAt(sim, link, s, 0.0, 1000, result));
+  sim.run();
+  EXPECT_NEAR(result.end, 3.0 + 850.0 / 100.0, 1e-9);
+  EXPECT_TRUE(result.ok());
+}
+
 TEST(FaultLink, StragglerCapsOneStreamOnly) {
   sim::Simulation sim;
   pfs::SharedLink link(sim, smallLink());

@@ -297,6 +297,41 @@ TEST(ScenarioParse, AcceptsUnitSuffixesAndHex) {
   EXPECT_EQ(spec.globals.size(), 3u);
 }
 
+TEST(ScenarioParse, AcceptsOutageFaultDecl) {
+  const ScenarioSpec spec = parseScenario(
+      "scenario \"t\"\n"
+      "faults {\n"
+      "  seed = 7\n"
+      "  outage 0.5 from 2.0 to 4.0\n"
+      "  blackout from 5.0 to 5.5\n"
+      "}\n"
+      "world main { ranks = 2 }\n"
+      "program main { compute 0.1 }\n");
+  ASSERT_TRUE(spec.faults.has_value());
+  ASSERT_EQ(spec.faults->decls.size(), 2u);
+  const FaultDecl& outage = spec.faults->decls[0];
+  EXPECT_EQ(outage.kind, FaultDecl::Kind::Outage);
+  EXPECT_EQ(outage.value, 0.5);
+  EXPECT_EQ(outage.begin, 2.0);
+  EXPECT_EQ(outage.end, 4.0);
+  EXPECT_FALSE(outage.channel.has_value());
+}
+
+TEST(ScenarioParseError, OutageFractionOutOfRange) {
+  const auto doc = [](const char* fraction) {
+    return std::string("scenario \"t\"\n"
+                       "faults { outage ") +
+           fraction +
+           " from 1.0 to 2.0 }\n"
+           "world main { ranks = 2 }\n"
+           "program main { compute 0.1 }\n";
+  };
+  expectParseError(doc("0.0"), 2, "faults",
+                   "outage fraction must lie in (0, 1]");
+  expectParseError(doc("1.5"), 2, "faults",
+                   "outage fraction must lie in (0, 1]");
+}
+
 TEST(ScenarioParse, AcceptsPhaseChainWithExplicitLinks) {
   const ScenarioSpec spec = parseScenario(
       std::string(kWorld) +

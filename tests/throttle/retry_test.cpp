@@ -123,10 +123,83 @@ TEST(RetryPolicy, ValidateRejectsBadFields) {
   p.jitter = -0.1;
   expectInvalid(p);
   p = basePolicy();
-  p.deadline = 0.0;
+  p.deadline = -1.0;
   expectInvalid(p);
+  p = basePolicy();
+  p.deadline = std::numeric_limits<double>::quiet_NaN();
+  expectInvalid(p);
+  // A zero deadline is *legal*: it is a terminal policy (never grants a
+  // retry), not a configuration error. See ZeroDeadlineIsTerminal below.
+  p = basePolicy();
+  p.deadline = 0.0;
+  EXPECT_NO_THROW(p.validate());
   EXPECT_NO_THROW(basePolicy().validate());
   EXPECT_NO_THROW(RetryPolicy{}.validate());
+}
+
+TEST(RetryPolicy, ZeroBudgetIsTerminalEvenWithGenerousDeadline) {
+  RetryPolicy p = basePolicy();
+  p.max_retries = 0;
+  RetryState state(p, /*seed=*/7);
+  EXPECT_FALSE(state.nextBackoff(0.0).has_value());
+  EXPECT_FALSE(state.nextBackoff(0.0).has_value());  // stays terminal
+  EXPECT_EQ(state.retriesUsed(), 0u);
+}
+
+TEST(RetryPolicy, ZeroDeadlineIsTerminal) {
+  // Deadline expires before any first attempt completes: a clean "no
+  // retry" verdict at every elapsed value, including exactly zero.
+  RetryPolicy p = basePolicy();
+  p.deadline = 0.0;
+  p.validate();
+  RetryState state(p, /*seed=*/7);
+  EXPECT_FALSE(state.nextBackoff(0.0).has_value());
+  EXPECT_FALSE(state.nextBackoff(1e-9).has_value());
+  EXPECT_EQ(state.retriesUsed(), 0u);
+}
+
+TEST(RetryPolicy, DeadlineEarlierThanFirstAttemptCompletionIsTerminal) {
+  RetryPolicy p = basePolicy();
+  p.deadline = 0.25;
+  RetryState state(p, /*seed=*/7);
+  // First attempt took longer than the whole deadline.
+  EXPECT_FALSE(state.nextBackoff(0.3).has_value());
+  EXPECT_EQ(state.retriesUsed(), 0u);
+}
+
+TEST(RetryPolicy, InfiniteElapsedAgainstInfiniteDeadlineIsTerminal) {
+  // elapsed == +inf vs deadline == +inf: `>=` must win (a transfer that
+  // never completed gets no retry even under an unbounded deadline).
+  RetryPolicy p = basePolicy();
+  RetryState state(p, /*seed=*/7);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(state.nextBackoff(inf).has_value());
+}
+
+TEST(RetryPolicy, BackoffOverflowNearInfinityIsTerminalNotInfiniteSleep) {
+  // With an unbounded max_backoff the exponential saturates to +inf after
+  // ~1100 doublings. An infinite sleep would wedge the caller's virtual
+  // clock forever; the contract is a clean terminal verdict instead.
+  RetryPolicy p;
+  p.max_retries = 5000;
+  p.base_backoff = 1.0;
+  p.multiplier = 2.0;
+  p.max_backoff = std::numeric_limits<double>::infinity();
+  p.validate();
+  RetryState state(p, /*seed=*/11);
+  std::uint32_t granted = 0;
+  Seconds last = 0.0;
+  while (auto b = state.nextBackoff(0.0)) {
+    ASSERT_TRUE(std::isfinite(*b)) << "granted an infinite sleep";
+    last = *b;
+    ++granted;
+  }
+  // Terminal well before the nominal budget: the overflow cut it short.
+  EXPECT_GT(granted, 1000u);
+  EXPECT_LT(granted, 1100u);
+  EXPECT_GT(last, 1e300);
+  // Exhausted state stays exhausted.
+  EXPECT_FALSE(state.nextBackoff(0.0).has_value());
 }
 
 TEST(RetryPolicy, FailedAttemptTimeBanksAsPacingDeficit) {

@@ -207,6 +207,7 @@ Json computeSpeedups(const Json& before, const Json& after) {
 int main(int argc, char** argv) {
   std::string out_path;
   std::string label;
+  std::string schema = "iobts-bench-hotpath-v1";
   std::string mode = "quick";
   std::string parallel_report;
   std::vector<std::pair<std::string, std::string>> bench_args;
@@ -222,6 +223,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--label") {
       label = next();
+    } else if (arg == "--schema") {
+      schema = next();
     } else if (arg == "--mode") {
       mode = next();
     } else if (arg == "--parallel") {
@@ -252,7 +255,8 @@ int main(int argc, char** argv) {
   if (out_path.empty() || label.empty()) {
     std::fprintf(stderr,
                  "usage: bench_to_json --out FILE --label LABEL "
-                 "[--mode quick|full] [--bench name=report.json]... "
+                 "[--schema NAME] [--mode quick|full] "
+                 "[--bench name=report.json]... "
                  "[--wall name=seconds]... [--parallel report.json]\n");
     return 2;
   }
@@ -264,7 +268,7 @@ int main(int argc, char** argv) {
       const Json existing = Json::parse(readFile(out_path));
       if (existing.isObject()) root = existing.asObject();
     }
-    root["schema"] = Json("iobts-bench-hotpath-v1");
+    root["schema"] = Json(schema);
     root["mode"] = Json(mode);
 
     // Merge into any existing section for this label so partial captures

@@ -12,16 +12,32 @@
 // or compiles and runs a scenario DSL file (src/scenario) instead:
 //
 //   iobts_run --scenario FILE [--trace TRACE.json] [--jsonl FILE]
-//             [--csv PREFIX]
+//             [--csv PREFIX] [--digest]
+//             [--checkpoint-dir DIR --checkpoint-every SECONDS]
+//
+// or resumes a run from a checkpoint written by a previous (possibly
+// killed) invocation:
+//
+//   iobts_run --resume CKPT [--digest] [--checkpoint-dir DIR
+//             --checkpoint-every SECONDS]
 //
 // --trace installs the observability sink for the whole run and writes a
 // Perfetto-loadable Chrome trace with per-request journey flows; inspect it
 // with tools/trace_summarize TRACE.json --journeys.
+//
+// --digest prints the canonical end-of-run digest; a straight run and a
+// checkpoint/kill/resume run of the same scenario print identical digests
+// (tools/run_crash_resume.sh is the harness asserting exactly that).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
+
+#include "ckpt/runner.hpp"
 
 #include "mpisim/world.hpp"
 #include "obs/export.hpp"
@@ -57,6 +73,10 @@ struct CliOptions {
   bool ftio = false;
   std::optional<std::string> scenario;
   std::optional<std::string> trace;
+  std::optional<std::string> checkpoint_dir;
+  double checkpoint_every = 0.0;
+  std::optional<std::string> resume;
+  bool digest = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,8 +88,11 @@ struct CliOptions {
       "          [--read-bw 120GB] [--noise SIGMA] [--burst-buffer]\n"
       "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n"
       "       %s --scenario FILE [--trace TRACE.json] [--jsonl FILE]\n"
-      "          [--csv PREFIX]\n",
-      argv0, argv0);
+      "          [--csv PREFIX] [--digest]\n"
+      "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n"
+      "       %s --resume CKPT [--digest]\n"
+      "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n",
+      argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -97,6 +120,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--ftio") opt.ftio = true;
     else if (arg == "--scenario") opt.scenario = next(i);
     else if (arg == "--trace") opt.trace = next(i);
+    else if (arg == "--checkpoint-dir") opt.checkpoint_dir = next(i);
+    else if (arg == "--checkpoint-every") opt.checkpoint_every = std::atof(next(i));
+    else if (arg == "--resume") opt.resume = next(i);
+    else if (arg == "--digest") opt.digest = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -104,39 +131,23 @@ CliOptions parse(int argc, char** argv) {
     }
   }
   if (opt.ranks <= 0) usage(argv[0]);
+  // --checkpoint-dir and --checkpoint-every only work as a pair: a dir
+  // without a cadence has no capture schedule, a cadence without a dir has
+  // nowhere to write. Reject here with usage instead of tripping an
+  // internal check later.
+  if (opt.checkpoint_dir.has_value() != (opt.checkpoint_every > 0.0)) {
+    std::fprintf(stderr,
+                 "--checkpoint-dir and --checkpoint-every (positive) must be "
+                 "given together\n");
+    usage(argv[0]);
+  }
   return opt;
 }
 
-/// Compile + run a scenario DSL file and print per-world paper metrics.
-int runScenario(const CliOptions& opt) {
-  // Install the trace sink before any instrumented component exists so
-  // setup-time track names land in the trace metadata.
-  std::unique_ptr<obs::TraceSink> sink;
-  std::unique_ptr<obs::ScopedTraceSink> install;
-  if (opt.trace) {
-    sink = std::make_unique<obs::TraceSink>();
-    install = std::make_unique<obs::ScopedTraceSink>(*sink);
-  }
-
-  sim::Simulation sim;
-  scenario::ScenarioSpec spec;
-  try {
-    spec = scenario::loadScenarioFile(*opt.scenario);
-  } catch (const scenario::ScenarioError& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
-  }
-  const std::string name = spec.name;
-  scenario::Instance instance(sim, std::move(spec));
-  instance.launch();
-  try {
-    sim.run();
-    instance.requireFinished();
-  } catch (const scenario::ScenarioError& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
-  }
-
+/// Print the per-world paper metrics, shared by straight and resumed runs.
+int reportScenario(const CliOptions& opt, scenario::Instance& instance,
+                   obs::TraceSink* sink) {
+  const std::string& name = instance.spec().name;
   std::printf("scenario=%s worlds=%zu elapsed=%.3f s\n", name.c_str(),
               instance.worldCount(), instance.elapsed());
   for (std::size_t w = 0; w < instance.worldCount(); ++w) {
@@ -164,6 +175,11 @@ int runScenario(const CliOptions& opt) {
       static_cast<unsigned long long>(stats.signals),
       static_cast<unsigned long long>(stats.verified));
 
+  if (opt.digest) {
+    std::printf("run.digest=0x%016llx\n",
+                static_cast<unsigned long long>(ckpt::runDigest(instance)));
+  }
+
   if (opt.jsonl) instance.tracer(0).writeJsonl(*opt.jsonl);
   if (opt.csv) instance.tracer(0).writeCsv(*opt.csv);
   if (opt.trace) {
@@ -177,10 +193,115 @@ int runScenario(const CliOptions& opt) {
   return 0;
 }
 
+void reportCheckpoints(const std::vector<ckpt::CheckpointRecord>& records) {
+  double wall_ms = 0.0;
+  std::uint64_t bytes = 0;
+  for (const auto& r : records) {
+    wall_ms += r.capture_wall_ms;
+    bytes = r.file_bytes;  // the checkpoints of one run are near-uniform
+  }
+  std::printf("ckpt.captured=%zu ckpt.file_bytes=%llu ckpt.capture_ms=%.3f\n",
+              records.size(), static_cast<unsigned long long>(bytes),
+              records.empty() ? 0.0 : wall_ms / records.size());
+}
+
+/// Compile + run a scenario DSL file and print per-world paper metrics.
+int runScenario(const CliOptions& opt) {
+  // Install the trace sink before any instrumented component exists so
+  // setup-time track names land in the trace metadata.
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::ScopedTraceSink> install;
+  if (opt.trace) {
+    sink = std::make_unique<obs::TraceSink>();
+    install = std::make_unique<obs::ScopedTraceSink>(*sink);
+  }
+
+  sim::Simulation sim;
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::loadScenarioFile(*opt.scenario);
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  scenario::Instance instance(sim, std::move(spec));
+  instance.launch();
+  try {
+    if (opt.checkpoint_dir) {
+      // Checkpointed drive: same event sequence, parks + captures every
+      // --checkpoint-every virtual seconds.
+      std::string text;
+      {
+        std::ifstream in(*opt.scenario, std::ios::binary);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+      }
+      ckpt::CheckpointPolicy policy;
+      policy.dir = *opt.checkpoint_dir;
+      policy.every = opt.checkpoint_every;
+      reportCheckpoints(ckpt::runWithCheckpoints(instance, text, policy));
+    } else {
+      sim.run();
+    }
+    instance.requireFinished();
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const ckpt::CheckpointError& e) {
+    std::fprintf(stderr, "checkpoint error (%s): %s\n", e.kindName(),
+                 e.what());
+    return 3;
+  }
+  return reportScenario(opt, instance, sink.get());
+}
+
+/// Restore from a checkpoint, resume to completion, print the same report.
+int runResume(const CliOptions& opt) {
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::ScopedTraceSink> install;
+  if (opt.trace) {
+    sink = std::make_unique<obs::TraceSink>();
+    install = std::make_unique<obs::ScopedTraceSink>(*sink);
+  }
+  try {
+    const auto wall_start = std::chrono::steady_clock::now();
+    ckpt::RestoredRun run = ckpt::restoreScenarioCheckpoint(*opt.resume);
+    const double restore_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - wall_start)
+                                  .count();
+    std::printf("ckpt.restored=%s ckpt.watermark=%.6f ckpt.restore_ms=%.3f\n",
+                opt.resume->c_str(), run.watermark(), restore_ms);
+    if (opt.checkpoint_dir) {
+      // Keep checkpointing past the restore point (a resumed run can crash
+      // too). The embedded scenario text is the authoritative source.
+      const ckpt::CheckpointFile file =
+          ckpt::readCheckpointFile(*opt.resume);
+      const std::string text = file.require("scenario").payload;
+      ckpt::CheckpointPolicy policy;
+      policy.dir = *opt.checkpoint_dir;
+      policy.every = opt.checkpoint_every;
+      reportCheckpoints(
+          ckpt::runWithCheckpoints(run.instance(), text, policy));
+    } else {
+      run.sim().run();
+    }
+    run.instance().requireFinished();
+    return reportScenario(opt, run.instance(), sink.get());
+  } catch (const ckpt::CheckpointError& e) {
+    std::fprintf(stderr, "checkpoint error (%s): %s\n", e.kindName(),
+                 e.what());
+    return 3;
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
+  if (opt.resume) return runResume(opt);
   if (opt.scenario) return runScenario(opt);
 
   sim::Simulation sim;
