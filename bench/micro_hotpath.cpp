@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/binlog.hpp"
 #include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "pfs/fair_share.hpp"
@@ -208,6 +209,50 @@ void BM_DispatchTracingStreamed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DispatchTracingStreamed)->Arg(100000);
+
+// Same churn with the binary flight recorder attached instead of the JSON
+// streamer: the ring drains into length-prefixed binary chunks (interned
+// strings, fixed 64-byte records) written to a growing memory buffer. The
+// gap to BM_DispatchTracingStreamed is the serialization saving of the
+// binary container over per-event JSON delivery.
+void BM_DispatchTracingBinary(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  obs::TraceSink sink;
+  obs::BinaryTraceWriter writer(sink, static_cast<std::string*>(nullptr));
+  obs::ScopedTraceSink install(sink);
+  for (auto _ : state) dispatchChurn(n);
+  writer.close();
+  benchmark::DoNotOptimize(writer.events());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DispatchTracingBinary)->Arg(100000);
+
+// Pure serialization throughput of the binary writer, no simulation in the
+// loop: fill a detached ring with representative events, then time one
+// drain-and-encode pass per iteration. This is the ceiling the streamed
+// dispatch benchmarks are bounded by.
+void BM_BinaryWriterDrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  obs::TraceSinkConfig cfg;
+  cfg.capacity = static_cast<std::size_t>(n);
+  obs::TraceSink sink(cfg);
+  std::uint64_t encoded = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < n; ++i) {
+      sink.complete("sim", "dispatch", obs::track::kKernel, 0,
+                    static_cast<double>(i), 0.5, static_cast<double>(i));
+    }
+    obs::BinaryTraceWriter writer(sink, static_cast<std::string*>(nullptr));
+    state.ResumeTiming();
+    writer.drain();
+    writer.close();
+    encoded += writer.events();
+  }
+  benchmark::DoNotOptimize(encoded);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BinaryWriterDrain)->Arg(100000);
 
 // Flow-emitting churn under journey sampling: each dispatch opens and
 // closes a journey flow the way the ADIO engine does, gated through

@@ -1,0 +1,1041 @@
+#include "obs/binlog.hpp"
+
+#if IOBTS_BINLOG_X86
+#include <immintrin.h>
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IOBTS_RESTRICT __restrict__
+#else
+#define IOBTS_RESTRICT
+#endif
+
+// GCC needs the vectorizer cranked up for the checksum's lane scan to turn
+// into packed shift/xor; everything else in this file is fine at -O2.
+#if defined(__GNUC__) && !defined(__clang__)
+#define IOBTS_VECTOR_SCAN __attribute__((optimize("O3,unroll-loops")))
+#else
+#define IOBTS_VECTOR_SCAN
+#endif
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace iobts::obs {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+// Lane seeds: lane i starts at kFnvOffset perturbed by i times the golden
+// ratio, so no two lanes ever share a state.
+constexpr std::uint64_t kFnvGolden = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t fnvLaneSeed(unsigned lane) {
+  return kFnvOffset ^ (kFnvGolden * lane);
+}
+
+constexpr std::uint64_t rotl1(std::uint64_t v) noexcept {
+  return (v << 1) | (v >> 63);
+}
+
+std::uint64_t fnvWordStep(std::uint64_t h, std::uint64_t word) noexcept {
+  h ^= word;
+  h *= kFnvPrime;
+  return h;
+}
+
+// On little-endian hosts the wire layout *is* the in-memory layout, and the
+// memcpy forms compile to single loads/stores -- the byte-shift fallbacks
+// keep big-endian hosts correct.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
+
+void putU32(char* out, std::uint32_t v) noexcept {
+  if constexpr (kHostLittleEndian) {
+    std::memcpy(out, &v, sizeof(v));
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = static_cast<char>((v >> (8 * i)) & 0xffU);
+    }
+  }
+}
+
+void putU64(char* out, std::uint64_t v) noexcept {
+  if constexpr (kHostLittleEndian) {
+    std::memcpy(out, &v, sizeof(v));
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<char>((v >> (8 * i)) & 0xffU);
+    }
+  }
+}
+
+void putF64(char* out, double v) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+void appendU32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  putU32(buf, v);
+  out.append(buf, sizeof(buf));
+}
+
+void appendU64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  putU64(buf, v);
+  out.append(buf, sizeof(buf));
+}
+
+std::uint32_t readU32(const char* data) noexcept {
+  if constexpr (kHostLittleEndian) {
+    std::uint32_t out;
+    std::memcpy(&out, data, sizeof(out));
+    return out;
+  } else {
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+    }
+    return out;
+  }
+}
+
+std::uint64_t readU64(const char* data) noexcept {
+  if constexpr (kHostLittleEndian) {
+    std::uint64_t out;
+    std::memcpy(&out, data, sizeof(out));
+    return out;
+  } else {
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]))
+             << (8 * i);
+    }
+    return out;
+  }
+}
+
+double readF64(const char* data) noexcept {
+  const std::uint64_t bits = readU64(data);
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+/// Strict little-endian cursor over the container bytes. Running out of
+/// file bytes is Truncated with the offset and what was being read.
+class FileReader {
+ public:
+  FileReader(const std::string& bytes, const std::string& origin)
+      : bytes_(bytes), origin_(origin) {}
+
+  std::size_t offset() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+  const char* take(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      throw BinlogError(
+          BinlogErrorKind::Truncated,
+          origin_ + ": truncated trace: need " + std::to_string(n) +
+              " byte(s) for " + what + " at offset " + std::to_string(pos_) +
+              ", only " + std::to_string(remaining()) + " left");
+    }
+    const char* out = bytes_.data() + pos_;
+    pos_ += n;
+    return out;
+  }
+
+  std::uint32_t u32(const char* what) { return readU32(take(4, what)); }
+  std::uint64_t u64(const char* what) { return readU64(take(8, what)); }
+
+ private:
+  const std::string& bytes_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+};
+
+/// Cursor over one chunk's payload. The payload length was already
+/// satisfied at file level, so running out of bytes *inside* it means the
+/// chunk's internal structure lies about itself: Malformed, not Truncated.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, std::size_t size, const std::string& origin,
+                const char* chunk)
+      : data_(data), size_(size), origin_(origin), chunk_(chunk) {}
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  const char* take(std::size_t n, const char* what) {
+    if (remaining() < n) {
+      throw BinlogError(
+          BinlogErrorKind::Malformed,
+          origin_ + ": " + chunk_ + " chunk: need " + std::to_string(n) +
+              " byte(s) for " + what + ", only " +
+              std::to_string(remaining()) + " left in the payload");
+    }
+    const char* out = data_ + pos_;
+    pos_ += n;
+    return out;
+  }
+
+  void requireDrained() const {
+    if (remaining() != 0) {
+      throw BinlogError(BinlogErrorKind::Malformed,
+                        origin_ + ": " + chunk_ + " chunk has " +
+                            std::to_string(remaining()) +
+                            " trailing payload byte(s)");
+    }
+  }
+
+  std::uint32_t u32(const char* what) { return readU32(take(4, what)); }
+  std::uint64_t u64(const char* what) { return readU64(take(8, what)); }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  const std::string& origin_;
+  const char* chunk_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t readPaddedWord(const char* data, std::size_t n) noexcept {
+  char buf[8] = {};
+  std::memcpy(buf, data, n);
+  return readU64(buf);
+}
+
+}  // namespace
+
+IOBTS_VECTOR_SCAN
+std::uint64_t binlogChecksum(const char* data, std::size_t size) noexcept {
+  // Four rotate-xor lanes compressed with FNV-1a at the end. Word j feeds
+  // lane j % 4 as lane = rotl(lane, 1) ^ word: the lane pass is pure
+  // shift/xor with no multiplies or cross-word dependencies, so it runs
+  // near memory speed, and -- the reason it is four lanes and not eight --
+  // all four accumulators fit in registers alongside the writer's loop
+  // state, letting BinaryTraceWriter fold each 64-byte event record into
+  // the running lanes inline with zero stack traffic. Every payload bit
+  // lands in a lane (flips are always detected; the rotation count
+  // position-stamps each word within its lane), the combine step is
+  // genuine FNV-1a over the four lanes, and the payload length is bound
+  // last -- a final partial word is zero-padded, which the bound length
+  // disambiguates.
+  std::uint64_t lanes[4];
+  for (unsigned i = 0; i < 4; ++i) lanes[i] = fnvLaneSeed(i);
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    for (unsigned w = 0; w < 4; ++w) {
+      lanes[w] = rotl1(lanes[w]) ^ readU64(data + i + 8 * w);
+    }
+  }
+  unsigned lane = 0;
+  for (; i + 8 <= size; i += 8, ++lane) {
+    lanes[lane] = rotl1(lanes[lane]) ^ readU64(data + i);
+  }
+  if (i < size) {
+    lanes[lane] = rotl1(lanes[lane]) ^ readPaddedWord(data + i, size - i);
+  }
+  std::uint64_t h = kFnvOffset;
+  for (unsigned w = 0; w < 4; ++w) h = fnvWordStep(h, lanes[w]);
+  return fnvWordStep(h, size);
+}
+
+std::uint64_t binlogTrailerDigest(const char* data, std::size_t size) {
+  if (size < sizeof(kBinlogMagic) + 4) {
+    throw BinlogError(BinlogErrorKind::Truncated,
+                      "<trailer digest>: body of " + std::to_string(size) +
+                          " byte(s) is shorter than the file header");
+  }
+  std::uint64_t h = kFnvOffset;
+  h = fnvWordStep(h, readU64(data));
+  h = fnvWordStep(h, readU32(data + sizeof(kBinlogMagic)));
+  std::size_t pos = sizeof(kBinlogMagic) + 4;
+  while (pos < size) {
+    if (size - pos < 12) {
+      throw BinlogError(BinlogErrorKind::Truncated,
+                        "<trailer digest>: chunk header truncated at offset " +
+                            std::to_string(pos));
+    }
+    const std::uint32_t kind = readU32(data + pos);
+    const std::uint64_t len = readU64(data + pos + 4);
+    if (size - pos - 12 < len + 8) {
+      throw BinlogError(BinlogErrorKind::Truncated,
+                        "<trailer digest>: chunk payload truncated at offset " +
+                            std::to_string(pos));
+    }
+    const std::uint64_t sum = readU64(data + pos + 12 + len);
+    h = fnvWordStep(h, kind);
+    h = fnvWordStep(h, len);
+    h = fnvWordStep(h, sum);
+    pos += 12 + len + 8;
+  }
+  return h;
+}
+
+const char* binlogErrorKindName(BinlogErrorKind kind) noexcept {
+  switch (kind) {
+    case BinlogErrorKind::Io: return "io";
+    case BinlogErrorKind::Truncated: return "truncated";
+    case BinlogErrorKind::BadMagic: return "bad_magic";
+    case BinlogErrorKind::BadVersion: return "bad_version";
+    case BinlogErrorKind::ChunkChecksum: return "chunk_checksum";
+    case BinlogErrorKind::FileChecksum: return "file_checksum";
+    case BinlogErrorKind::Malformed: return "malformed";
+    case BinlogErrorKind::MissingFooter: return "missing_footer";
+    case BinlogErrorKind::BadStringRef: return "bad_string_ref";
+  }
+  return "unknown";
+}
+
+bool looksLikeBinaryTrace(const std::string& bytes) noexcept {
+  return bytes.size() >= sizeof(kBinlogMagic) &&
+         std::memcmp(bytes.data(), kBinlogMagic, sizeof(kBinlogMagic)) == 0;
+}
+
+TraceEvent BinaryTrace::event(std::size_t i) const {
+  const BinEvent& e = events.at(i);
+  TraceEvent out;
+  out.ts = e.ts;
+  out.dur = e.dur;
+  out.category = strings.at(e.category).c_str();
+  out.name = strings.at(e.name).c_str();
+  out.pid = e.pid;
+  out.tid = e.tid;
+  out.phase = e.phase;
+  out.value = e.value;
+  out.wall_ns = e.wall_ns;
+  out.flow = e.flow;
+  return out;
+}
+
+// --- Decoding ---------------------------------------------------------------
+
+namespace {
+
+void decodeStringsChunk(PayloadReader& p, BinaryTrace& trace) {
+  const std::uint32_t count = p.u32("string count");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = p.u32("string length");
+    const char* data = p.take(len, "string bytes");
+    trace.strings.emplace_back(data, len);
+  }
+  p.requireDrained();
+}
+
+void decodeEventsChunk(PayloadReader& p, const std::string& origin,
+                       BinaryTrace& trace) {
+  if (p.remaining() % kBinlogEventBytes != 0) {
+    throw BinlogError(
+        BinlogErrorKind::Malformed,
+        origin + ": events chunk payload of " +
+            std::to_string(p.remaining()) +
+            " byte(s) is not a whole number of " +
+            std::to_string(kBinlogEventBytes) + "-byte event record(s)");
+  }
+  const std::size_t count = p.remaining() / kBinlogEventBytes;
+  trace.events.reserve(trace.events.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* r = p.take(kBinlogEventBytes, "event record");
+    BinEvent e;
+    e.ts = readF64(r);
+    e.dur = readF64(r + 8);
+    e.pid = readU32(r + 16);
+    e.tid = readU32(r + 20);
+    const std::uint32_t phase = readU32(r + 24);
+    if (phase > static_cast<std::uint32_t>(Phase::FlowEnd)) {
+      throw BinlogError(BinlogErrorKind::Malformed,
+                        origin + ": event " +
+                            std::to_string(trace.events.size()) +
+                            " has unknown phase " + std::to_string(phase));
+    }
+    e.phase = static_cast<Phase>(phase);
+    e.value = readF64(r + 32);
+    e.wall_ns = readU64(r + 40);
+    e.flow = readU64(r + 48);
+    e.category = readU32(r + 56);
+    e.name = readU32(r + 60);
+    const std::uint32_t table =
+        static_cast<std::uint32_t>(trace.strings.size());
+    if (e.category >= table || e.name >= table) {
+      const std::uint32_t bad = e.category >= table ? e.category : e.name;
+      throw BinlogError(
+          BinlogErrorKind::BadStringRef,
+          origin + ": event " + std::to_string(trace.events.size()) +
+              " references string id " + std::to_string(bad) +
+              " but only " + std::to_string(table) +
+              " string(s) are defined at this point");
+    }
+    trace.events.push_back(e);
+  }
+}
+
+void decodeMetaChunk(PayloadReader& p, BinaryTrace& trace) {
+  const std::uint32_t processes = p.u32("process-name count");
+  for (std::uint32_t i = 0; i < processes; ++i) {
+    const std::uint32_t pid = p.u32("process id");
+    const std::uint32_t len = p.u32("process name length");
+    const char* data = p.take(len, "process name");
+    trace.process_names[pid] = std::string(data, len);
+  }
+  const std::uint32_t threads = p.u32("thread-name count");
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    const std::uint32_t pid = p.u32("thread process id");
+    const std::uint32_t tid = p.u32("thread id");
+    const std::uint32_t len = p.u32("thread name length");
+    const char* data = p.take(len, "thread name");
+    trace.thread_names[{pid, tid}] = std::string(data, len);
+  }
+  p.requireDrained();
+}
+
+void decodeFooterChunk(PayloadReader& p, const std::string& origin,
+                       BinaryTrace& trace) {
+  if (p.remaining() != 40) {
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin + ": footer chunk payload is " +
+                          std::to_string(p.remaining()) +
+                          " byte(s), expected 40");
+  }
+  const std::uint64_t event_count = p.u64("footer event count");
+  const std::uint64_t string_count = p.u64("footer string count");
+  trace.totals.recorded = p.u64("footer recorded total");
+  trace.totals.dropped = p.u64("footer dropped total");
+  trace.totals.streamed = p.u64("footer streamed total");
+  if (event_count != trace.events.size()) {
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin + ": footer declares " +
+                          std::to_string(event_count) + " event(s) but " +
+                          std::to_string(trace.events.size()) +
+                          " were decoded");
+  }
+  if (string_count != trace.strings.size()) {
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin + ": footer declares " +
+                          std::to_string(string_count) + " string(s) but " +
+                          std::to_string(trace.strings.size()) +
+                          " were decoded");
+  }
+}
+
+}  // namespace
+
+BinaryTrace decodeBinaryTrace(const std::string& bytes,
+                              const std::string& origin) {
+  FileReader reader(bytes, origin);
+  const char* magic = reader.take(sizeof(kBinlogMagic), "file magic");
+  if (std::memcmp(magic, kBinlogMagic, sizeof(kBinlogMagic)) != 0) {
+    throw BinlogError(BinlogErrorKind::BadMagic,
+                      origin + ": not a binary trace file (bad magic)");
+  }
+  const std::uint32_t version = reader.u32("format version");
+  if (version != kBinlogVersion) {
+    throw BinlogError(
+        BinlogErrorKind::BadVersion,
+        origin + ": binary trace format version " + std::to_string(version) +
+            " is not supported (this build reads version " +
+            std::to_string(kBinlogVersion) + ")");
+  }
+  BinaryTrace trace;
+  trace.version = version;
+  std::uint64_t trailer = kFnvOffset;
+  trailer = fnvWordStep(trailer, readU64(bytes.data()));
+  trailer = fnvWordStep(trailer, version);
+  bool footer_seen = false;
+  while (!footer_seen) {
+    if (reader.remaining() == 0) {
+      throw BinlogError(BinlogErrorKind::MissingFooter,
+                        origin + ": file ends after " +
+                            std::to_string(reader.offset()) +
+                            " byte(s) without a footer chunk");
+    }
+    const std::uint32_t kind = reader.u32("chunk kind");
+    const std::uint64_t payload_len = reader.u64("chunk payload length");
+    const char* payload = reader.take(payload_len, "chunk payload");
+    const std::uint64_t want = reader.u64("chunk checksum");
+    const std::uint64_t got = binlogChecksum(payload, payload_len);
+    if (got != want) {
+      char buf[112];
+      std::snprintf(buf, sizeof(buf),
+                    ": chunk kind %u payload checksum mismatch "
+                    "(stored 0x%016llx, computed 0x%016llx)",
+                    static_cast<unsigned>(kind),
+                    static_cast<unsigned long long>(want),
+                    static_cast<unsigned long long>(got));
+      throw BinlogError(BinlogErrorKind::ChunkChecksum, origin + buf);
+    }
+    trailer = fnvWordStep(trailer, kind);
+    trailer = fnvWordStep(trailer, payload_len);
+    trailer = fnvWordStep(trailer, want);
+    switch (kind) {
+      case binchunk::kStrings: {
+        PayloadReader p(payload, payload_len, origin, "strings");
+        decodeStringsChunk(p, trace);
+        break;
+      }
+      case binchunk::kEvents: {
+        PayloadReader p(payload, payload_len, origin, "events");
+        decodeEventsChunk(p, origin, trace);
+        break;
+      }
+      case binchunk::kMeta: {
+        PayloadReader p(payload, payload_len, origin, "meta");
+        decodeMetaChunk(p, trace);
+        break;
+      }
+      case binchunk::kFooter: {
+        PayloadReader p(payload, payload_len, origin, "footer");
+        decodeFooterChunk(p, origin, trace);
+        footer_seen = true;
+        break;
+      }
+      default:
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin + ": unknown chunk kind " +
+                              std::to_string(kind));
+    }
+  }
+  const std::uint64_t want = reader.u64("file checksum");
+  const std::uint64_t got = trailer;
+  if (got != want) {
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  ": file checksum mismatch "
+                  "(stored 0x%016llx, computed 0x%016llx)",
+                  static_cast<unsigned long long>(want),
+                  static_cast<unsigned long long>(got));
+    throw BinlogError(BinlogErrorKind::FileChecksum, origin + buf);
+  }
+  if (reader.remaining() != 0) {
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin + ": " + std::to_string(reader.remaining()) +
+                          " trailing byte(s) after the file checksum");
+  }
+  return trace;
+}
+
+BinaryTrace readBinaryTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw BinlogError(BinlogErrorKind::Io,
+                      path + ": cannot open binary trace for reading");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw BinlogError(BinlogErrorKind::Io, path + ": binary trace read failed");
+  }
+  return decodeBinaryTrace(bytes, path);
+}
+
+// --- Writer -----------------------------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(TraceSink& sink, const std::string& path,
+                                     BinaryTraceWriterConfig config)
+    : sink_(sink),
+      config_(config),
+      file_(path, std::ios::binary | std::ios::trunc),
+      file_mode_(true),
+      trailer_fnv_(kFnvOffset) {
+  resetChunkLanesLocked();
+  file_ok_ = static_cast<bool>(file_);
+  staged_.reserve(config_.flush_bytes + (config_.flush_bytes >> 2));
+  growPendingLocked(config_.flush_bytes + kBinlogEventBytes);
+  pending_strings_.assign(4, '\0');
+  char header[sizeof(kBinlogMagic) + 4];
+  std::memcpy(header, kBinlogMagic, sizeof(kBinlogMagic));
+  putU32(header + sizeof(kBinlogMagic), kBinlogVersion);
+  emitRawLocked(header, sizeof(header));
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, readU64(header));
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, kBinlogVersion);
+  sink_.setDrainHook(&BinaryTraceWriter::drainThunk, this,
+                     config_.occupancy_watermark, config_.time_watermark);
+}
+
+BinaryTraceWriter::BinaryTraceWriter(TraceSink& sink, std::string* out,
+                                     BinaryTraceWriterConfig config)
+    : sink_(sink),
+      config_(config),
+      out_(out),
+      trailer_fnv_(kFnvOffset) {
+  resetChunkLanesLocked();
+  growPendingLocked(config_.flush_bytes + kBinlogEventBytes);
+  pending_strings_.assign(4, '\0');
+  char header[sizeof(kBinlogMagic) + 4];
+  std::memcpy(header, kBinlogMagic, sizeof(kBinlogMagic));
+  putU32(header + sizeof(kBinlogMagic), kBinlogVersion);
+  emitRawLocked(header, sizeof(header));
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, readU64(header));
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, kBinlogVersion);
+  sink_.setDrainHook(&BinaryTraceWriter::drainThunk, this,
+                     config_.occupancy_watermark, config_.time_watermark);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() { close(); }
+
+void BinaryTraceWriter::drainThunk(void* ctx) {
+  static_cast<BinaryTraceWriter*>(ctx)->drain();
+}
+
+void BinaryTraceWriter::segmentThunk(void* ctx, const TraceEvent* events,
+                                     std::size_t count) {
+  // Runs under the *sink* lock from drainSegments; the writer lock is
+  // already held by drain()/close().
+  static_cast<BinaryTraceWriter*>(ctx)->appendLocked(events, count);
+}
+
+void BinaryTraceWriter::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  if (sink_.drainSegments(&BinaryTraceWriter::segmentThunk, this) > 0) {
+    ++batches_;
+    if (pending_size_ >= config_.flush_bytes) {
+      sealEventsChunkLocked();
+    }
+  }
+}
+
+void BinaryTraceWriter::append(const TraceEvent* events, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  appendLocked(events, count);
+  if (pending_size_ >= config_.flush_bytes) {
+    sealEventsChunkLocked();
+  }
+}
+
+bool BinaryTraceWriter::probeSlot(const char* text,
+                                  std::uint32_t& id) const noexcept {
+  const auto key = reinterpret_cast<std::uintptr_t>(text);
+  std::size_t i = static_cast<std::size_t>(
+                      (static_cast<std::uint64_t>(key) *
+                       0x9e3779b97f4a7c15ULL) >> 32) &
+                  (kInternSlots - 1);
+  for (std::size_t probe = 0; probe < kInternSlots; ++probe) {
+    const InternSlot& slot = intern_slots_[i];
+    if (slot.ptr == text) {
+      id = slot.id;
+      return true;
+    }
+    if (slot.ptr == nullptr) return false;
+    i = (i + 1) & (kInternSlots - 1);
+  }
+  return false;
+}
+
+std::uint32_t BinaryTraceWriter::internLocked(const char* text) {
+  const auto key = reinterpret_cast<std::uintptr_t>(text);
+  std::size_t i = static_cast<std::size_t>(
+                      (static_cast<std::uint64_t>(key) *
+                       0x9e3779b97f4a7c15ULL) >> 32) &
+                  (kInternSlots - 1);
+  InternSlot* claim = nullptr;
+  for (std::size_t probe = 0; probe < kInternSlots; ++probe) {
+    InternSlot& slot = intern_slots_[i];
+    if (slot.ptr == text) return slot.id;
+    if (slot.ptr == nullptr) {
+      claim = &slot;
+      break;
+    }
+    i = (i + 1) & (kInternSlots - 1);
+  }
+  // Slow path: resolve by content so two distinct literals with equal text
+  // share one id (ids then depend only on the event stream, not on linker
+  // layout).
+  std::string content(text);
+  auto [it, inserted] = intern_by_content_.try_emplace(content, 0);
+  if (inserted) {
+    it->second = next_string_id_++;
+    appendU32(pending_strings_, static_cast<std::uint32_t>(content.size()));
+    pending_strings_ += content;
+    ++pending_string_count_;
+  }
+  if (claim != nullptr) {
+    claim->ptr = text;
+    claim->id = it->second;
+  }
+  return it->second;
+}
+
+void BinaryTraceWriter::resetChunkLanesLocked() {
+  for (unsigned i = 0; i < 4; ++i) chunk_lanes_[i] = fnvLaneSeed(i);
+}
+
+void BinaryTraceWriter::growPendingLocked(std::size_t need) {
+  std::size_t cap = pending_cap_ == 0 ? (std::size_t{1} << 16) : pending_cap_;
+  while (cap < need) cap *= 2;
+  // Over-allocate so the record area can start on a 64-byte boundary:
+  // records are 64 bytes and pending_size_ only ever grows by whole
+  // records, so every record lands 32-byte aligned -- what the x86 fast
+  // path's non-temporal stores require.
+  auto grown = std::make_unique<char[]>(cap + 63);
+  char* const base = reinterpret_cast<char*>(
+      (reinterpret_cast<std::uintptr_t>(grown.get()) + 63) &
+      ~static_cast<std::uintptr_t>(63));
+  if (pending_size_ > 0) {
+    std::memcpy(base, pending_base_, pending_size_);
+  }
+  pending_data_ = std::move(grown);
+  pending_base_ = base;
+  pending_cap_ = cap;
+}
+
+
+#if IOBTS_BINLOG_X86
+__attribute__((target("avx2"))) std::size_t BinaryTraceWriter::encodeRunAvx2(
+    const InternSlot* slots, const TraceEvent*& ev_io, std::size_t count,
+    char*& dst_io, std::uint64_t* lanes_io) {
+  const TraceEvent* IOBTS_RESTRICT ev = ev_io;
+  char* IOBTS_RESTRICT dst = dst_io;
+  // All four checksum lanes ride in one 256-bit register; rotl1 across
+  // them is two shifts and an or.
+  __m256i lanes =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes_io));
+  const auto probe = [slots](const char* text, std::uint32_t& id) noexcept {
+    const auto key = reinterpret_cast<std::uintptr_t>(text);
+    std::size_t i = static_cast<std::size_t>(
+                        (static_cast<std::uint64_t>(key) *
+                         0x9e3779b97f4a7c15ULL) >> 32) &
+                    (kInternSlots - 1);
+    for (std::size_t p = 0; p < kInternSlots; ++p) {
+      const InternSlot& slot = slots[i];
+      if (slot.ptr == text) {
+        id = slot.id;
+        return true;
+      }
+      if (slot.ptr == nullptr) return false;
+      i = (i + 1) & (kInternSlots - 1);
+    }
+    return false;
+  };
+  // Consecutive events nearly always share a category (a component's spans
+  // and counters carry the same one), so one register-resident cache entry
+  // turns most category lookups into a pointer compare. Names typically
+  // *alternate* -- a span name and a counter name per dispatch -- which a
+  // single entry never catches, so names get two entries.
+  const char* cached_category = nullptr;
+  std::uint32_t cached_category_id = 0;
+  const char* cached_name0 = nullptr;
+  const char* cached_name1 = nullptr;
+  std::uint32_t cached_name0_id = 0;
+  std::uint32_t cached_name1_id = 0;
+  std::size_t n = 0;
+  for (; n < count; ++n, ++ev) {
+    std::uint32_t name_id;
+    if (ev->category != cached_category) {
+      if (!probe(ev->category, cached_category_id)) break;
+      cached_category = ev->category;
+    }
+    if (ev->name == cached_name0) {
+      name_id = cached_name0_id;
+    } else if (ev->name == cached_name1) {
+      name_id = cached_name1_id;
+    } else {
+      if (!probe(ev->name, name_id)) break;
+      cached_name1 = cached_name0;
+      cached_name1_id = cached_name0_id;
+      cached_name0 = ev->name;
+      cached_name0_id = name_id;
+    }
+    const std::uint64_t ids =
+        cached_category_id | (static_cast<std::uint64_t>(name_id) << 32);
+    static_assert(offsetof(TraceEvent, category) == 56);
+    const char* IOBTS_RESTRICT src = reinterpret_cast<const char*>(&ev->ts);
+    // Record words 0..3 / 4..7: the low half is verbatim event bytes; the
+    // high half swaps the string pointers (word 7) for the interned ids
+    // via a blend (cheaper than a cross-lane insert).
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+    const __m256i hi = _mm256_blend_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32)),
+        _mm256_set1_epi64x(static_cast<long long>(ids)), 0xC0);
+    // Non-temporal stores: the record area is written once and not read
+    // again until the chunk seals (the checksum folds from the source
+    // event), so bypassing the cache skips the read-for-ownership traffic
+    // a regular store would add per line -- on a bandwidth-bound encode
+    // that is the difference that puts the binary sink ahead of the JSON
+    // streamer. dst is 32-byte aligned by construction (see
+    // growPendingLocked).
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst), lo);
+    _mm256_stream_si256(reinterpret_cast<__m256i*>(dst + 32), hi);
+    // Two generic checksum rounds (word j -> lane j % 4); rotl1 across
+    // all four lanes is two shifts and an or.
+    lanes = _mm256_xor_si256(
+        _mm256_or_si256(_mm256_slli_epi64(lanes, 1),
+                        _mm256_srli_epi64(lanes, 63)),
+        lo);
+    lanes = _mm256_xor_si256(
+        _mm256_or_si256(_mm256_slli_epi64(lanes, 1),
+                        _mm256_srli_epi64(lanes, 63)),
+        hi);
+    dst += kBinlogEventBytes;
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes_io), lanes);
+  // Order the streaming stores before anything the caller publishes.
+  _mm_sfence();
+  ev_io = ev;
+  dst_io = dst;
+  return n;
+}
+#endif  // IOBTS_BINLOG_X86
+
+void BinaryTraceWriter::appendLocked(const TraceEvent* events,
+                                     std::size_t count) {
+  // One capacity check covers the whole batch (the ring hands us whole
+  // segments). The inner loop is deliberately call-free: string ids come
+  // from an inline probe of the pointer-keyed slot table, and an intern
+  // *miss* breaks out to the cold path below (which registers the string
+  // and encodes that one record) before the tight loop re-enters. With no
+  // call inside it, the checksum lanes live in vector registers for the
+  // whole run instead of spilling around a potential internLocked() call.
+  // This loop is the reason the binary sink undercuts the JSON streamer's
+  // copy-out in BENCH_obs_overhead.json.
+  const std::size_t need = pending_size_ + count * kBinlogEventBytes;
+  if (need > pending_cap_) growPendingLocked(need);
+  char* dst = pending_base_ + pending_size_;
+  const TraceEvent* ev = events;
+  std::uint64_t lanes[4];
+  for (unsigned w = 0; w < 4; ++w) lanes[w] = chunk_lanes_[w];
+  std::size_t n = 0;
+  while (n < count) {
+#if IOBTS_BINLOG_X86
+    if (use_avx2_) {
+      n += encodeRunAvx2(intern_slots_, ev, count - n, dst, lanes);
+    } else
+#endif
+    for (; n < count; ++n, ++ev) {
+      std::uint32_t category_id;
+      std::uint32_t name_id;
+      if (!probeSlot(ev->category, category_id) ||
+          !probeSlot(ev->name, name_id)) {
+        break;
+      }
+      const std::uint64_t ids =
+          category_id | (static_cast<std::uint64_t>(name_id) << 32);
+      if constexpr (kHostLittleEndian) {
+        // TraceEvent was laid out for this: ts through flow (with the
+        // explicit zero padding) is record words 0..6 byte for byte, so
+        // the translation is one bulk copy plus the one word that actually
+        // changes representation -- the interned ids replacing the string
+        // pointers. The checksum lanes fold from the *source* event (and
+        // the ids register), never from dst: reading dst 8 bytes at a time
+        // right after the wide bulk-copy stores would stall on
+        // store-to-load forwarding every record.
+        static_assert(offsetof(TraceEvent, category) == 56);
+        const char* IOBTS_RESTRICT src =
+            reinterpret_cast<const char*>(&ev->ts);
+        std::memcpy(dst, src, 56);
+        putU64(dst + 56, ids);
+        for (unsigned w = 0; w < 3; ++w) {
+          lanes[w] = rotl1(rotl1(lanes[w]) ^ readU64(src + 8 * w)) ^
+                     readU64(src + 8 * (w + 4));
+        }
+        lanes[3] = rotl1(rotl1(lanes[3]) ^ readU64(src + 24)) ^ ids;
+      } else {
+        putF64(dst, ev->ts);
+        putF64(dst + 8, ev->dur);
+        putU32(dst + 16, ev->pid);
+        putU32(dst + 20, ev->tid);
+        putU32(dst + 24, static_cast<std::uint8_t>(ev->phase));
+        putU32(dst + 28, 0);
+        putF64(dst + 32, ev->value);
+        putU64(dst + 40, ev->wall_ns);
+        putU64(dst + 48, ev->flow);
+        putU64(dst + 56, ids);
+        for (unsigned w = 0; w < 4; ++w) {
+          lanes[w] = rotl1(rotl1(lanes[w]) ^ readU64(dst + 8 * w)) ^
+                     readU64(dst + 8 * (w + 4));
+        }
+      }
+      dst += kBinlogEventBytes;
+    }
+    if (n >= count) break;
+    // Cold path: first sighting of a string pointer. internLocked claims a
+    // probe slot for it, so the tight loop resumes hitting.
+    const std::uint32_t category_id = internLocked(ev->category);
+    const std::uint32_t name_id = internLocked(ev->name);
+    const std::uint64_t ids =
+        category_id | (static_cast<std::uint64_t>(name_id) << 32);
+    if constexpr (kHostLittleEndian) {
+      const char* src = reinterpret_cast<const char*>(&ev->ts);
+      std::memcpy(dst, src, 56);
+      putU64(dst + 56, ids);
+      for (unsigned w = 0; w < 3; ++w) {
+        lanes[w] = rotl1(rotl1(lanes[w]) ^ readU64(src + 8 * w)) ^
+                   readU64(src + 8 * (w + 4));
+      }
+      lanes[3] = rotl1(rotl1(lanes[3]) ^ readU64(src + 24)) ^ ids;
+    } else {
+      putF64(dst, ev->ts);
+      putF64(dst + 8, ev->dur);
+      putU32(dst + 16, ev->pid);
+      putU32(dst + 20, ev->tid);
+      putU32(dst + 24, static_cast<std::uint8_t>(ev->phase));
+      putU32(dst + 28, 0);
+      putF64(dst + 32, ev->value);
+      putU64(dst + 40, ev->wall_ns);
+      putU64(dst + 48, ev->flow);
+      putU64(dst + 56, ids);
+      for (unsigned w = 0; w < 4; ++w) {
+        lanes[w] = rotl1(rotl1(lanes[w]) ^ readU64(dst + 8 * w)) ^
+                   readU64(dst + 8 * (w + 4));
+      }
+    }
+    dst += kBinlogEventBytes;
+    ++n;
+    ++ev;
+  }
+  for (unsigned w = 0; w < 4; ++w) chunk_lanes_[w] = lanes[w];
+  pending_size_ = need;
+  events_written_ += count;
+}
+
+void BinaryTraceWriter::emitRawLocked(const char* data, std::size_t size) {
+  bytes_written_ += size;
+  if (file_mode_) {
+    staged_.append(data, size);
+  } else if (out_ != nullptr) {
+    out_->append(data, size);
+  }
+}
+
+void BinaryTraceWriter::emitChunkLocked(std::uint32_t kind,
+                                        const std::string& payload) {
+  emitChunkLocked(kind, payload.data(), payload.size(),
+                  binlogChecksum(payload));
+}
+
+void BinaryTraceWriter::emitChunkLocked(std::uint32_t kind, const char* data,
+                                        std::size_t size,
+                                        std::uint64_t checksum) {
+  char header[12];
+  putU32(header, kind);
+  putU64(header + 4, size);
+  emitRawLocked(header, sizeof(header));
+  emitRawLocked(data, size);
+  char sum[8];
+  putU64(sum, checksum);
+  emitRawLocked(sum, sizeof(sum));
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, kind);
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, size);
+  trailer_fnv_ = fnvWordStep(trailer_fnv_, checksum);
+}
+
+void BinaryTraceWriter::sealEventsChunkLocked() {
+  if (pending_string_count_ > 0) {
+    putU32(pending_strings_.data(), pending_string_count_);
+    emitChunkLocked(binchunk::kStrings, pending_strings_);
+    pending_strings_.assign(4, '\0');
+    pending_string_count_ = 0;
+  }
+  if (pending_size_ > 0) {
+    // Finish the incrementally folded lanes exactly the way binlogChecksum
+    // would -- the seal never re-reads the payload.
+    std::uint64_t sum = kFnvOffset;
+    for (unsigned w = 0; w < 4; ++w) sum = fnvWordStep(sum, chunk_lanes_[w]);
+    sum = fnvWordStep(sum, pending_size_);
+    emitChunkLocked(binchunk::kEvents, pending_base_, pending_size_,
+                    sum);
+    pending_size_ = 0;
+    resetChunkLanesLocked();
+  }
+  flushFileLocked(false);
+}
+
+void BinaryTraceWriter::flushFileLocked(bool force) {
+  if (!file_mode_) return;
+  if (!file_ok_) {
+    staged_.clear();
+    return;
+  }
+  if (!force && staged_.size() < config_.flush_bytes) return;
+  if (!staged_.empty()) {
+    file_.write(staged_.data(), static_cast<std::streamsize>(staged_.size()));
+    if (!file_) file_ok_ = false;
+    staged_.clear();
+  }
+}
+
+bool BinaryTraceWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return !file_mode_ || file_ok_;
+  sink_.clearDrainHook();
+  if (sink_.drainSegments(&BinaryTraceWriter::segmentThunk, this) > 0) {
+    ++batches_;
+  }
+  sealEventsChunkLocked();
+  // Meta chunk last: every track name registered during the run is known by
+  // now (mirrors the streamer's metadata-at-close order).
+  {
+    std::string meta;
+    const auto processes = sink_.processNames();
+    appendU32(meta, static_cast<std::uint32_t>(processes.size()));
+    for (const auto& [pid, name] : processes) {
+      appendU32(meta, pid);
+      appendU32(meta, static_cast<std::uint32_t>(name.size()));
+      meta += name;
+    }
+    const auto threads = sink_.threadNames();
+    appendU32(meta, static_cast<std::uint32_t>(threads.size()));
+    for (const auto& [key, name] : threads) {
+      appendU32(meta, key.first);
+      appendU32(meta, key.second);
+      appendU32(meta, static_cast<std::uint32_t>(name.size()));
+      meta += name;
+    }
+    emitChunkLocked(binchunk::kMeta, meta);
+  }
+  {
+    std::string footer;
+    appendU64(footer, events_written_);
+    appendU64(footer, static_cast<std::uint64_t>(next_string_id_));
+    appendU64(footer, sink_.recorded());
+    appendU64(footer, sink_.dropped());
+    appendU64(footer, sink_.streamed());
+    emitChunkLocked(binchunk::kFooter, footer);
+  }
+  // The trailer digest already covers the header and every chunk summary
+  // (folded as each chunk was emitted); it is not part of its own hash.
+  char tail[8];
+  putU64(tail, trailer_fnv_);
+  bytes_written_ += sizeof(tail);
+  if (file_mode_) {
+    staged_.append(tail, sizeof(tail));
+    flushFileLocked(true);
+    file_.close();
+    if (!file_) file_ok_ = false;
+  } else if (out_ != nullptr) {
+    out_->append(tail, sizeof(tail));
+  }
+  closed_ = true;
+  return !file_mode_ || file_ok_;
+}
+
+bool BinaryTraceWriter::good() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !file_mode_ || file_ok_;
+}
+
+std::uint64_t BinaryTraceWriter::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_written_;
+}
+
+std::uint64_t BinaryTraceWriter::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+std::uint64_t BinaryTraceWriter::bytesWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+}  // namespace iobts::obs

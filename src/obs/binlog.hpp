@@ -1,0 +1,346 @@
+// Flight-recorder binary trace container ("binlog").
+//
+// Chrome trace JSON is great to *look at* and terrible to *stream*: every
+// event costs a Json object allocation plus ~200 bytes of text. The binlog
+// is the compact on-disk twin of the live stream -- a versioned,
+// length-prefixed, FNV-checksummed chunk container mirroring the src/ckpt
+// checkpoint discipline:
+//
+//   magic[8]  = "IOBTRCE\n"
+//   u32       format version (little-endian; currently 1)
+//   chunks, in order; per chunk:
+//     u32     chunk kind (strings / events / meta / footer)
+//     u64     payload length, then payload bytes
+//     u64     binlogChecksum() of the payload bytes
+//   (the footer chunk is always last)
+//   u64       trailer digest: FNV-1a over the words
+//             [magic, version, then per chunk: kind, length, checksum]
+//
+// Checksums (binlogChecksum) are four rotate-xor lanes over little-endian
+// 64-bit words -- word j feeds lane j % 4 as lane = rotl(lane, 1) ^ word,
+// the lanes are compressed with FNV-1a and the payload length bound last,
+// and a final partial word is zero-padded. Byte-wise FNV is a serial
+// xor-multiply chain at ~4 cycles per *byte*; the lane pass has no
+// multiplies at all, so the writer folds each record into the running
+// lanes the moment it is encoded (on x86-64, all four lanes in one vector
+// register) and sealing a chunk never re-reads its payload. The trailer
+// seals the chunk *sequence* rather than re-hashing every file byte:
+// payload integrity is already sealed per chunk, so the trailer only needs
+// to bind the header and each chunk's (kind, length, checksum) summary --
+// O(1) per chunk instead of a second full pass over the event stream.
+//
+// Chunk payloads (all integers little-endian, doubles as raw IEEE-754 bit
+// patterns, so the encoding is identical on every host and round-trips
+// exactly):
+//
+//   strings:  u32 count, then per string u32 length + bytes. Ids are
+//             assigned implicitly in file order (append to the table); an
+//             event may only reference ids from *earlier* chunks.
+//   events:   packed 64-byte records, nothing else -- the record count is
+//             payload length / 64 (a payload that is not a whole number of
+//             records is Malformed). Record layout, deliberately identical
+//             to the in-memory TraceEvent through its first 56 bytes so
+//             encoding is one bulk copy plus the interned-ids word:
+//             f64 ts @0, f64 dur @8, u32 pid @16, u32 tid @20,
+//             u32 phase @24, u32 reserved=0 @28, f64 value @32,
+//             u64 wall_ns @40, u64 flow @48, u32 category id @56,
+//             u32 name id @60.
+//   meta:     u32 process-name count, per entry u32 pid + u32 len + bytes;
+//             u32 thread-name count, per entry u32 pid + u32 tid +
+//             u32 len + bytes.
+//   footer:   u64 event count, u64 string count, u64 recorded,
+//             u64 dropped, u64 streamed (the sink's counters at close --
+//             exactly what the live streamer writes into "otherData").
+//
+// The writer hangs off TraceSink's drain hook like a TraceStreamer, but
+// drains through TraceSink::drainSegments -- events are encoded straight
+// out of the ring with no staging vector and no per-event allocation,
+// which is what makes the binary sink *cheaper* than the streamed JSON
+// sink (BM_DispatchTracingBinary vs BM_DispatchTracingStreamed in
+// BENCH_obs_overhead.json).
+//
+// Reading is strict, ckpt-style: every length is bounds-checked before
+// use, per-chunk checksums are verified before payloads are surfaced,
+// string references are validated, trailing bytes after the file checksum
+// are an error, and every failure carries a BinlogError::Kind naming the
+// *first* defect. The corrupt-trace corpus under traces/invalid/ pins one
+// diagnostic per kind.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+// x86-64 builds get a runtime-dispatched AVX2 fast path for the writer's
+// record encoder (baseline code stays generic; the wide path is selected
+// per-process with __builtin_cpu_supports).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define IOBTS_BINLOG_X86 1
+#else
+#define IOBTS_BINLOG_X86 0
+#endif
+
+namespace iobts::obs {
+
+/// Container format version this build writes and the only one it reads.
+/// Bump on any change to the chunk layout or the packed event record.
+inline constexpr std::uint32_t kBinlogVersion = 1;
+
+/// The 8-byte file magic.
+inline constexpr char kBinlogMagic[8] = {'I', 'O', 'B', 'T', 'R', 'C', 'E',
+                                         '\n'};
+
+/// Bytes of one packed event record inside an events chunk (eight words;
+/// the alignment is what lets the writer checksum records incrementally).
+inline constexpr std::size_t kBinlogEventBytes = 64;
+
+/// Chunk kind tags (the u32 leading each chunk). Exposed so the corrupt-
+/// corpus generator and structural tests can build containers by hand.
+namespace binchunk {
+inline constexpr std::uint32_t kStrings = 1;
+inline constexpr std::uint32_t kEvents = 2;
+inline constexpr std::uint32_t kMeta = 3;
+inline constexpr std::uint32_t kFooter = 4;
+}  // namespace binchunk
+
+/// Everything that can be wrong with a binary trace, from the outside in.
+/// The reader never continues past a defect.
+enum class BinlogErrorKind : int {
+  Io,             ///< cannot open / read / write the file at all
+  Truncated,      ///< file ends before a declared length is satisfied
+  BadMagic,       ///< first 8 bytes are not "IOBTRCE\n"
+  BadVersion,     ///< container version this build does not speak
+  ChunkChecksum,  ///< a chunk payload fails its FNV checksum
+  FileChecksum,   ///< the whole-file trailer checksum fails
+  Malformed,      ///< structurally invalid (unknown chunk kind, bad counts,
+                  ///< payload size mismatch, trailing bytes)
+  MissingFooter,  ///< file ends cleanly but no footer chunk was seen
+  BadStringRef,   ///< an event references a string id not yet defined
+};
+
+/// Stable lowercase name for a BinlogErrorKind ("truncated", "bad_magic",
+/// ...). The invalid-corpus sweep keys on these.
+const char* binlogErrorKindName(BinlogErrorKind kind) noexcept;
+
+/// The container's checksum: four rotate-xor lanes over little-endian
+/// 64-bit words compressed with FNV-1a, final partial word zero-padded
+/// (see the format comment above). Exposed so the corrupt-corpus generator
+/// and structural tests can build and repair containers by hand.
+std::uint64_t binlogChecksum(const char* data, std::size_t size) noexcept;
+inline std::uint64_t binlogChecksum(const std::string& bytes) noexcept {
+  return binlogChecksum(bytes.data(), bytes.size());
+}
+
+/// Recompute the trailer digest for a complete container body (everything
+/// up to but excluding the trailing 8-byte digest) by walking its chunk
+/// sequence. Throws BinlogError (Truncated) if the body is not a whole
+/// number of chunks. Corpus generation and tamper-and-repair tests use
+/// this; the reader folds the same digest incrementally while it parses.
+std::uint64_t binlogTrailerDigest(const char* data, std::size_t size);
+inline std::uint64_t binlogTrailerDigest(const std::string& body) {
+  return binlogTrailerDigest(body.data(), body.size());
+}
+
+class BinlogError : public std::runtime_error {
+ public:
+  BinlogError(BinlogErrorKind kind, std::string message)
+      : std::runtime_error(std::move(message)), kind_(kind) {}
+
+  BinlogErrorKind kind() const noexcept { return kind_; }
+  const char* kindName() const noexcept { return binlogErrorKindName(kind_); }
+
+ private:
+  BinlogErrorKind kind_;
+};
+
+/// Sink accounting snapshot stored in the footer -- the same three totals
+/// the live streamer writes into the Chrome document's "otherData".
+struct BinlogTotals {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t streamed = 0;
+};
+
+/// One decoded event: a TraceEvent with the string pointers replaced by
+/// indices into BinaryTrace::strings.
+struct BinEvent {
+  sim::Time ts = 0.0;
+  sim::Time dur = 0.0;
+  std::uint32_t category = 0;
+  std::uint32_t name = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  Phase phase = Phase::Instant;
+  double value = 0.0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t flow = 0;
+};
+
+/// A decoded binary trace: events in file (= recording) order plus the
+/// interned string table, track names, and footer totals.
+struct BinaryTrace {
+  std::uint32_t version = kBinlogVersion;
+  std::vector<std::string> strings;
+  std::vector<BinEvent> events;
+  std::map<std::uint32_t, std::string> process_names;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names;
+  BinlogTotals totals;
+
+  /// Materialize event `i` as a TraceEvent whose category/name point into
+  /// `strings`. Valid while this BinaryTrace (and its string table) lives
+  /// and is not mutated.
+  TraceEvent event(std::size_t i) const;
+};
+
+/// Strict parse of container bytes; `origin` names the source (file path or
+/// "<memory>") in diagnostics. Throws BinlogError.
+BinaryTrace decodeBinaryTrace(const std::string& bytes,
+                              const std::string& origin);
+
+/// Read + decodeBinaryTrace. Throws BinlogError (Io if unreadable).
+BinaryTrace readBinaryTrace(const std::string& path);
+
+/// True when `bytes` begin with the binary-trace magic. Offline tools use
+/// this to tell a flight-recorder file from Chrome trace JSON and point the
+/// user at the right tool.
+bool looksLikeBinaryTrace(const std::string& bytes) noexcept;
+
+struct BinaryTraceWriterConfig {
+  /// Drain-hook watermarks, identical semantics to TraceStreamerConfig: a
+  /// drain fires when ring occupancy reaches this fraction of capacity...
+  double occupancy_watermark = 0.5;
+  /// ...or when an event lands this many virtual seconds past the previous
+  /// drain (0 = occupancy only).
+  sim::Time time_watermark = 0.0;
+  /// File mode: finished chunks accumulate in memory and flush to the file
+  /// once the staging buffer exceeds this size (and at close).
+  std::size_t flush_bytes = 1 << 20;
+};
+
+/// Incremental binary exporter bound to one TraceSink. Construction
+/// installs the sink's drain hook (one streamer/writer per sink at a
+/// time); close()/destruction drains the remainder, appends the meta and
+/// footer chunks plus the file checksum, and uninstalls the hook.
+///
+/// Determinism: the byte stream is a pure function of the recorded events
+/// and the sink's registered track names, so with wall capture off two
+/// identical runs produce byte-identical binlogs at any thread count (the
+/// sharded coordinator replays staged events in canonical shard order
+/// before they ever reach the sink).
+class BinaryTraceWriter {
+ public:
+  /// File mode: stream the container to `path`. Check good() after
+  /// construction for open failures.
+  BinaryTraceWriter(TraceSink& sink, const std::string& path,
+                    BinaryTraceWriterConfig config = {});
+  /// Memory mode: append the container bytes to `*out`. A null `out`
+  /// discards the bytes after accounting -- the benchmark configuration,
+  /// measuring encode cost without unbounded retention.
+  BinaryTraceWriter(TraceSink& sink, std::string* out,
+                    BinaryTraceWriterConfig config = {});
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  /// Drain whatever the ring currently holds (also called by the sink's
+  /// watermark trigger). Safe from any thread.
+  void drain();
+
+  /// Encode `count` events directly (bypassing the sink). The drain path
+  /// uses this internally; benchmarks and the sharded replay path may call
+  /// it straight.
+  void append(const TraceEvent* events, std::size_t count);
+
+  /// Final drain + meta/footer chunks + file checksum + hook removal.
+  /// Idempotent. Returns false if any file write failed (memory mode
+  /// always returns true).
+  bool close();
+
+  bool good() const;
+  /// Events encoded so far.
+  std::uint64_t events() const;
+  /// Drain batches delivered so far.
+  std::uint64_t batches() const;
+  /// Container bytes emitted so far (finished chunks; excludes the open
+  /// events chunk still being buffered).
+  std::uint64_t bytesWritten() const;
+
+ private:
+  static void drainThunk(void* ctx);
+  static void segmentThunk(void* ctx, const TraceEvent* events,
+                           std::size_t count);
+  void appendLocked(const TraceEvent* events, std::size_t count);
+  std::uint32_t internLocked(const char* text);
+  bool probeSlot(const char* text, std::uint32_t& id) const noexcept;
+#if IOBTS_BINLOG_X86
+  struct InternSlot;
+  // Tight-loop encoder for appendLocked: packs records and folds the
+  // checksum lanes with 256-bit ops (all four lanes live in one register).
+  // Stops at an intern miss; returns how many records it encoded and
+  // advances ev/dst. Only called when use_avx2_ is set.
+  __attribute__((target("avx2"))) static std::size_t encodeRunAvx2(
+      const InternSlot* slots, const TraceEvent*& ev, std::size_t count,
+      char*& dst, std::uint64_t* lanes);
+#endif
+  void sealEventsChunkLocked();
+  void emitChunkLocked(std::uint32_t kind, const std::string& payload);
+  void emitChunkLocked(std::uint32_t kind, const char* data, std::size_t size,
+                       std::uint64_t checksum);
+  void growPendingLocked(std::size_t need);
+  void resetChunkLanesLocked();
+  void emitRawLocked(const char* data, std::size_t size);
+  void flushFileLocked(bool force);
+
+  TraceSink& sink_;
+  mutable std::mutex mutex_;
+  BinaryTraceWriterConfig config_;
+  std::ofstream file_;
+  bool file_mode_ = false;
+  bool file_ok_ = true;
+  bool closed_ = false;
+  std::string* out_ = nullptr;  // memory mode target (may be null: discard)
+  std::string staged_;          // finished chunks awaiting flush (file mode)
+  // Packed records of the open events chunk. A raw buffer, not a
+  // std::string: the hot loop claims the whole batch's bytes with one
+  // capacity check and encodes records in place, with no per-record
+  // size/capacity bookkeeping.
+  std::unique_ptr<char[]> pending_data_;
+  char* pending_base_ = nullptr;  // 64-byte-aligned start within pending_data_
+                                  // (records stay 32-byte aligned for the
+                                  // wide encoder's streaming stores)
+  std::size_t pending_size_ = 0;
+  std::size_t pending_cap_ = 0;
+  std::string pending_strings_;  // new string-table entries not yet emitted
+  std::uint32_t pending_string_count_ = 0;
+  std::uint64_t trailer_fnv_;  // digest of header + chunk summaries so far
+  std::uint64_t chunk_lanes_[4];  // incremental checksum lanes of the open
+                                  // events chunk (see binlogChecksum)
+  // String interning: a pointer-keyed open-addressing fast path in front of
+  // a content-keyed map (the slow path unifies distinct literals with equal
+  // contents, so ids depend only on the event stream).
+  static constexpr std::size_t kInternSlots = 512;
+  struct InternSlot {
+    const char* ptr = nullptr;
+    std::uint32_t id = 0;
+  };
+  InternSlot intern_slots_[kInternSlots] = {};
+#if IOBTS_BINLOG_X86
+  const bool use_avx2_ = __builtin_cpu_supports("avx2");
+#endif
+  std::map<std::string, std::uint32_t> intern_by_content_;
+  std::uint32_t next_string_id_ = 0;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace iobts::obs

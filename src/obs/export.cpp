@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
+
+#include "obs/binlog.hpp"
 
 namespace iobts::obs {
 
@@ -69,9 +72,12 @@ Json traceEventJson(const TraceEvent& ev) {
   return Json(std::move(o));
 }
 
-JsonArray traceMetadataEvents(const TraceSink& sink) {
+JsonArray traceMetadataEvents(
+    const std::map<std::uint32_t, std::string>& process_names,
+    const std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>&
+        thread_names) {
   JsonArray events;
-  for (const auto& [pid, name] : sink.processNames()) {
+  for (const auto& [pid, name] : process_names) {
     JsonObject o;
     o["name"] = Json("process_name");
     o["ph"] = Json("M");
@@ -79,7 +85,7 @@ JsonArray traceMetadataEvents(const TraceSink& sink) {
     o["args"] = Json(JsonObject{{"name", Json(name)}});
     events.push_back(Json(std::move(o)));
   }
-  for (const auto& [key, name] : sink.threadNames()) {
+  for (const auto& [key, name] : thread_names) {
     JsonObject o;
     o["name"] = Json("thread_name");
     o["ph"] = Json("M");
@@ -89,6 +95,10 @@ JsonArray traceMetadataEvents(const TraceSink& sink) {
     events.push_back(Json(std::move(o)));
   }
   return events;
+}
+
+JsonArray traceMetadataEvents(const TraceSink& sink) {
+  return traceMetadataEvents(sink.processNames(), sink.threadNames());
 }
 
 Json chromeTraceJson(const TraceSink& sink) {
@@ -105,7 +115,7 @@ Json chromeTraceJson(const TraceSink& sink) {
       {"recorded", Json(sink.recorded())},
       {"dropped", Json(sink.dropped())},
       {"streamed", Json(sink.streamed())},
-      {"clock", Json("virtual (1 us trace time = 1 us simulated)")},
+      {"clock", Json(kTraceClockNote)},
   });
   return Json(std::move(doc));
 }
@@ -119,6 +129,50 @@ bool writeChromeTrace(const TraceSink& sink, const std::string& path) {
   if (!out) return false;
   out << chromeTraceString(sink) << '\n';
   return static_cast<bool>(out);
+}
+
+Json loadChromeTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(path + ": cannot open trace file");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error(path + ": trace file read failed");
+  }
+  if (text.empty()) {
+    throw std::runtime_error(path +
+                             ": empty file (expected a Chrome trace JSON "
+                             "document with a \"traceEvents\" array)");
+  }
+  if (looksLikeBinaryTrace(text)) {
+    throw std::runtime_error(
+        path +
+        ": this is a binary flight-recorder trace (IOBTRCE), not Chrome "
+        "trace JSON; read it with iobts_profile, or convert it with "
+        "iobts_profile --to-chrome");
+  }
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": invalid or truncated trace JSON: " +
+                             e.what());
+  }
+  if (!doc.isObject()) {
+    throw std::runtime_error(path +
+                             ": JSON document has no \"traceEvents\" array "
+                             "(not a Chrome trace export)");
+  }
+  const JsonObject& obj = doc.asObject();
+  const auto events = obj.find("traceEvents");
+  if (events == obj.end() || !events->second.isArray()) {
+    throw std::runtime_error(path +
+                             ": JSON document has no \"traceEvents\" array "
+                             "(not a Chrome trace export)");
+  }
+  return doc;
 }
 
 bool writeMetrics(const MetricsRegistry& registry, const std::string& path) {

@@ -17,13 +17,22 @@
 // deterministic across identical runs.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace iobts::obs {
+
+/// The "clock" note every export writes into "otherData" -- shared so the
+/// one-shot exporter, the live streamer, and the offline binlog converter
+/// stay byte-for-byte in agreement.
+inline constexpr const char* kTraceClockNote =
+    "virtual (1 us trace time = 1 us simulated)";
 
 /// Serialize one event to its Chrome trace-event object. Shared by the
 /// one-shot exporter below and the streaming exporter (obs/stream.hpp), so
@@ -33,6 +42,13 @@ Json traceEventJson(const TraceEvent& event);
 /// The ph "M" metadata records for the sink's registered process/thread
 /// names, in deterministic (sorted) order.
 JsonArray traceMetadataEvents(const TraceSink& sink);
+
+/// Same, from bare name maps -- the offline converter renders a decoded
+/// binary trace's track names through the identical code path.
+JsonArray traceMetadataEvents(
+    const std::map<std::uint32_t, std::string>& process_names,
+    const std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>&
+        thread_names);
 
 /// Build the Chrome trace document ({"traceEvents": [...], ...}).
 Json chromeTraceJson(const TraceSink& sink);
@@ -47,5 +63,12 @@ bool writeChromeTrace(const TraceSink& sink, const std::string& path);
 /// Convenience: write metrics (pretty JSON for ".json" paths, text table
 /// otherwise). Returns false on I/O failure.
 bool writeMetrics(const MetricsRegistry& registry, const std::string& path);
+
+/// Load a Chrome trace JSON document for offline tools, with precise
+/// diagnostics instead of a parser backtrace: distinguishes an unreadable
+/// file, an empty file, binary flight-recorder input (points at
+/// iobts_profile), invalid/truncated JSON, and a document without a
+/// "traceEvents" array. Throws std::runtime_error on all of those.
+Json loadChromeTraceFile(const std::string& path);
 
 }  // namespace iobts::obs

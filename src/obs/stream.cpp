@@ -80,7 +80,7 @@ bool TraceStreamer::close() {
         {"recorded", Json(sink_.recorded())},
         {"dropped", Json(sink_.dropped())},
         {"streamed", Json(sink_.streamed())},
-        {"clock", Json("virtual (1 us trace time = 1 us simulated)")},
+        {"clock", Json(kTraceClockNote)},
     };
     file_ << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":"
           << Json(other).dump() << "}\n";

@@ -1,10 +1,12 @@
 #include "obs/trace.hpp"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace iobts::obs {
 
@@ -210,6 +212,29 @@ std::size_t TraceSink::drainInto(std::vector<TraceEvent>& out) {
   return n;
 }
 
+std::size_t TraceSink::drainSegments(DrainSegmentFn fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = count_;
+  if (n == 0) return 0;
+  const std::size_t start =
+      count_ == config_.capacity ? head_ : (head_ + config_.capacity - count_) %
+                                               config_.capacity;
+  // The retained window is either one contiguous run or wraps once past the
+  // end of the ring; hand it over without copying.
+  const std::size_t first =
+      n < config_.capacity - start ? n : config_.capacity - start;
+  fn(ctx, ring_.data() + start, first);
+  if (first < n) fn(ctx, ring_.data(), n - first);
+  if (drain_interval_ > 0.0) {
+    next_drain_ts_ = ring_[(start + n - 1) % config_.capacity].ts +
+                     drain_interval_;
+    drain_ts_armed_ = true;
+  }
+  count_ = 0;
+  streamed_ += n;
+  return n;
+}
+
 void TraceSink::setDrainHook(void (*hook)(void*), void* ctx,
                              double occupancy_watermark,
                              sim::Time time_watermark) {
@@ -324,15 +349,34 @@ TraceSink* installThreadTraceSink(TraceSink* sink) noexcept {
   return std::exchange(detail::t_trace_sink_override, sink);
 }
 
+std::uint64_t parseJourneySampleStride(const char* text) noexcept {
+  if (text == nullptr || *text == '\0') return 0;
+  // Require a plain positive decimal integer. strtoull would silently
+  // accept leading whitespace, a sign (wrapping "-3" to a huge stride), and
+  // hex prefixes -- reject all of those up front.
+  if (*text < '0' || *text > '9') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;
+  if (errno == ERANGE) return 0;
+  if (parsed == 0) return 0;
+  return static_cast<std::uint64_t>(parsed);
+}
+
 namespace {
 
 std::uint64_t journeyStrideFromEnv() noexcept {
   const char* const value = std::getenv("IOBTS_TRACE_JOURNEY_SAMPLE");
   if (value == nullptr || *value == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || parsed == 0) return 1;
-  return static_cast<std::uint64_t>(parsed);
+  const std::uint64_t parsed = parseJourneySampleStride(value);
+  if (parsed == 0) {
+    IOBTS_LOG_WARN() << "IOBTS_TRACE_JOURNEY_SAMPLE='" << value
+                     << "' is not a positive integer; recording every "
+                        "journey (stride 1)";
+    return 1;
+  }
+  return parsed;
 }
 
 /// 0 = "use the environment value"; set via setJourneySampleStride().

@@ -75,16 +75,24 @@ inline constexpr std::uint32_t kTmio = 7;      // tmio tracer B_req (tid=rank)
 /// One recorded event. POD; `category` and `name` must point at storage
 /// that outlives the sink (instrumentation sites use string literals).
 struct TraceEvent {
+  // Field order is deliberate: everything from `ts` through `flow` -- with
+  // the padding after `phase` made explicit and always zero -- is one
+  // deterministic 56-byte run laid out exactly like words 0..6 of a binlog
+  // event record, so BinaryTraceWriter serializes an event as a single
+  // bulk copy plus the interned-ids word. The string pointers sit last,
+  // outside the copyable run, because they are what the binlog replaces.
   sim::Time ts = 0.0;    // virtual seconds (rtio: wall seconds since epoch)
   sim::Time dur = 0.0;   // virtual duration; Complete events only
-  const char* category = "";
-  const char* name = "";
   std::uint32_t pid = 0;
   std::uint32_t tid = 0;
   Phase phase = Phase::Instant;
+  std::uint8_t pad8[3] = {0, 0, 0};  // explicit padding, always zero
+  std::uint32_t reserved = 0;        // explicit padding, always zero
   double value = 0.0;        // counter value / generic numeric argument
   std::uint64_t wall_ns = 0; // real duration (0 unless wall capture is on)
   std::uint64_t flow = 0;    // journey id; flow events only (0 = none)
+  const char* category = "";
+  const char* name = "";
 };
 
 struct TraceSinkConfig {
@@ -182,6 +190,17 @@ class TraceSink {
   /// streamed (they leave the ring without counting as drops). Returns the
   /// number of events moved.
   std::size_t drainInto(std::vector<TraceEvent>& out);
+
+  /// Zero-copy drain: hand the retained events to `fn` as at most two
+  /// contiguous ring segments (oldest first), then mark them streamed.
+  /// `fn` runs *under the sink lock* directly against ring storage -- no
+  /// copy into a staging vector -- so it must be quick, must not record
+  /// into this sink, and must not call back into any sink method. The
+  /// binary trace writer (obs/binlog.hpp) encodes straight out of the ring
+  /// through this path. Returns the number of events handed over.
+  using DrainSegmentFn = void (*)(void* ctx, const TraceEvent* events,
+                                  std::size_t count);
+  std::size_t drainSegments(DrainSegmentFn fn, void* ctx);
 
   /// Install a drain trigger: after recording an event, `hook(ctx)` fires
   /// (outside the sink lock) when ring occupancy reaches
@@ -292,8 +311,17 @@ TraceSink* installThreadTraceSink(TraceSink* sink) noexcept;
 // reruns and across thread counts, and a kept journey is always complete
 // (all of its flow events share the id, so they all pass the same test).
 
+/// Parse an IOBTS_TRACE_JOURNEY_SAMPLE-style stride string. Returns the
+/// stride for a plain positive decimal integer and 0 for anything else:
+/// empty, signed ("-3", "+2"), zero, trailing garbage ("12x"), non-numeric,
+/// or out of uint64 range. Exposed so the rejection matrix is unit-testable
+/// without mutating the process environment.
+std::uint64_t parseJourneySampleStride(const char* text) noexcept;
+
 /// Current stride: 1 records every journey (the default). Reads
-/// IOBTS_TRACE_JOURNEY_SAMPLE once; setJourneySampleStride() overrides it.
+/// IOBTS_TRACE_JOURNEY_SAMPLE once; invalid values (zero, negative,
+/// garbage, overflow) fall back to 1 with a single warning.
+/// setJourneySampleStride() overrides it.
 std::uint64_t journeySampleStride() noexcept;
 
 /// Programmatic override for benchmarks/tests; 0 restores the environment

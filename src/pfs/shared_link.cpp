@@ -60,6 +60,7 @@ struct SharedLink::ChannelState {
   std::uint64_t sweep_generation = 0;
   Bytes bytes_moved = 0;
   StepSeries total_series;
+  StepSeries active_series;
   bool contended = false;
 
   // --- Fault-plane bookkeeping -------------------------------------------
@@ -571,7 +572,16 @@ void SharedLink::solveRates(ChannelState& cs, Channel channel,
   if (cs.degrade_factor != 1.0) contention_capacity *= cs.degrade_factor;
   cs.contended =
       n_groups >= 2 && total_demand > contention_capacity * 1.000001;
-  if (config_.record_total) cs.total_series.add(now, total_rate);
+  if (config_.record_total) {
+    cs.total_series.add(now, total_rate);
+    // Backlog twin of the rate series: how many transfers were live at each
+    // solve point. Feeds the run-summary timeline (utilization vs. backlog).
+    if (cs.active_series.empty() ||
+        cs.active_series.points().back().second !=
+            static_cast<double>(cs.active.size())) {
+      cs.active_series.add(now, static_cast<double>(cs.active.size()));
+    }
+  }
 }
 
 // --- Fault plane -----------------------------------------------------------
@@ -748,6 +758,10 @@ std::size_t SharedLink::streamCount() const noexcept {
 
 const StepSeries& SharedLink::totalRateSeries(Channel channel) const {
   return chan(channel).total_series;
+}
+
+const StepSeries& SharedLink::activeTransferSeries(Channel channel) const {
+  return chan(channel).active_series;
 }
 
 const StepSeries& SharedLink::streamRateSeries(StreamId stream,

@@ -193,6 +193,10 @@ class SharedLink {
   /// Sum of allocated rates over time (recorded when record_total is set).
   const StepSeries& totalRateSeries(Channel channel) const;
 
+  /// Number of live transfers over time (the channel's backlog), recorded at
+  /// the same solve points as totalRateSeries when record_total is set.
+  const StepSeries& activeTransferSeries(Channel channel) const;
+
   /// Per-stream allocated-rate series; requires setRecordStream(stream,true).
   const StepSeries& streamRateSeries(StreamId stream, Channel channel) const;
 

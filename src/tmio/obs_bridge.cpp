@@ -62,7 +62,10 @@ std::size_t annotateAppRequired(const Tracer& tracer, obs::TraceSink& sink) {
     const char* const name = channel == pfs::Channel::Read
                                  ? "tmio.app.breq.read"
                                  : "tmio.app.breq.write";
-    for (const auto& [t, v] : tracer.appRequiredSeries(channel).points()) {
+    // Bind the by-value series before iterating: points() returns a
+    // reference into it, which would dangle on a temporary.
+    const StepSeries series = tracer.appRequiredSeries(channel);
+    for (const auto& [t, v] : series.points()) {
       sink.counter("tmio", name, obs::track::kTmio,
                    static_cast<std::uint32_t>(c), t, v);
       ++samples;

@@ -1,0 +1,378 @@
+// Binary flight-recorder container tests: exact field round-trips through
+// the packed 64-byte record, content-keyed string interning, byte-identity
+// across identical runs and across file/memory modes, chunk sealing under
+// tiny flush thresholds, strict-reader rejection of every corruption kind
+// (in-memory mutations plus the checked-in traces/invalid/ corpus), and
+// the lossless Chrome conversion being byte-identical to what a live
+// TraceStreamer in file mode writes for the same run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/binlog.hpp"
+#include "obs/profile.hpp"
+#include "obs/stream.hpp"
+#include "obs/trace.hpp"
+
+namespace iobts::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A deterministic event mix covering every phase, value/wall_ns payloads,
+/// and journey ids above 2^53 (the doubles-can't-hold-this range).
+void recordMixedEvents(TraceSink& sink) {
+  sink.setProcessName(track::kStreams, "pfs streams");
+  sink.setProcessName(track::kAdio, "adio");
+  sink.setThreadName(track::kStreams, 0, "stream 0");
+  sink.complete("pfs", "transfer.write", track::kStreams, 0, 0.5, 0.25,
+                4096.0, /*wall_ns=*/1234);
+  sink.complete("pfs", "transfer.read", track::kStreams, 1, 1.0, 0.5, 8192.0);
+  sink.instant("adio", "adio.retry", track::kAdio, 0, 1.25, 3.0);
+  sink.counter("tmio", "tmio.app.breq.write", track::kTmio, 1, 1.5, 1.0e9);
+  sink.flowStart("journey", "io", track::kAdio, 0, 0.5,
+                 0xdeadbeefcafe0042ULL);
+  sink.flowStep("journey", "io", track::kStreams, 0, 0.6,
+                0xdeadbeefcafe0042ULL);
+  sink.flowEnd("journey", "io", track::kStreams, 0, 0.75,
+               0xdeadbeefcafe0042ULL);
+}
+
+std::string writtenTrace(BinaryTraceWriterConfig config = {}) {
+  TraceSink sink;
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes, config);
+    recordMixedEvents(sink);
+    EXPECT_TRUE(writer.close());
+    EXPECT_EQ(writer.events(), 7u);
+  }
+  return bytes;
+}
+
+TEST(Binlog, RoundTripPreservesEveryField) {
+  const std::string bytes = writtenTrace();
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  ASSERT_EQ(trace.events.size(), 7u);
+  EXPECT_EQ(trace.totals.recorded, 7u);
+  EXPECT_EQ(trace.totals.dropped, 0u);
+  EXPECT_EQ(trace.totals.streamed, 7u);
+
+  const TraceEvent first = trace.event(0);
+  EXPECT_DOUBLE_EQ(first.ts, 0.5);
+  EXPECT_DOUBLE_EQ(first.dur, 0.25);
+  EXPECT_STREQ(first.category, "pfs");
+  EXPECT_STREQ(first.name, "transfer.write");
+  EXPECT_EQ(first.pid, track::kStreams);
+  EXPECT_EQ(first.tid, 0u);
+  EXPECT_EQ(first.phase, Phase::Complete);
+  EXPECT_DOUBLE_EQ(first.value, 4096.0);
+  EXPECT_EQ(first.wall_ns, 1234u);
+
+  const TraceEvent counter = trace.event(3);
+  EXPECT_EQ(counter.phase, Phase::Counter);
+  EXPECT_STREQ(counter.name, "tmio.app.breq.write");
+  EXPECT_DOUBLE_EQ(counter.value, 1.0e9);
+
+  // Journey ids round-trip exactly, including bits a double would round.
+  for (const std::size_t i : {4u, 5u, 6u}) {
+    EXPECT_EQ(trace.events[i].flow, 0xdeadbeefcafe0042ULL) << "event " << i;
+  }
+  EXPECT_EQ(trace.events[4].phase, Phase::FlowStart);
+  EXPECT_EQ(trace.events[5].phase, Phase::FlowStep);
+  EXPECT_EQ(trace.events[6].phase, Phase::FlowEnd);
+
+  EXPECT_EQ(trace.process_names.at(track::kStreams), "pfs streams");
+  EXPECT_EQ(trace.thread_names.at({track::kStreams, 0}), "stream 0");
+}
+
+TEST(Binlog, StringInterningIsByContentNotByPointer) {
+  TraceSink sink;
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes);
+    // Two distinct heap strings with equal contents: the table must carry
+    // "pfs" and "transfer.write" exactly once each.
+    const std::string cat_a = "pfs";
+    const std::string cat_b = "pfs";
+    const std::string name_a = "transfer.write";
+    const std::string name_b = "transfer.write";
+    sink.complete(cat_a.c_str(), name_a.c_str(), 1, 0, 0.0, 0.1);
+    sink.complete(cat_b.c_str(), name_b.c_str(), 1, 0, 0.2, 0.1);
+    writer.close();
+  }
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  ASSERT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.strings.size(), 2u);
+  EXPECT_EQ(trace.events[0].category, trace.events[1].category);
+  EXPECT_EQ(trace.events[0].name, trace.events[1].name);
+  EXPECT_EQ(std::count(trace.strings.begin(), trace.strings.end(), "pfs"), 1);
+}
+
+TEST(Binlog, TwoIdenticalRunsAreByteIdentical) {
+  const std::string first = writtenTrace();
+  const std::string second = writtenTrace();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Binlog, FileModeMatchesMemoryModeByteForByte) {
+  const std::string memory = writtenTrace();
+  const std::string path = ::testing::TempDir() + "/binlog_filemode.bin";
+  {
+    TraceSink sink;
+    BinaryTraceWriter writer(sink, path);
+    ASSERT_TRUE(writer.good());
+    recordMixedEvents(sink);
+    ASSERT_TRUE(writer.close());
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), memory);
+}
+
+TEST(Binlog, TinyRingAndFlushThresholdSealManyChunksThatStillRoundTrip) {
+  // A 8-slot ring drains every 4 events; a 64-byte flush threshold seals an
+  // events chunk on nearly every drain. The reader must reassemble the
+  // multi-chunk container into the same event sequence.
+  TraceSinkConfig sink_cfg;
+  sink_cfg.capacity = 8;
+  TraceSink sink(sink_cfg);
+  BinaryTraceWriterConfig cfg;
+  cfg.flush_bytes = 64;
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes, cfg);
+    for (int i = 0; i < 100; ++i) {
+      sink.complete("cat", i % 2 == 0 ? "even" : "odd", 1, 0, i * 0.001,
+                    0.0005, static_cast<double>(i));
+    }
+    EXPECT_TRUE(writer.close());
+    EXPECT_GT(writer.batches(), 10u);
+  }
+  EXPECT_EQ(sink.dropped(), 0u);
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  ASSERT_EQ(trace.events.size(), 100u);
+  EXPECT_EQ(trace.strings.size(), 3u);  // cat, even, odd
+  for (int i = 0; i < 100; ++i) {
+    const BinEvent& e = trace.events[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(e.ts, i * 0.001);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(i));
+    EXPECT_EQ(trace.strings[e.name], i % 2 == 0 ? "even" : "odd");
+  }
+}
+
+TEST(Binlog, ChromeConversionIsByteIdenticalToLiveStreamerFile) {
+  // The same run recorded twice through the same tiny ring: once with the
+  // live JSON streamer, once with the binary writer. Converting the binary
+  // trace offline must reproduce the streamer's file byte-for-byte --
+  // including drain-batch boundaries (",\n" joints), metadata-at-close
+  // order, and the otherData totals.
+  const std::string json_path = ::testing::TempDir() + "/binlog_live.json";
+  TraceSinkConfig sink_cfg;
+  sink_cfg.capacity = 4;  // several watermark drains over 7 events
+  {
+    TraceSink sink(sink_cfg);
+    TraceStreamer streamer(sink, json_path);
+    recordMixedEvents(sink);
+    ASSERT_TRUE(streamer.close());
+  }
+  std::string live;
+  {
+    std::ifstream in(json_path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    live = ss.str();
+  }
+
+  TraceSink sink(sink_cfg);
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes);
+    recordMixedEvents(sink);
+    ASSERT_TRUE(writer.close());
+  }
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  EXPECT_EQ(chromeJsonFromBinaryTrace(trace), live);
+}
+
+// --- Corruption: in-memory mutations, one per reader defect kind ------------
+
+BinlogError decodeError(const std::string& bytes) {
+  try {
+    decodeBinaryTrace(bytes, "mutant");
+  } catch (const BinlogError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "corrupt container decoded cleanly";
+  return BinlogError(BinlogErrorKind::Io, "not reached");
+}
+
+TEST(BinlogCorruption, TruncatedFileReportsOffsetAndNeed) {
+  const std::string bytes = writtenTrace();
+  const BinlogError e = decodeError(bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(e.kind(), BinlogErrorKind::Truncated);
+  EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+}
+
+TEST(BinlogCorruption, BadMagicAndBadVersionAreDistinguished) {
+  std::string bad_magic = writtenTrace();
+  bad_magic[0] = 'X';
+  EXPECT_EQ(decodeError(bad_magic).kind(), BinlogErrorKind::BadMagic);
+
+  std::string bad_version = writtenTrace();
+  bad_version[8] = 99;
+  const BinlogError e = decodeError(bad_version);
+  EXPECT_EQ(e.kind(), BinlogErrorKind::BadVersion);
+  EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos);
+}
+
+TEST(BinlogCorruption, FlippedPayloadBitFailsTheChunkChecksum) {
+  std::string bytes = writtenTrace();
+  bytes[12 + 4 + 8] ^= 0x01;  // first byte of the first chunk's payload
+  const BinlogError e = decodeError(bytes);
+  EXPECT_EQ(e.kind(), BinlogErrorKind::ChunkChecksum);
+  EXPECT_NE(std::string(e.what()).find("stored 0x"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("computed 0x"), std::string::npos);
+}
+
+TEST(BinlogCorruption, FlippedTrailerBitFailsTheFileChecksum) {
+  std::string bytes = writtenTrace();
+  bytes[bytes.size() - 1] ^= 0x01;
+  EXPECT_EQ(decodeError(bytes).kind(), BinlogErrorKind::FileChecksum);
+}
+
+TEST(BinlogCorruption, CleanEofWithoutFooterIsMissingFooter) {
+  std::string bytes;
+  bytes.append(kBinlogMagic, sizeof(kBinlogMagic));
+  char version[4] = {};
+  version[0] = static_cast<char>(kBinlogVersion);
+  bytes.append(version, sizeof(version));
+  EXPECT_EQ(decodeError(bytes).kind(), BinlogErrorKind::MissingFooter);
+}
+
+TEST(BinlogCorruption, FooterEventCountMismatchIsMalformed) {
+  // Tamper with the footer's event count and repair both checksums: the
+  // structural cross-check (footer vs. decoded events) must still fire.
+  std::string bytes = writtenTrace();
+  // The footer chunk is last: 12-byte header + 40-byte payload + 8-byte
+  // checksum + 8-byte file trailer.
+  const std::size_t payload = bytes.size() - 8 - 8 - 40;
+  bytes[payload] = static_cast<char>(bytes[payload] + 1);
+  const std::uint64_t chunk_sum = binlogChecksum(bytes.data() + payload, 40);
+  for (int i = 0; i < 8; ++i) {
+    bytes[payload + 40 + static_cast<std::size_t>(i)] =
+        static_cast<char>((chunk_sum >> (8 * i)) & 0xff);
+  }
+  const std::uint64_t file_sum =
+      binlogTrailerDigest(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((file_sum >> (8 * i)) & 0xff);
+  }
+  const BinlogError e = decodeError(bytes);
+  EXPECT_EQ(e.kind(), BinlogErrorKind::Malformed);
+  EXPECT_NE(std::string(e.what()).find("footer declares"), std::string::npos);
+}
+
+TEST(BinlogCorruption, UnreadableFileIsIo) {
+  try {
+    readBinaryTrace(::testing::TempDir() + "/does_not_exist.bin");
+    ADD_FAILURE() << "missing file opened";
+  } catch (const BinlogError& e) {
+    EXPECT_EQ(e.kind(), BinlogErrorKind::Io);
+    EXPECT_STREQ(e.kindName(), "io");
+  }
+}
+
+TEST(Binlog, LooksLikeBinaryTraceDiscriminates) {
+  EXPECT_TRUE(looksLikeBinaryTrace(writtenTrace()));
+  EXPECT_FALSE(looksLikeBinaryTrace("{\"traceEvents\":[]}"));
+  EXPECT_FALSE(looksLikeBinaryTrace(""));
+  EXPECT_FALSE(looksLikeBinaryTrace("IOBTRC"));  // shorter than the magic
+}
+
+// --- Corruption: the checked-in corpus sweep --------------------------------
+
+std::vector<fs::path> listCorpus() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(IOBTS_TRACE_DIR) / "invalid")) {
+    if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(BinlogCorpus, EveryInvalidTraceIsRejectedWithItsNamedKind) {
+  const std::vector<fs::path> files = listCorpus();
+  // One file per reportable defect kind (Io cannot be a checked-in file).
+  ASSERT_GE(files.size(), 8u);
+
+  std::set<std::string> kinds_seen;
+  std::map<std::string, std::string> diagnostics;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::string expected_kind = file.stem().string();
+    try {
+      readBinaryTrace(file.string());
+      ADD_FAILURE() << "invalid trace decoded cleanly";
+    } catch (const BinlogError& e) {
+      EXPECT_STREQ(e.kindName(), expected_kind.c_str()) << e.what();
+      const std::string msg = e.what();
+      // Diagnostics name the offending file...
+      EXPECT_NE(msg.find(file.filename().string()), std::string::npos) << msg;
+      // ...and are distinct per defect, not one generic "bad trace".
+      for (const auto& [other, other_msg] : diagnostics) {
+        EXPECT_NE(msg, other_msg) << "same diagnostic as " << other;
+      }
+      diagnostics[file.filename().string()] = msg;
+      kinds_seen.insert(e.kindName());
+    }
+  }
+  for (const char* kind :
+       {"truncated", "bad_magic", "bad_version", "chunk_checksum",
+        "file_checksum", "malformed", "missing_footer", "bad_string_ref"}) {
+    EXPECT_TRUE(kinds_seen.count(kind))
+        << "corpus lacks a " << kind << " specimen";
+  }
+}
+
+TEST(BinlogCorpus, DefectSpecificDetailInDiagnostics) {
+  const fs::path dir = fs::path(IOBTS_TRACE_DIR) / "invalid";
+  const auto messageOf = [&](const char* name) -> std::string {
+    try {
+      readBinaryTrace((dir / name).string());
+    } catch (const BinlogError& e) {
+      return e.what();
+    }
+    return {};
+  };
+  EXPECT_NE(messageOf("truncated.bin").find("offset"), std::string::npos);
+  EXPECT_NE(messageOf("chunk_checksum.bin").find("stored 0x"),
+            std::string::npos);
+  EXPECT_NE(messageOf("file_checksum.bin").find("computed 0x"),
+            std::string::npos);
+  EXPECT_NE(messageOf("bad_version.bin").find("version 99"),
+            std::string::npos);
+  EXPECT_NE(messageOf("bad_string_ref.bin").find("string id 7"),
+            std::string::npos);
+  EXPECT_NE(messageOf("malformed.bin").find("not a whole number"),
+            std::string::npos);
+  EXPECT_NE(messageOf("missing_footer.bin").find("without a footer"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace iobts::obs

@@ -1,12 +1,14 @@
 // Export-layer tests: Chrome-trace structure, byte-identical determinism
 // across two identical traced runs, and consistency between the trace and
 // the SharedLink's own resolve counters.
+#include <fstream>
 #include <string>
 #include <string_view>
 
 #include <gtest/gtest.h>
 
 #include "mpisim/world.hpp"
+#include "obs/binlog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -171,6 +173,74 @@ TEST(TraceExport, WriteHelpersRoundTrip) {
   ASSERT_TRUE(obs::writeMetrics(metrics, dir + "/obs_metrics.json"));
   ASSERT_TRUE(obs::writeMetrics(metrics, dir + "/obs_metrics.txt"));
   EXPECT_FALSE(obs::writeChromeTrace(sink, dir + "/no/such/dir/t.json"));
+}
+
+// loadChromeTraceFile hardening (the loader behind trace_summarize): every
+// non-trace input must be rejected with a diagnostic that names the file
+// and the specific defect, never a crash or a silent empty result.
+std::string loadFailure(const std::string& path) {
+  try {
+    obs::loadChromeTraceFile(path);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << path << ": loaded cleanly";
+  return {};
+}
+
+std::string writeTempFile(const char* name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(static_cast<bool>(out));
+  return path;
+}
+
+TEST(TraceLoad, MissingFileNamesThePath) {
+  const std::string path = ::testing::TempDir() + "/no_such_trace.json";
+  const std::string msg = loadFailure(path);
+  EXPECT_NE(msg.find(path), std::string::npos);
+  EXPECT_NE(msg.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceLoad, EmptyFileIsDiagnosedAsEmptyNotAsParseError) {
+  const std::string msg = loadFailure(writeTempFile("empty.json", ""));
+  EXPECT_NE(msg.find("empty file"), std::string::npos);
+  EXPECT_NE(msg.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceLoad, TruncatedJsonIsDiagnosedAsInvalid) {
+  const std::string msg = loadFailure(
+      writeTempFile("truncated.json", "{\"traceEvents\":[{\"name\":"));
+  EXPECT_NE(msg.find("invalid or truncated trace JSON"), std::string::npos);
+}
+
+TEST(TraceLoad, NonTraceJsonIsDiagnosedAsMissingTraceEvents) {
+  for (const char* body : {"[1,2,3]", "42", "{\"events\":[]}"}) {
+    const std::string msg =
+        loadFailure(writeTempFile("non_trace.json", body));
+    EXPECT_NE(msg.find("no \"traceEvents\" array"), std::string::npos)
+        << body;
+  }
+}
+
+TEST(TraceLoad, BinaryFlightRecorderInputPointsAtTheRightTool) {
+  // A binary trace handed to the JSON loader must not be parsed as JSON;
+  // the diagnostic redirects to iobts_profile / --to-chrome.
+  std::string magic(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
+  magic += "junk";
+  const std::string msg = loadFailure(writeTempFile("flight.bin", magic));
+  EXPECT_NE(msg.find("binary flight-recorder trace"), std::string::npos);
+  EXPECT_NE(msg.find("iobts_profile"), std::string::npos);
+}
+
+TEST(TraceLoad, ValidTraceLoads) {
+  obs::TraceSink sink;
+  sink.instant("cat", "mark", 1, 0, 1.0);
+  const std::string path = ::testing::TempDir() + "/valid_trace.json";
+  ASSERT_TRUE(obs::writeChromeTrace(sink, path));
+  const Json doc = obs::loadChromeTraceFile(path);
+  EXPECT_EQ(doc.asObject().at("traceEvents").asArray().size(), 1u);
 }
 
 }  // namespace

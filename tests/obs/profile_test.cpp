@@ -1,0 +1,148 @@
+// Golden pins for the offline profiler reports: each builder's exact bytes
+// for a small hand-built trace. The reports are the user-facing contract of
+// iobts_profile -- formatting drift (column widths, precision, ordering)
+// must be a deliberate, reviewed change, so the expected strings are pinned
+// verbatim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/binlog.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace iobts::obs {
+namespace {
+
+/// One async write request's worth of activity: B_req counters, a journey
+/// spanning queue -> link, the enclosing request span, a read transfer, and
+/// a retry instant.
+BinaryTrace smallTrace() {
+  TraceSink sink;
+  sink.setProcessName(3, "pfs streams");
+  sink.setThreadName(3, 0, "stream 0");
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes);
+    sink.counter("tmio", "tmio.app.breq.write", 7, 1, 0.5, 2e8);
+    sink.flowStart("journey", "adio.request", 1, 0, 0.9, 42);
+    sink.complete("adio", "adio.queue", 1, 0, 0.9, 0.1);
+    sink.complete("pfs", "transfer.write", 3, 0, 1.0, 0.5, 5e8);
+    sink.flowEnd("journey", "adio.request", 3, 0, 1.2, 42);
+    sink.complete("adio", "adio.request.write", 1, 0, 0.9, 0.6);
+    sink.complete("pfs", "transfer.read", 3, 0, 2.0, 1.0, 1e9);
+    sink.instant("adio", "adio.retry", 1, 0, 2.5);
+    sink.counter("tmio", "tmio.app.breq.write", 7, 1, 1.5, 0.0);
+    writer.close();
+  }
+  return decodeBinaryTrace(bytes, "<memory>");
+}
+
+TEST(ProfileGolden, SummaryText) {
+  EXPECT_EQ(
+      profileSummaryText(smallTrace(), 20),
+      "9 events (recorded 9, dropped 0, streamed 9), 11 interned strings, "
+      "virtual span [0.900 s, 3.000 s]\n"
+      "\n"
+      "Top spans by inclusive virtual time:\n"
+      "  span                              count        total         mean  "
+      "        max\n"
+      "  pfs/transfer.read                     1      1.000 s       1.000 s "
+      "      1.000 s \n"
+      "  adio/adio.request.write               1    600.000 ms    600.000 ms"
+      "    600.000 ms\n"
+      "  pfs/transfer.write                    1    500.000 ms    500.000 ms"
+      "    500.000 ms\n"
+      "  adio/adio.queue                       1    100.000 ms    100.000 ms"
+      "    100.000 ms\n"
+      "\n"
+      "Instant events:\n"
+      "  adio/adio.retry                       1\n");
+}
+
+TEST(ProfileGolden, SummaryTextTruncatesToTopN) {
+  const std::string text = profileSummaryText(smallTrace(), 2);
+  EXPECT_NE(text.find("pfs/transfer.read"), std::string::npos);
+  EXPECT_NE(text.find("adio/adio.request.write"), std::string::npos);
+  EXPECT_EQ(text.find("adio/adio.queue   "), std::string::npos);
+  EXPECT_NE(text.find("... 2 more\n"), std::string::npos);
+}
+
+TEST(ProfileGolden, CriticalPathText) {
+  EXPECT_EQ(
+      criticalPathText(smallTrace(), 20),
+      "1 journeys; critical-path split per journey "
+      "(queue | pace | link | fault):\n"
+      "  journey                     total        queue         pace        "
+      " link        fault  subreq\n"
+      "  0x2a                    600.000 ms    100.000 ms      0.000 us    "
+      "500.000 ms      0.000 us       0\n"
+      "\n"
+      "  all journeys            600.000 ms    100.000 ms      0.000 us    "
+      "500.000 ms      0.000 us\n"
+      "  (pace = bandwidth limitation at work; link = fair-share transfer "
+      "time; fault = faulted settles + retry backoffs)\n");
+}
+
+TEST(ProfileGolden, LinkTimelineCsv) {
+  // Four bins over [1.0 s, 3.0 s): the write transfer (1 GB/s mean rate)
+  // fills exactly the first bin, the read fills the last two.
+  EXPECT_EQ(linkTimelineCsv(smallTrace(), 4),
+            "channel,t_seconds,bytes_per_second\n"
+            "read,1.000000000,0.000000\n"
+            "read,1.500000000,0.000000\n"
+            "read,2.000000000,1000000000.000000\n"
+            "read,2.500000000,1000000000.000000\n"
+            "write,1.000000000,1000000000.000000\n"
+            "write,1.500000000,0.000000\n"
+            "write,2.000000000,0.000000\n"
+            "write,2.500000000,0.000000\n");
+}
+
+TEST(ProfileGolden, BreqTableTextAndCsv) {
+  EXPECT_EQ(
+      breqTableText(smallTrace()),
+      "Application-level required bandwidth B_req (Eq. 3 step series):\n"
+      "\n"
+      "  channel write: 2 steps, minimal required bandwidth 200.000 MB/s\n"
+      "               t              B_req\n"
+      "      0.500000 s      200.000 MB/s\n"
+      "      1.500000 s        0.000 MB/s\n");
+  EXPECT_EQ(breqTableCsv(smallTrace()),
+            "channel,t_seconds,required_bytes_per_second\n"
+            "write,0.500000000,200000000.000000\n"
+            "write,1.500000000,0.000000\n");
+}
+
+TEST(ProfileGolden, ReportsWithoutTheirEventsDegradeGracefully) {
+  TraceSink sink;
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes);
+    sink.complete("cat", "span", 1, 0, 0.0, 0.1);
+    writer.close();
+  }
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  EXPECT_NE(criticalPathText(trace).find("no flow events"),
+            std::string::npos);
+  EXPECT_EQ(linkTimelineCsv(trace), "channel,t_seconds,bytes_per_second\n");
+  EXPECT_NE(breqTableText(trace).find("no tmio.app.breq.* counters"),
+            std::string::npos);
+}
+
+TEST(ProfileGolden, EmptyTraceSummaryHasNoSpanRows) {
+  TraceSink sink;
+  std::string bytes;
+  {
+    BinaryTraceWriter writer(sink, &bytes);
+    writer.close();
+  }
+  const BinaryTrace trace = decodeBinaryTrace(bytes, "<memory>");
+  EXPECT_EQ(trace.events.size(), 0u);
+  const std::string text = profileSummaryText(trace);
+  EXPECT_NE(text.find("0 events"), std::string::npos);
+  EXPECT_EQ(text.find("virtual span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iobts::obs

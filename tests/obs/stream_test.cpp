@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "mpisim/world.hpp"
+#include "obs/binlog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stream.hpp"
@@ -185,6 +186,130 @@ TEST(TraceSinkMetrics, SpanDurationHistogramsAreExported) {
   other.complete("adio", "adio.pace", 1, 0, 0.0, 5e-4);
   other.exportMetrics(registry);
   EXPECT_EQ(registry.histogram("obs.span.adio.adio.pace")->total, 4u);
+}
+
+TEST(TraceSinkDrops, OverwriteOldestAccountingWhenNoExporterIsAttached) {
+  // Satellite contract for drop accounting: an unattached ring that wraps
+  // keeps the *newest* capacity events, counts every overwritten one, and
+  // recorded == retained + dropped exactly (streamed stays 0).
+  obs::TraceSinkConfig cfg;
+  cfg.capacity = 8;
+  obs::TraceSink sink(cfg);
+  for (int i = 0; i < 29; ++i) {  // wraps the ring three and a half times
+    sink.instant("cat", "mark", 1, 0, i * 0.1, static_cast<double>(i));
+  }
+  EXPECT_EQ(sink.recorded(), 29u);
+  EXPECT_EQ(sink.dropped(), 21u);
+  EXPECT_EQ(sink.streamed(), 0u);
+  const std::vector<obs::TraceEvent> kept = sink.snapshot();
+  ASSERT_EQ(kept.size(), 8u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_DOUBLE_EQ(kept[i].value, static_cast<double>(21 + i));
+  }
+}
+
+TEST(TraceSinkDrops, WatermarkDrainPreventsLossDuringBinaryStreamedExport) {
+  // The binary writer's drainSegments path on a ring 100x smaller than the
+  // burst: the occupancy watermark must drain early enough that nothing is
+  // ever overwritten, and the decoded trace holds every event in order.
+  obs::TraceSinkConfig cfg;
+  cfg.capacity = 16;
+  obs::TraceSink sink(cfg);
+  std::string bytes;
+  {
+    obs::BinaryTraceWriter writer(sink, &bytes);
+    for (int i = 0; i < 1600; ++i) {
+      sink.complete("cat", "span", 1, 0, i * 0.001, 0.0005,
+                    static_cast<double>(i));
+    }
+    EXPECT_TRUE(writer.close());
+    EXPECT_GT(writer.batches(), 100u);
+  }
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.streamed(), 1600u);
+  const obs::BinaryTrace trace = obs::decodeBinaryTrace(bytes, "<memory>");
+  ASSERT_EQ(trace.events.size(), 1600u);
+  EXPECT_EQ(trace.totals.dropped, 0u);
+  for (int i = 0; i < 1600; ++i) {
+    EXPECT_DOUBLE_EQ(trace.events[static_cast<std::size_t>(i)].value,
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TraceSinkDrops, ExporterAttachedAfterWrapDrainsNewestWindowAndKeepsDropCount) {
+  // Overwrite-oldest happened *before* any exporter existed: attaching the
+  // binary writer afterwards must stream exactly the retained (newest)
+  // window, leave the drop counter intact, and the footer must carry all
+  // three totals so the offline profiler reports the loss.
+  obs::TraceSinkConfig cfg;
+  cfg.capacity = 8;
+  obs::TraceSink sink(cfg);
+  for (int i = 0; i < 20; ++i) {
+    sink.instant("cat", "mark", 1, 0, i * 0.1, static_cast<double>(i));
+  }
+  ASSERT_EQ(sink.dropped(), 12u);
+  std::string bytes;
+  {
+    obs::BinaryTraceWriter writer(sink, &bytes);
+    EXPECT_TRUE(writer.close());
+  }
+  EXPECT_EQ(sink.dropped(), 12u);  // attach/drain must not touch the count
+  EXPECT_EQ(sink.streamed(), 8u);
+  const obs::BinaryTrace trace = obs::decodeBinaryTrace(bytes, "<memory>");
+  ASSERT_EQ(trace.events.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(trace.events[i].value, static_cast<double>(12 + i));
+  }
+  EXPECT_EQ(trace.totals.recorded, 20u);
+  EXPECT_EQ(trace.totals.dropped, 12u);
+  EXPECT_EQ(trace.totals.streamed, 8u);
+}
+
+TEST(TraceSinkDrops, JourneySamplingSentinelNeverEmitsFlowIdZero) {
+  // journey=0 is the "sampled out" sentinel: with a sparse stride the
+  // instrumentation must drop the flow edges entirely, never record them
+  // under id 0 (which would glue unrelated requests into one mega-journey).
+  const auto flowsOf = [](std::uint64_t stride) {
+    obs::setJourneySampleStride(stride);
+    obs::TraceSinkConfig cfg;
+    cfg.capacity = 64;
+    obs::TraceSink sink(cfg);
+    std::vector<obs::TraceEvent> flows;
+    obs::TraceStreamer streamer(
+        sink, [&](const std::vector<obs::TraceEvent>& batch) {
+          for (const obs::TraceEvent& ev : batch) {
+            if (ev.phase == obs::Phase::FlowStart ||
+                ev.phase == obs::Phase::FlowStep ||
+                ev.phase == obs::Phase::FlowEnd) {
+              flows.push_back(ev);
+            }
+          }
+        });
+    obs::ScopedTraceSink install(sink);
+    sim::Simulation sim;
+    pfs::LinkConfig link_cfg;
+    link_cfg.read_capacity = 5e9;
+    link_cfg.write_capacity = 5e9;
+    pfs::SharedLink link(sim, link_cfg);
+    pfs::FileStore store;
+    mpisim::WorldConfig world_cfg;
+    world_cfg.ranks = 2;
+    mpisim::World world(sim, link, store, world_cfg);
+    world.launch(smallApp);
+    sim.run();
+    streamer.close();
+    obs::setJourneySampleStride(0);  // restore the environment default
+    return flows;
+  };
+
+  const std::vector<obs::TraceEvent> all = flowsOf(1);
+  ASSERT_FALSE(all.empty());
+  for (const obs::TraceEvent& ev : all) {
+    EXPECT_NE(ev.flow, 0u) << "flow event recorded with the drop sentinel";
+  }
+  // A stride no journey id can satisfy: every flow edge is sampled out.
+  const std::vector<obs::TraceEvent> none = flowsOf(0xffffffffffffffffULL);
+  EXPECT_TRUE(none.empty());
 }
 
 TEST(TraceSinkMetrics, ClearKeepsSpanStatsAndCounters) {

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "cluster/fleet.hpp"
+#include "obs/binlog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/summary.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded.hpp"
 
@@ -22,11 +24,19 @@ namespace {
 struct FleetExports {
   std::string trace_json;
   std::string metrics_text;
+  std::string binary_trace;
+  std::string summary_text;
 };
 
 FleetExports runTracedFleet(unsigned threads) {
   obs::TraceSink sink;
   obs::ScopedTraceSink scoped(sink);
+  FleetExports out;
+  // Only drain at close: chromeTraceString below snapshots the ring, so a
+  // mid-run watermark drain would change what the JSON export sees.
+  obs::BinaryTraceWriterConfig bin_cfg;
+  bin_cfg.occupancy_watermark = 0.0;
+  obs::BinaryTraceWriter binwriter(sink, &out.binary_trace, bin_cfg);
 
   std::vector<cluster::ClusterConfig> configs(3);
   for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -60,8 +70,11 @@ FleetExports runTracedFleet(unsigned threads) {
   fleet.start();
   fleet.run(threads);
 
-  FleetExports out;
   out.trace_json = obs::chromeTraceString(sink);
+  binwriter.close();
+  obs::SummaryOptions summary_options;
+  summary_options.scenario_name = "fleet-identity";
+  out.summary_text = obs::summarizeFleet(fleet, summary_options).render();
 
   obs::MetricsRegistry registry;
   fleet.exportMetrics(registry);
@@ -80,9 +93,32 @@ FleetExports runTracedFleet(unsigned threads) {
 TEST(ExportIdentity, TraceAndMetricsBytesMatchAcrossThreadCounts) {
   const FleetExports reference = runTracedFleet(1);
   ASSERT_GT(reference.trace_json.size(), 1000u);
-  const FleetExports parallel = runTracedFleet(4);
-  EXPECT_EQ(reference.trace_json, parallel.trace_json);
-  EXPECT_EQ(reference.metrics_text, parallel.metrics_text);
+  ASSERT_GT(reference.binary_trace.size(), 100u);
+  ASSERT_GT(reference.summary_text.size(), 100u);
+  for (const unsigned threads : {2u, 4u}) {
+    const FleetExports parallel = runTracedFleet(threads);
+    EXPECT_EQ(reference.trace_json, parallel.trace_json)
+        << "threads=" << threads;
+    EXPECT_EQ(reference.metrics_text, parallel.metrics_text)
+        << "threads=" << threads;
+    EXPECT_EQ(reference.binary_trace, parallel.binary_trace)
+        << "threads=" << threads;
+    EXPECT_EQ(reference.summary_text, parallel.summary_text)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExportIdentity, BinaryTraceDecodesToTheSameEventsTheJsonExportCarries) {
+  // The binary flight recorder and the JSON snapshot see the same run: the
+  // decoded binlog converts to a Chrome document with the same event count
+  // and totals the live export reports.
+  const FleetExports exports = runTracedFleet(2);
+  const obs::BinaryTrace trace =
+      obs::decodeBinaryTrace(exports.binary_trace, "<memory>");
+  EXPECT_EQ(trace.totals.recorded, trace.events.size());
+  EXPECT_EQ(trace.totals.dropped, 0u);
+  EXPECT_EQ(trace.totals.streamed, trace.events.size());
+  ASSERT_GT(trace.events.size(), 0u);
 }
 
 TEST(ExportIdentity, ParallelCountersUseStableDottedNames) {

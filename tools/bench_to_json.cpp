@@ -54,8 +54,25 @@ Json extractBenchmarks(const std::string& report_path) {
     const auto& b = bench.asObject();
     const auto name_it = b.find("name");
     if (name_it == b.end() || !name_it->second.isString()) continue;
-    // Skip aggregate rows (mean/median/stddev of repetitions).
-    if (b.count("aggregate_name") != 0) continue;
+    // Repetition handling: a `median` aggregate row is recorded under its
+    // base name (stripping the "_median" suffix) and wins over per-rep
+    // rows -- medians of interleaved repetitions are what make recorded
+    // comparisons on noisy machines meaningful. Other aggregates
+    // (mean/stddev/cv) are skipped.
+    std::string name = name_it->second.asString();
+    if (const auto agg = b.find("aggregate_name"); agg != b.end()) {
+      if (!agg->second.isString() || agg->second.asString() != "median") {
+        continue;
+      }
+      const std::string suffix = "_median";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        name.resize(name.size() - suffix.size());
+      }
+    } else if (out.count(name) != 0) {
+      continue;  // a median (or an earlier rep) already claimed this name
+    }
     JsonObject entry;
     if (const auto t = b.find("real_time"); t != b.end() && t->second.isNumber()) {
       double ns = t->second.asNumber();
@@ -72,7 +89,7 @@ Json extractBenchmarks(const std::string& report_path) {
         ips != b.end() && ips->second.isNumber()) {
       entry["items_per_second"] = ips->second;
     }
-    out[name_it->second.asString()] = Json(std::move(entry));
+    out[name] = Json(std::move(entry));
   }
   return Json(std::move(out));
 }

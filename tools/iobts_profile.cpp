@@ -1,0 +1,124 @@
+// iobts_profile -- offline I/O profiler for binary flight-recorder traces.
+//
+// Reads a trace written by obs::BinaryTraceWriter (iobts_run
+// --trace-format=bin) and prints deterministic reports:
+//
+//   iobts_profile TRACE.bin                   # header + top spans
+//   iobts_profile TRACE.bin --critical-path   # per-journey queue|pace|link|
+//                                             # fault split (Perfetto-style
+//                                             # flow binding)
+//   iobts_profile TRACE.bin --link-csv        # per-channel bandwidth
+//                                             # timeline (CSV)
+//   iobts_profile TRACE.bin --breq            # fig10/fig13-style B_req
+//                                             # table + per-channel minimum
+//   iobts_profile TRACE.bin --breq-csv        # the same series as CSV
+//   iobts_profile TRACE.bin --to-chrome OUT   # lossless conversion,
+//                                             # byte-identical to the live
+//                                             # streaming exporter's file
+//
+// Report flags compose (each report prints once, in the order above).
+// Exit codes: 0 ok, 1 unreadable/corrupt trace (the message names the
+// defect and its BinlogErrorKind), 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/binlog.hpp"
+#include "obs/profile.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.bin [--critical-path] [--link-csv]\n"
+               "          [--breq] [--breq-csv] [--to-chrome OUT.json]\n"
+               "          [--top N] [--bins N]\n"
+               "       (no report flag: header + top spans)\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string to_chrome;
+  bool critical_path = false;
+  bool link_csv = false;
+  bool breq = false;
+  bool breq_csv = false;
+  std::size_t top = 20;
+  std::size_t bins = 64;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--critical-path") critical_path = true;
+    else if (arg == "--link-csv") link_csv = true;
+    else if (arg == "--breq") breq = true;
+    else if (arg == "--breq-csv") breq_csv = true;
+    else if (arg == "--to-chrome") to_chrome = next(i);
+    else if (arg == "--top") top = static_cast<std::size_t>(std::atoi(next(i)));
+    else if (arg == "--bins") {
+      bins = static_cast<std::size_t>(std::atoi(next(i)));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (path.empty()) usage(argv[0]);
+
+  iobts::obs::BinaryTrace trace;
+  try {
+    trace = iobts::obs::readBinaryTrace(path);
+  } catch (const iobts::obs::BinlogError& e) {
+    std::fprintf(stderr, "iobts_profile: error (%s): %s\n", e.kindName(),
+                 e.what());
+    return 1;
+  }
+
+  const bool any_report = critical_path || link_csv || breq || breq_csv ||
+                          !to_chrome.empty();
+  if (!any_report) {
+    std::printf("%s: ", path.c_str());
+    std::fputs(iobts::obs::profileSummaryText(trace, top).c_str(), stdout);
+  }
+  if (critical_path) {
+    std::fputs(iobts::obs::criticalPathText(trace, top).c_str(), stdout);
+  }
+  if (link_csv) {
+    std::fputs(iobts::obs::linkTimelineCsv(trace, bins).c_str(), stdout);
+  }
+  if (breq) {
+    std::fputs(iobts::obs::breqTableText(trace).c_str(), stdout);
+  }
+  if (breq_csv) {
+    std::fputs(iobts::obs::breqTableCsv(trace).c_str(), stdout);
+  }
+  if (!to_chrome.empty()) {
+    std::ofstream out(to_chrome, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "iobts_profile: cannot write %s\n",
+                   to_chrome.c_str());
+      return 1;
+    }
+    out << iobts::obs::chromeJsonFromBinaryTrace(trace);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "iobts_profile: write to %s failed\n",
+                   to_chrome.c_str());
+      return 1;
+    }
+    std::printf("chrome trace: %zu events -> %s\n", trace.events.size(),
+                to_chrome.c_str());
+  }
+  return 0;
+}

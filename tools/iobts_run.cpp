@@ -11,8 +11,8 @@
 //
 // or compiles and runs a scenario DSL file (src/scenario) instead:
 //
-//   iobts_run --scenario FILE [--trace TRACE.json] [--jsonl FILE]
-//             [--csv PREFIX] [--digest]
+//   iobts_run --scenario FILE [--trace TRACE] [--trace-format json|bin]
+//             [--summary FILE] [--jsonl FILE] [--csv PREFIX] [--digest]
 //             [--checkpoint-dir DIR --checkpoint-every SECONDS]
 //
 // or resumes a run from a checkpoint written by a previous (possibly
@@ -23,7 +23,15 @@
 //
 // --trace installs the observability sink for the whole run and writes a
 // Perfetto-loadable Chrome trace with per-request journey flows; inspect it
-// with tools/trace_summarize TRACE.json --journeys.
+// with tools/trace_summarize TRACE.json --journeys. With
+// --trace-format=bin the run streams a compact binary flight-recorder
+// trace instead (obs::BinaryTraceWriter off the sink's drain hook, so long
+// runs never overflow the ring); read it with tools/iobts_profile, or
+// convert it losslessly with iobts_profile --to-chrome.
+//
+// --summary writes the deterministic run-summary artifact (canonical
+// sections: scenario digest, per-phase B_req table, stall attribution,
+// link utilization/backlog timelines, metrics) and prints its digest.
 //
 // --digest prints the canonical end-of-run digest; a straight run and a
 // checkpoint/kill/resume run of the same scenario print identical digests
@@ -40,11 +48,14 @@
 #include "ckpt/runner.hpp"
 
 #include "mpisim/world.hpp"
+#include "obs/binlog.hpp"
 #include "obs/export.hpp"
+#include "obs/summary.hpp"
 #include "obs/trace.hpp"
 #include "scenario/instance.hpp"
 #include "scenario/scenario.hpp"
 #include "tmio/ftio.hpp"
+#include "tmio/obs_bridge.hpp"
 #include "tmio/report.hpp"
 #include "tmio/tracer.hpp"
 #include "util/ascii_chart.hpp"
@@ -73,6 +84,8 @@ struct CliOptions {
   bool ftio = false;
   std::optional<std::string> scenario;
   std::optional<std::string> trace;
+  std::string trace_format = "json";
+  std::optional<std::string> summary;
   std::optional<std::string> checkpoint_dir;
   double checkpoint_every = 0.0;
   std::optional<std::string> resume;
@@ -87,8 +100,8 @@ struct CliOptions {
       "          [--loops N] [--particles N] [--write-bw 106GB]\n"
       "          [--read-bw 120GB] [--noise SIGMA] [--burst-buffer]\n"
       "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n"
-      "       %s --scenario FILE [--trace TRACE.json] [--jsonl FILE]\n"
-      "          [--csv PREFIX] [--digest]\n"
+      "       %s --scenario FILE [--trace TRACE] [--trace-format json|bin]\n"
+      "          [--summary FILE] [--jsonl FILE] [--csv PREFIX] [--digest]\n"
       "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n"
       "       %s --resume CKPT [--digest]\n"
       "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n",
@@ -120,6 +133,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--ftio") opt.ftio = true;
     else if (arg == "--scenario") opt.scenario = next(i);
     else if (arg == "--trace") opt.trace = next(i);
+    else if (arg == "--trace-format") opt.trace_format = next(i);
+    else if (arg == "--summary") opt.summary = next(i);
     else if (arg == "--checkpoint-dir") opt.checkpoint_dir = next(i);
     else if (arg == "--checkpoint-every") opt.checkpoint_every = std::atof(next(i));
     else if (arg == "--resume") opt.resume = next(i);
@@ -131,6 +146,11 @@ CliOptions parse(int argc, char** argv) {
     }
   }
   if (opt.ranks <= 0) usage(argv[0]);
+  if (opt.trace_format != "json" && opt.trace_format != "bin") {
+    std::fprintf(stderr, "--trace-format must be json or bin, not '%s'\n",
+                 opt.trace_format.c_str());
+    usage(argv[0]);
+  }
   // --checkpoint-dir and --checkpoint-every only work as a pair: a dir
   // without a cadence has no capture schedule, a cadence without a dir has
   // nowhere to write. Reject here with usage instead of tripping an
@@ -146,7 +166,8 @@ CliOptions parse(int argc, char** argv) {
 
 /// Print the per-world paper metrics, shared by straight and resumed runs.
 int reportScenario(const CliOptions& opt, scenario::Instance& instance,
-                   obs::TraceSink* sink) {
+                   obs::TraceSink* sink, obs::BinaryTraceWriter* binwriter,
+                   const std::string& scenario_text) {
   const std::string& name = instance.spec().name;
   std::printf("scenario=%s worlds=%zu elapsed=%.3f s\n", name.c_str(),
               instance.worldCount(), instance.elapsed());
@@ -183,12 +204,48 @@ int reportScenario(const CliOptions& opt, scenario::Instance& instance,
   if (opt.jsonl) instance.tracer(0).writeJsonl(*opt.jsonl);
   if (opt.csv) instance.tracer(0).writeCsv(*opt.csv);
   if (opt.trace) {
-    if (!obs::writeChromeTrace(*sink, *opt.trace)) {
-      std::fprintf(stderr, "cannot write trace to %s\n", opt.trace->c_str());
+    // Fold the application-level B_req series into the trace before it is
+    // finalized, so the offline profiler's --breq table works on any trace
+    // this driver writes.
+    for (std::size_t w = 0; w < instance.worldCount(); ++w) {
+      tmio::annotateAppRequired(instance.tracer(w), *sink);
+    }
+    if (binwriter != nullptr) {
+      // Binary flight recorder: the writer drained the sink all along;
+      // close() appends the meta/footer chunks and the file checksum.
+      if (!binwriter->close()) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     opt.trace->c_str());
+        return 1;
+      }
+      std::printf(
+          "trace: %llu events -> %s (binary; inspect with iobts_profile)\n",
+          static_cast<unsigned long long>(binwriter->events()),
+          opt.trace->c_str());
+    } else {
+      if (!obs::writeChromeTrace(*sink, *opt.trace)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     opt.trace->c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (trace_summarize --journeys)\n",
+                  sink->size(), opt.trace->c_str());
+    }
+  }
+  if (opt.summary) {
+    obs::SummaryOptions sopt;
+    sopt.scenario_name = instance.spec().name;
+    sopt.scenario_text = scenario_text;
+    const obs::RunSummary summary = obs::summarizeInstance(instance, sopt);
+    if (!obs::writeRunSummary(summary, *opt.summary)) {
+      std::fprintf(stderr, "cannot write summary to %s\n",
+                   opt.summary->c_str());
       return 1;
     }
-    std::printf("trace: %zu events -> %s (trace_summarize --journeys)\n",
-                sink->size(), opt.trace->c_str());
+    std::printf("summary: %zu sections digest=0x%016llx -> %s\n",
+                summary.sections.size(),
+                static_cast<unsigned long long>(summary.digest()),
+                opt.summary->c_str());
   }
   return 0;
 }
@@ -211,9 +268,18 @@ int runScenario(const CliOptions& opt) {
   // setup-time track names land in the trace metadata.
   std::unique_ptr<obs::TraceSink> sink;
   std::unique_ptr<obs::ScopedTraceSink> install;
+  std::unique_ptr<obs::BinaryTraceWriter> binwriter;
   if (opt.trace) {
     sink = std::make_unique<obs::TraceSink>();
     install = std::make_unique<obs::ScopedTraceSink>(*sink);
+    if (opt.trace_format == "bin") {
+      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace);
+      if (!binwriter->good()) {
+        std::fprintf(stderr, "cannot open trace file %s\n",
+                     opt.trace->c_str());
+        return 1;
+      }
+    }
   }
 
   sim::Simulation sim;
@@ -224,18 +290,18 @@ int runScenario(const CliOptions& opt) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  std::string text;
+  if (opt.checkpoint_dir || opt.summary) {
+    std::ifstream in(*opt.scenario, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
   scenario::Instance instance(sim, std::move(spec));
   instance.launch();
   try {
     if (opt.checkpoint_dir) {
       // Checkpointed drive: same event sequence, parks + captures every
       // --checkpoint-every virtual seconds.
-      std::string text;
-      {
-        std::ifstream in(*opt.scenario, std::ios::binary);
-        text.assign(std::istreambuf_iterator<char>(in),
-                    std::istreambuf_iterator<char>());
-      }
       ckpt::CheckpointPolicy policy;
       policy.dir = *opt.checkpoint_dir;
       policy.every = opt.checkpoint_every;
@@ -252,16 +318,25 @@ int runScenario(const CliOptions& opt) {
                  e.what());
     return 3;
   }
-  return reportScenario(opt, instance, sink.get());
+  return reportScenario(opt, instance, sink.get(), binwriter.get(), text);
 }
 
 /// Restore from a checkpoint, resume to completion, print the same report.
 int runResume(const CliOptions& opt) {
   std::unique_ptr<obs::TraceSink> sink;
   std::unique_ptr<obs::ScopedTraceSink> install;
+  std::unique_ptr<obs::BinaryTraceWriter> binwriter;
   if (opt.trace) {
     sink = std::make_unique<obs::TraceSink>();
     install = std::make_unique<obs::ScopedTraceSink>(*sink);
+    if (opt.trace_format == "bin") {
+      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace);
+      if (!binwriter->good()) {
+        std::fprintf(stderr, "cannot open trace file %s\n",
+                     opt.trace->c_str());
+        return 1;
+      }
+    }
   }
   try {
     const auto wall_start = std::chrono::steady_clock::now();
@@ -271,12 +346,17 @@ int runResume(const CliOptions& opt) {
                                   .count();
     std::printf("ckpt.restored=%s ckpt.watermark=%.6f ckpt.restore_ms=%.3f\n",
                 opt.resume->c_str(), run.watermark(), restore_ms);
-    if (opt.checkpoint_dir) {
-      // Keep checkpointing past the restore point (a resumed run can crash
-      // too). The embedded scenario text is the authoritative source.
+    // The embedded scenario text is the authoritative source for both
+    // continued checkpointing and the summary's scenario digest.
+    std::string text;
+    if (opt.checkpoint_dir || opt.summary) {
       const ckpt::CheckpointFile file =
           ckpt::readCheckpointFile(*opt.resume);
-      const std::string text = file.require("scenario").payload;
+      text = file.require("scenario").payload;
+    }
+    if (opt.checkpoint_dir) {
+      // Keep checkpointing past the restore point (a resumed run can crash
+      // too).
       ckpt::CheckpointPolicy policy;
       policy.dir = *opt.checkpoint_dir;
       policy.every = opt.checkpoint_every;
@@ -286,7 +366,8 @@ int runResume(const CliOptions& opt) {
       run.sim().run();
     }
     run.instance().requireFinished();
-    return reportScenario(opt, run.instance(), sink.get());
+    return reportScenario(opt, run.instance(), sink.get(), binwriter.get(),
+                          text);
   } catch (const ckpt::CheckpointError& e) {
     std::fprintf(stderr, "checkpoint error (%s): %s\n", e.kindName(),
                  e.what());

@@ -94,12 +94,12 @@ if [[ "$SKIP_SANITIZE" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitize: configure + build (ASan+UBSan, sim+pfs+fault+scenario+ckpt tests + hotpath asserts) =="
+echo "== sanitize: configure + build (ASan+UBSan, sim+pfs+fault+scenario+ckpt+obs tests + hotpath asserts) =="
 cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Sanitize \
   -DIOBTS_BUILD_BENCH=ON -DIOBTS_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-sanitize -j --target sim_test pfs_test fault_test scenario_test ckpt_test micro_hotpath
+cmake --build build-sanitize -j --target sim_test pfs_test fault_test scenario_test ckpt_test obs_test micro_hotpath
 
-echo "== sanitize: run sim_test + pfs_test + fault_test + scenario_test + ckpt_test =="
+echo "== sanitize: run sim_test + pfs_test + fault_test + scenario_test + ckpt_test + obs_test =="
 # ASan instrumentation defeats the coroutine symmetric-transfer tail call,
 # so the 100k-deep Task chain test consumes real stack per hop; lift the
 # stack limit for the sanitized run only.
@@ -117,6 +117,11 @@ ulimit -s unlimited 2>/dev/null || true
 # captured state through the full restore-verify path: the encoder, the
 # strict reader's bounds handling, and snapshot teardown all run sanitized.
 ./build-sanitize/tests/ckpt_test
+# The obs suite sweeps the traces/invalid/ corrupt-container corpus through
+# the strict binlog reader and round-trips writer output through the
+# profiler aggregates: byte-level bounds handling under ASan/UBSan,
+# including the x86 wide-encode path the flight recorder dispatches to.
+./build-sanitize/tests/obs_test
 
 echo "== sanitize: hot-path allocation assertions =="
 # micro_hotpath's main() runs the zero-allocation steady-state probes before

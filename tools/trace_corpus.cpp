@@ -1,0 +1,184 @@
+// trace_corpus -- (re)generate the checked-in invalid binary-trace corpus.
+//
+//   trace_corpus OUTPUT_DIR
+//
+// Builds one valid binary flight-recorder trace (a small deterministic
+// event set written through obs::BinaryTraceWriter), then derives one
+// corrupted variant per BinlogErrorKind (except Io, which is a filesystem
+// condition, not a byte pattern). Each file is named after the
+// binlogErrorKindName() the reader must report for it (truncated.bin,
+// bad_magic.bin, ...); tests/obs/binlog_test.cpp sweeps the directory and
+// keys its expectations on exactly those stems, so the corpus and the
+// sweep can never drift apart silently. The corpus under traces/invalid/
+// is a checked-in artifact -- rerun this tool and commit the result only
+// when the container format version is bumped.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/binlog.hpp"
+#include "obs/trace.hpp"
+
+using namespace iobts;
+
+namespace {
+
+void writeBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+/// Append one chunk (kind + length + payload + payload checksum).
+void putChunk(std::string& out, std::uint32_t kind,
+              const std::string& payload) {
+  putU32(out, kind);
+  putU64(out, payload.size());
+  out += payload;
+  putU64(out, obs::binlogChecksum(payload));
+}
+
+/// The valid base trace: a handful of deterministic events through the
+/// real writer, so the corpus tracks the writer's actual byte layout.
+std::string validTrace() {
+  obs::TraceSink sink;
+  sink.setProcessName(obs::track::kStreams, "pfs streams");
+  sink.setThreadName(obs::track::kStreams, 0, "stream 0");
+  std::string bytes;
+  {
+    obs::BinaryTraceWriter writer(sink, &bytes);
+    sink.complete("pfs", "transfer.write", obs::track::kStreams, 0, 0.5, 0.25,
+                  4096.0);
+    sink.complete("pfs", "transfer.read", obs::track::kStreams, 0, 1.0, 0.5,
+                  8192.0);
+    sink.counter("tmio", "tmio.app.breq.write", obs::track::kTmio, 1, 1.5,
+                 1.0e9);
+    sink.flowStart("journey", "io", obs::track::kAdio, 0, 0.5, 42);
+    sink.flowEnd("journey", "io", obs::track::kStreams, 0, 0.75, 42);
+    writer.close();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s OUTPUT_DIR\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::filesystem::create_directories(dir);
+
+  const std::string valid = validTrace();
+
+  // truncated: cut mid-chunk.
+  writeBytes(dir + "/truncated.bin", valid.substr(0, valid.size() / 2));
+
+  // bad_magic: first byte wrong.
+  {
+    std::string bytes = valid;
+    bytes[0] = 'X';
+    writeBytes(dir + "/bad_magic.bin", bytes);
+  }
+
+  // bad_version: container claims a future version (little-endian u32 at
+  // offset 8).
+  {
+    std::string bytes = valid;
+    bytes[8] = 99;
+    writeBytes(dir + "/bad_version.bin", bytes);
+  }
+
+  // chunk_checksum: one payload bit flipped. The first chunk starts at
+  // offset 12 (magic + version): u32 kind, u64 length, then payload.
+  {
+    std::string bytes = valid;
+    bytes[12 + 4 + 8] ^= 0x01;
+    writeBytes(dir + "/chunk_checksum.bin", bytes);
+  }
+
+  // file_checksum: trailer bit flipped.
+  {
+    std::string bytes = valid;
+    bytes[bytes.size() - 1] ^= 0x01;
+    writeBytes(dir + "/file_checksum.bin", bytes);
+  }
+
+  // malformed: an events chunk whose payload is not a whole number of
+  // records (checksums all valid, structure wrong).
+  {
+    std::string bytes;
+    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
+    putU32(bytes, obs::kBinlogVersion);
+    putChunk(bytes, obs::binchunk::kEvents, "xyz");  // 3 stray bytes
+    putU64(bytes, obs::binlogTrailerDigest(bytes));
+    writeBytes(dir + "/malformed.bin", bytes);
+  }
+
+  // missing_footer: clean EOF after the header, before any footer chunk
+  // (what a crash between flushes leaves behind).
+  {
+    std::string bytes;
+    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
+    putU32(bytes, obs::kBinlogVersion);
+    writeBytes(dir + "/missing_footer.bin", bytes);
+  }
+
+  // bad_string_ref: an event referencing a string id the table never
+  // defined. Hand-built so every checksum is valid and only the reference
+  // is wrong.
+  {
+    std::string bytes;
+    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
+    putU32(bytes, obs::kBinlogVersion);
+    std::string strings;
+    putU32(strings, 1);
+    putU32(strings, 3);
+    strings += "pfs";
+    putChunk(bytes, obs::binchunk::kStrings, strings);
+    std::string events;
+    const std::size_t record_start = events.size();
+    putU64(events, 0);  // ts bits
+    putU64(events, 0);  // dur bits
+    putU32(events, 1);  // pid
+    putU32(events, 0);  // tid
+    putU32(events, 0);  // phase = Complete
+    putU32(events, 0);  // reserved
+    putU64(events, 0);  // value bits
+    putU64(events, 0);  // wall_ns
+    putU64(events, 0);  // flow
+    putU32(events, 0);  // category id (valid)
+    putU32(events, 7);  // name id (never defined)
+    if (events.size() - record_start != obs::kBinlogEventBytes) {
+      std::fprintf(stderr, "event record layout drifted\n");
+      return 1;
+    }
+    putChunk(bytes, obs::binchunk::kEvents, events);
+    std::string footer;
+    putU64(footer, 1);  // events
+    putU64(footer, 1);  // strings
+    putU64(footer, 1);  // recorded
+    putU64(footer, 0);  // dropped
+    putU64(footer, 1);  // streamed
+    putChunk(bytes, obs::binchunk::kFooter, footer);
+    putU64(bytes, obs::binlogTrailerDigest(bytes));
+    writeBytes(dir + "/bad_string_ref.bin", bytes);
+  }
+
+  return 0;
+}

@@ -22,13 +22,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "util/check.hpp"
+#include "obs/export.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -36,14 +34,6 @@ namespace {
 using iobts::Json;
 using iobts::JsonArray;
 using iobts::JsonObject;
-
-std::string readFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  IOBTS_CHECK(in.good(), "cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
 
 struct SpanAgg {
   std::uint64_t count = 0;
@@ -252,22 +242,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // loadChromeTraceFile guarantees an object document with a traceEvents
+  // array, and its diagnostics name the precise defect (unreadable file,
+  // empty file, binary flight-recorder input, truncated JSON, missing
+  // array) -- so every bad input exits 1 with an actionable message.
   Json doc;
   try {
-    doc = Json::parse(readFile(path));
-    IOBTS_CHECK(doc.isObject(), "trace document is not a JSON object");
+    doc = iobts::obs::loadChromeTraceFile(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_summarize: %s\n", e.what());
     return 1;
   }
   const auto& root = doc.asObject();
   const auto events_it = root.find("traceEvents");
-  if (events_it == root.end() || !events_it->second.isArray()) {
-    std::fprintf(stderr,
-                 "trace_summarize: %s has no traceEvents array\n",
-                 path.c_str());
-    return 1;
-  }
 
   if (journeys) return journeysMode(events_it->second.asArray(), top);
 
