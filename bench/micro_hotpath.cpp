@@ -230,29 +230,51 @@ BENCHMARK(BM_DispatchTracingBinary)->Arg(100000);
 // Pure serialization throughput of the binary writer, no simulation in the
 // loop: fill a detached ring with representative events, then time one
 // drain-and-encode pass per iteration. This is the ceiling the streamed
-// dispatch benchmarks are bounded by.
-void BM_BinaryWriterDrain(benchmark::State& state) {
+// dispatch benchmarks are bounded by. Runs once per container version --
+// the v2/v1 pair gives both encode-throughput ratio and the on-disk
+// bytes_per_event each format achieves for the same event stream (v1's is
+// the fixed 64-byte record plus container overhead; v2's is the delta
+// encoding's doing), recorded into BENCH_obs_overhead.json.
+void binaryWriterDrain(benchmark::State& state, std::uint32_t version) {
   const int n = static_cast<int>(state.range(0));
   obs::TraceSinkConfig cfg;
   cfg.capacity = static_cast<std::size_t>(n);
   obs::TraceSink sink(cfg);
   std::uint64_t encoded = 0;
+  std::uint64_t bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     for (int i = 0; i < n; ++i) {
       sink.complete("sim", "dispatch", obs::track::kKernel, 0,
                     static_cast<double>(i), 0.5, static_cast<double>(i));
     }
-    obs::BinaryTraceWriter writer(sink, static_cast<std::string*>(nullptr));
+    obs::BinaryTraceWriterConfig wcfg;
+    wcfg.version = version;
+    obs::BinaryTraceWriter writer(sink, static_cast<std::string*>(nullptr),
+                                  wcfg);
     state.ResumeTiming();
     writer.drain();
     writer.close();
     encoded += writer.events();
+    bytes += writer.bytesWritten();
   }
-  benchmark::DoNotOptimize(encoded);
   state.SetItemsProcessed(state.iterations() * n);
+  const double bytes_per_event =
+      encoded > 0
+          ? static_cast<double>(bytes) / static_cast<double>(encoded)
+          : 0.0;
+  state.counters["bytes_per_event"] = benchmark::Counter(bytes_per_event);
+}
+
+void BM_BinaryWriterDrain(benchmark::State& state) {
+  binaryWriterDrain(state, obs::kBinlogVersion);
 }
 BENCHMARK(BM_BinaryWriterDrain)->Arg(100000);
+
+void BM_BinaryWriterDrainV1(benchmark::State& state) {
+  binaryWriterDrain(state, obs::kBinlogVersionV1);
+}
+BENCHMARK(BM_BinaryWriterDrainV1)->Arg(100000);
 
 // Flow-emitting churn under journey sampling: each dispatch opens and
 // closes a journey flow the way the ADIO engine does, gated through

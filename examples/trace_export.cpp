@@ -2,11 +2,13 @@
 // Perfetto-loadable Chrome trace plus a unified metrics table, and
 // cross-check the trace against the link's own resolve counters.
 //
-//   $ ./trace_export
-//   $ ./tools/trace_summarize trace_export.trace.json
-//   $ ./tools/trace_summarize trace_export.trace.json --journeys
+//   $ ./trace_export [RUN_DIR]          # default: trace_export.out/
+//   $ ./tools/trace_summarize trace_export.out/trace.json
+//   $ ./tools/trace_summarize trace_export.out/trace.json --journeys
 //
-// then load trace_export.trace.json in https://ui.perfetto.dev (or
+// Everything lands in one run directory (created if needed) instead of
+// littering the invoking directory. Load trace.json in
+// https://ui.perfetto.dev (or
 // chrome://tracing) and enable flow arrows: each I/O request is one
 // "journey" — an arrow chain from the ADIO queue span through its paced
 // subrequests into the shared-link settle and back to the completion.
@@ -18,6 +20,8 @@
 // into a second, incrementally-written file to show that streaming export
 // produces the same loadable document without retaining the whole ring.
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "fault/plan.hpp"
 #include "mpisim/world.hpp"
@@ -49,13 +53,23 @@ sim::Task<void> application(mpisim::RankCtx& ctx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // 0. One run directory for every artifact this example writes.
+  const std::string run_dir = argc > 1 ? argv[1] : "trace_export.out";
+  std::error_code ec;
+  std::filesystem::create_directories(run_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create run directory %s: %s\n",
+                 run_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
   // 1. Install the sink first. Everything below is traced. The streamer
   // drains the ring into a file as the run progresses (at the default
   // half-occupancy watermark), so the streamed copy never needs the whole
   // history resident.
   obs::TraceSink sink;  // default: 65536 events, no wall-clock capture
-  const std::string streamed_path = "trace_export.streamed.json";
+  const std::string streamed_path = run_dir + "/streamed.json";
   obs::TraceStreamer streamer(sink, streamed_path);
   obs::ScopedTraceSink install(sink);
 
@@ -138,8 +152,8 @@ int main() {
   // 5. Export: the one-shot document first (it snapshots the ring), then
   // close the streamer, which drains the remaining events into the
   // incrementally-written copy.
-  const std::string trace_path = "trace_export.trace.json";
-  const std::string metrics_path = "trace_export.metrics.txt";
+  const std::string trace_path = run_dir + "/trace.json";
+  const std::string metrics_path = run_dir + "/metrics.txt";
   if (!obs::writeChromeTrace(sink, trace_path) ||
       !obs::writeMetrics(metrics, metrics_path)) {
     std::fprintf(stderr, "export failed\n");

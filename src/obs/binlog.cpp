@@ -18,10 +18,14 @@
 #define IOBTS_VECTOR_SCAN
 #endif
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
+#include <numeric>
 
 namespace iobts::obs {
 namespace {
@@ -93,6 +97,12 @@ void appendU64(std::string& out, std::uint64_t v) {
   out.append(buf, sizeof(buf));
 }
 
+void appendF64(std::string& out, double v) {
+  char buf[8];
+  putF64(buf, v);
+  out.append(buf, sizeof(buf));
+}
+
 std::uint32_t readU32(const char* data) noexcept {
   if constexpr (kHostLittleEndian) {
     std::uint32_t out;
@@ -125,6 +135,18 @@ std::uint64_t readU64(const char* data) noexcept {
 
 double readF64(const char* data) noexcept {
   const std::uint64_t bits = readU64(data);
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+std::uint64_t f64Bits(double v) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double f64FromBits(std::uint64_t bits) noexcept {
   double out;
   std::memcpy(&out, &bits, sizeof(out));
   return out;
@@ -198,6 +220,23 @@ class PayloadReader {
   std::uint32_t u32(const char* what) { return readU32(take(4, what)); }
   std::uint64_t u64(const char* what) { return readU64(take(8, what)); }
 
+  /// LEB128 varint; must terminate within 64 bits.
+  std::uint64_t varint(const char* what) {
+    std::uint64_t out = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const auto b = static_cast<unsigned char>(*take(1, what));
+      out |= static_cast<std::uint64_t>(b & 0x7fU) << shift;
+      if ((b & 0x80U) == 0) {
+        if (shift == 63 && (b & 0x7eU) != 0) break;  // bits beyond 64 lost
+        return out;
+      }
+    }
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin_ + ": " + chunk_ + " chunk: varint for " +
+                          std::string(what) +
+                          " does not terminate within 64 bits");
+  }
+
  private:
   const char* data_;
   std::size_t size_;
@@ -210,6 +249,119 @@ std::uint64_t readPaddedWord(const char* data, std::size_t n) noexcept {
   char buf[8] = {};
   std::memcpy(buf, data, n);
   return readU64(buf);
+}
+
+// --- v2 delta record encoding ----------------------------------------------
+
+char* putVarint(char* dst, std::uint64_t v) noexcept {
+  while (v >= 0x80) {
+    *dst++ = static_cast<char>(v | 0x80U);
+    v >>= 7;
+  }
+  *dst++ = static_cast<char>(v);
+  return dst;
+}
+
+/// Zigzag of the wraparound delta new - prev: small bit-pattern movements in
+/// either direction become small varints.
+std::uint64_t zigzagDelta(std::uint64_t now, std::uint64_t prev) noexcept {
+  const auto d = static_cast<std::int64_t>(now - prev);
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
+}
+
+/// Inverse: the u64 delta to add (with wraparound) to the previous value.
+std::uint64_t unzigzag(std::uint64_t v) noexcept {
+  return (v >> 1) ^ (0 - (v & 1));
+}
+
+/// Fold one event's virtual-time span into the open chunk's cover.
+void coverEvent(detail::BinlogDeltaState& st, double ts, double dur) noexcept {
+  const double lo = ts;
+  const double hi = ts + (dur > 0.0 ? dur : 0.0);
+  if (st.count == 0) {
+    st.t_min = lo;
+    st.t_max = hi;
+  } else {
+    if (lo < st.t_min) st.t_min = lo;
+    if (hi > st.t_max) st.t_max = hi;
+  }
+  ++st.count;
+}
+
+// v2 record flag bits (bits 0-2 are the phase).
+constexpr unsigned kFlagDur = 0x08;
+constexpr unsigned kFlagValue = 0x10;
+constexpr unsigned kFlagFlow = 0x20;
+constexpr unsigned kFlagWall = 0x40;
+constexpr unsigned kFlagReserved = 0x80;
+
+/// Encode one event against the chunk's delta state. Writes at most
+/// kBinlogV2MaxRecordBytes; returns the advanced cursor.
+char* encodeDeltaRecord(char* dst, const TraceEvent& e,
+                        std::uint32_t category_id, std::uint32_t name_id,
+                        detail::BinlogDeltaState& st) noexcept {
+  const std::uint64_t ts_bits = f64Bits(e.ts);
+  const std::uint64_t dur_bits = f64Bits(e.dur);
+  const std::uint64_t value_bits = f64Bits(e.value);
+  const bool has_dur = dur_bits != st.dur_bits;
+  const bool has_value = value_bits != st.value_bits;
+  const bool has_flow = e.flow != 0;
+  const bool has_wall = e.wall_ns != st.wall;
+  unsigned flags = static_cast<unsigned>(e.phase) & 0x7U;
+  if (has_dur) flags |= kFlagDur;
+  if (has_value) flags |= kFlagValue;
+  if (has_flow) flags |= kFlagFlow;
+  if (has_wall) flags |= kFlagWall;
+  *dst++ = static_cast<char>(flags);
+  dst = putVarint(dst, e.pid);
+  dst = putVarint(dst, e.tid);
+  dst = putVarint(dst, category_id);
+  dst = putVarint(dst, name_id);
+  dst = putVarint(dst, zigzagDelta(ts_bits, st.ts_bits));
+  if (has_wall) dst = putVarint(dst, zigzagDelta(e.wall_ns, st.wall));
+  if (has_dur) dst = putVarint(dst, zigzagDelta(dur_bits, st.dur_bits));
+  if (has_value) dst = putVarint(dst, zigzagDelta(value_bits, st.value_bits));
+  if (has_flow) dst = putVarint(dst, e.flow);
+  st.ts_bits = ts_bits;
+  st.wall = e.wall_ns;
+  st.dur_bits = dur_bits;
+  st.value_bits = value_bits;
+  coverEvent(st, e.ts, e.dur);
+  return dst;
+}
+
+/// True when the event's span [ts, ts + max(dur, 0)] intersects the window.
+bool eventInWindow(const BinEvent& e, const TraceWindow& w) noexcept {
+  const double hi = e.ts + (e.dur > 0.0 ? e.dur : 0.0);
+  return e.ts <= w.to && hi >= w.from;
+}
+
+/// Meta-chunk payload from a sink's registered track names (empty tables
+/// for a null sink).
+std::string buildMetaPayload(const TraceSink* sink) {
+  std::string meta;
+  if (sink == nullptr) {
+    appendU32(meta, 0);
+    appendU32(meta, 0);
+    return meta;
+  }
+  const auto processes = sink->processNames();
+  appendU32(meta, static_cast<std::uint32_t>(processes.size()));
+  for (const auto& [pid, name] : processes) {
+    appendU32(meta, pid);
+    appendU32(meta, static_cast<std::uint32_t>(name.size()));
+    meta += name;
+  }
+  const auto threads = sink->threadNames();
+  appendU32(meta, static_cast<std::uint32_t>(threads.size()));
+  for (const auto& [key, name] : threads) {
+    appendU32(meta, key.first);
+    appendU32(meta, key.second);
+    appendU32(meta, static_cast<std::uint32_t>(name.size()));
+    meta += name;
+  }
+  return meta;
 }
 
 }  // namespace
@@ -291,6 +443,8 @@ const char* binlogErrorKindName(BinlogErrorKind kind) noexcept {
     case BinlogErrorKind::Malformed: return "malformed";
     case BinlogErrorKind::MissingFooter: return "missing_footer";
     case BinlogErrorKind::BadStringRef: return "bad_string_ref";
+    case BinlogErrorKind::BadIndex: return "bad_index";
+    case BinlogErrorKind::BadShard: return "bad_shard";
   }
   return "unknown";
 }
@@ -320,110 +474,504 @@ TraceEvent BinaryTrace::event(std::size_t i) const {
 
 namespace {
 
-void decodeStringsChunk(PayloadReader& p, BinaryTrace& trace) {
-  const std::uint32_t count = p.u32("string count");
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t len = p.u32("string length");
-    const char* data = p.take(len, "string bytes");
-    trace.strings.emplace_back(data, len);
-  }
-  p.requireDrained();
-}
+/// The chunk-sequence decoder shared by the strict whole-file reader, the
+/// index-seeking windowed reader, and the --follow tail reader. Callers
+/// verify each chunk's checksum, then hand the payload to consumeChunk();
+/// finalize() produces the canonically merged BinaryTrace.
+///
+/// strict mode (whole-file + tail reader): chunk order is enforced
+/// (nothing after the index chunk but the footer), the index chunk is
+/// cross-checked entry-by-entry against the chunks actually decoded, and
+/// the footer's counts are verified. The windowed reader runs non-strict:
+/// it feeds footer and index *first* and deliberately skips events chunks,
+/// so those cross-checks cannot apply (it re-checks decoded chunks against
+/// their index entries itself).
+class ContainerDecoder {
+ public:
+  ContainerDecoder(std::string origin, bool strict)
+      : origin_(std::move(origin)), strict_(strict) {}
 
-void decodeEventsChunk(PayloadReader& p, const std::string& origin,
-                       BinaryTrace& trace) {
-  if (p.remaining() % kBinlogEventBytes != 0) {
-    throw BinlogError(
-        BinlogErrorKind::Malformed,
-        origin + ": events chunk payload of " +
-            std::to_string(p.remaining()) +
-            " byte(s) is not a whole number of " +
-            std::to_string(kBinlogEventBytes) + "-byte event record(s)");
+  void setVersion(std::uint32_t v) noexcept { version_ = v; }
+  std::uint32_t version() const noexcept { return version_; }
+  bool footerSeen() const noexcept { return footer_seen_; }
+  bool indexSeen() const noexcept { return index_seen_; }
+  std::uint64_t indexOffset() const noexcept { return index_offset_; }
+  std::uint64_t chunksConsumed() const noexcept { return chunks_; }
+  std::uint64_t eventsDecoded() const noexcept { return events_.size(); }
+  const std::vector<BinlogIndexEntry>& observedIndex() const noexcept {
+    return observed_;
   }
-  const std::size_t count = p.remaining() / kBinlogEventBytes;
-  trace.events.reserve(trace.events.size() + count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const char* r = p.take(kBinlogEventBytes, "event record");
-    BinEvent e;
-    e.ts = readF64(r);
-    e.dur = readF64(r + 8);
-    e.pid = readU32(r + 16);
-    e.tid = readU32(r + 20);
-    const std::uint32_t phase = readU32(r + 24);
-    if (phase > static_cast<std::uint32_t>(Phase::FlowEnd)) {
+  const std::vector<BinlogIndexEntry>& declaredIndex() const noexcept {
+    return declared_index_;
+  }
+
+  /// Decode one checksum-verified chunk. Returns what the index *should*
+  /// say about it (kind, shard, offset, payload length, event count, time
+  /// cover) -- the windowed reader compares this against the index entry
+  /// it seeked by.
+  BinlogIndexEntry consumeChunk(std::uint32_t kind, const char* payload,
+                                std::uint64_t len, std::uint64_t offset) {
+    BinlogIndexEntry entry;
+    entry.kind = kind;
+    entry.offset = offset;
+    entry.payload_len = len;
+    ++chunks_;
+    switch (kind) {
+      case binchunk::kStrings: {
+        requirePreIndex("strings");
+        PayloadReader p(payload, len, origin_, "strings");
+        std::uint32_t shard = 0;
+        if (version_ >= 2) {
+          shard = p.u32("shard id");
+          checkShard(shard, "strings chunk");
+        }
+        entry.shard = shard;
+        auto& table = shards_[shard].strings;
+        const std::uint32_t count = p.u32("string count");
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint32_t slen = p.u32("string length");
+          const char* data = p.take(slen, "string bytes");
+          table.emplace_back(data, slen);
+        }
+        p.requireDrained();
+        break;
+      }
+      case binchunk::kEvents: {
+        requirePreIndex("events");
+        ++events_chunks_;
+        if (version_ >= 2) {
+          decodeEventsV2(payload, len, entry);
+        } else {
+          decodeEventsV1(payload, len, entry);
+        }
+        break;
+      }
+      case binchunk::kMeta: {
+        requirePreIndex("meta");
+        PayloadReader p(payload, len, origin_, "meta");
+        const std::uint32_t processes = p.u32("process-name count");
+        for (std::uint32_t i = 0; i < processes; ++i) {
+          const std::uint32_t pid = p.u32("process id");
+          const std::uint32_t slen = p.u32("process name length");
+          const char* data = p.take(slen, "process name");
+          process_names_[pid] = std::string(data, slen);
+        }
+        const std::uint32_t threads = p.u32("thread-name count");
+        for (std::uint32_t i = 0; i < threads; ++i) {
+          const std::uint32_t pid = p.u32("thread process id");
+          const std::uint32_t tid = p.u32("thread id");
+          const std::uint32_t slen = p.u32("thread name length");
+          const char* data = p.take(slen, "thread name");
+          thread_names_[{pid, tid}] = std::string(data, slen);
+        }
+        p.requireDrained();
+        break;
+      }
+      case binchunk::kIndex: {
+        if (version_ < 2) {
+          throw BinlogError(BinlogErrorKind::Malformed,
+                            origin_ + ": unknown chunk kind " +
+                                std::to_string(kind));
+        }
+        decodeIndex(payload, len);
+        break;
+      }
+      case binchunk::kFooter: {
+        decodeFooter(payload, len);
+        footer_seen_ = true;
+        break;
+      }
+      default:
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin_ + ": unknown chunk kind " +
+                              std::to_string(kind));
+    }
+    if (version_ >= 2 &&
+        (kind == binchunk::kStrings || kind == binchunk::kEvents ||
+         kind == binchunk::kMeta)) {
+      observed_.push_back(entry);
+    }
+    return entry;
+  }
+
+  /// The canonically merged trace from everything consumed so far.
+  BinaryTrace finalize() const {
+    BinaryTrace t;
+    t.version = version_;
+    std::uint32_t max_shard_plus1 = 0;
+    for (const auto& [shard, state] : shards_) {
+      max_shard_plus1 = std::max(max_shard_plus1, shard + 1);
+    }
+    t.shard_count = std::max({declared_shard_count_, max_shard_plus1, 1U});
+    t.process_names = process_names_;
+    t.thread_names = thread_names_;
+    t.totals = totals_;
+    t.index = declared_index_;
+    if (shards_.size() <= 1) {
+      // Single recording stream: file order *is* canonical order and the
+      // shard's local string ids are already global -- this identity path
+      // is what keeps v2 single-writer reports byte-identical to v1's.
+      if (!shards_.empty()) t.strings = shards_.begin()->second.strings;
+      t.events = events_;
+    } else {
+      std::vector<std::size_t> perm(events_.size());
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      std::sort(perm.begin(), perm.end(),
+                [this](std::size_t a, std::size_t b) {
+                  const BinEvent& ea = events_[a];
+                  const BinEvent& eb = events_[b];
+                  // NaN timestamps compare false both ways and fall through
+                  // to the (shard, seq) tiebreak -- still a total order.
+                  if (ea.ts < eb.ts) return true;
+                  if (eb.ts < ea.ts) return false;
+                  if (ea.shard != eb.shard) return ea.shard < eb.shard;
+                  return seqs_[a] < seqs_[b];
+                });
+      // Global string ids: content-deduplicated, in merged first-use order
+      // -- a pure function of the merged event stream, not of how shard
+      // chunks interleaved in the file.
+      std::map<std::string, std::uint32_t> by_content;
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> remap;
+      auto globalId = [&](std::uint32_t shard, std::uint32_t local) {
+        const auto key = std::make_pair(shard, local);
+        auto it = remap.find(key);
+        if (it != remap.end()) return it->second;
+        const std::string& content = shards_.at(shard).strings.at(local);
+        auto [cit, inserted] =
+            by_content.try_emplace(content, 0U);
+        if (inserted) {
+          cit->second = static_cast<std::uint32_t>(t.strings.size());
+          t.strings.push_back(content);
+        }
+        remap.emplace(key, cit->second);
+        return cit->second;
+      };
+      t.events.reserve(events_.size());
+      for (const std::size_t i : perm) {
+        BinEvent e = events_[i];
+        e.category = globalId(e.shard, e.category);
+        e.name = globalId(e.shard, e.name);
+        t.events.push_back(e);
+      }
+      // Interned strings no event references still belong in the table
+      // (the footer's string count was checked against the shard tables):
+      // deterministic (shard, local id) order after all referenced ones.
+      for (const auto& [shard, state] : shards_) {
+        const auto n = static_cast<std::uint32_t>(state.strings.size());
+        for (std::uint32_t local = 0; local < n; ++local) {
+          globalId(shard, local);
+        }
+      }
+    }
+    t.stats.chunks_total = chunks_;
+    t.stats.events_chunks_decoded = events_chunks_;
+    t.stats.events_decoded = events_.size();
+    t.stats.events_in_window = t.events.size();
+    return t;
+  }
+
+ private:
+  struct ShardState {
+    std::vector<std::string> strings;
+    std::uint64_t seq = 0;  ///< per-shard recording sequence (merge tiebreak)
+  };
+
+  void checkShard(std::uint32_t shard, const char* what) const {
+    if (shard >= kBinlogMaxShards) {
+      throw BinlogError(BinlogErrorKind::BadShard,
+                        origin_ + ": " + what + " carries shard id " +
+                            std::to_string(shard) + " (limit " +
+                            std::to_string(kBinlogMaxShards) + ")");
+    }
+  }
+
+  void requirePreIndex(const char* what) const {
+    if (strict_ && index_seen_) {
       throw BinlogError(BinlogErrorKind::Malformed,
-                        origin + ": event " +
-                            std::to_string(trace.events.size()) +
-                            " has unknown phase " + std::to_string(phase));
+                        origin_ + ": " + what +
+                            " chunk after the index chunk");
     }
-    e.phase = static_cast<Phase>(phase);
-    e.value = readF64(r + 32);
-    e.wall_ns = readU64(r + 40);
-    e.flow = readU64(r + 48);
-    e.category = readU32(r + 56);
-    e.name = readU32(r + 60);
-    const std::uint32_t table =
-        static_cast<std::uint32_t>(trace.strings.size());
-    if (e.category >= table || e.name >= table) {
-      const std::uint32_t bad = e.category >= table ? e.category : e.name;
+  }
+
+  void decodeEventsV1(const char* payload, std::uint64_t len,
+                      BinlogIndexEntry& entry) {
+    PayloadReader p(payload, len, origin_, "events");
+    if (p.remaining() % kBinlogEventBytes != 0) {
       throw BinlogError(
-          BinlogErrorKind::BadStringRef,
-          origin + ": event " + std::to_string(trace.events.size()) +
-              " references string id " + std::to_string(bad) +
-              " but only " + std::to_string(table) +
-              " string(s) are defined at this point");
+          BinlogErrorKind::Malformed,
+          origin_ + ": events chunk payload of " +
+              std::to_string(p.remaining()) +
+              " byte(s) is not a whole number of " +
+              std::to_string(kBinlogEventBytes) + "-byte event record(s)");
     }
-    trace.events.push_back(e);
+    const std::size_t count = p.remaining() / kBinlogEventBytes;
+    auto& shard0 = shards_[0];
+    detail::BinlogDeltaState cover;
+    events_.reserve(events_.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const char* r = p.take(kBinlogEventBytes, "event record");
+      BinEvent e;
+      e.ts = readF64(r);
+      e.dur = readF64(r + 8);
+      e.pid = readU32(r + 16);
+      e.tid = readU32(r + 20);
+      const std::uint32_t phase = readU32(r + 24);
+      if (phase > static_cast<std::uint32_t>(Phase::FlowEnd)) {
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin_ + ": event " +
+                              std::to_string(events_.size()) +
+                              " has unknown phase " + std::to_string(phase));
+      }
+      e.phase = static_cast<Phase>(phase);
+      e.value = readF64(r + 32);
+      e.wall_ns = readU64(r + 40);
+      e.flow = readU64(r + 48);
+      e.category = readU32(r + 56);
+      e.name = readU32(r + 60);
+      const auto table = static_cast<std::uint32_t>(shard0.strings.size());
+      if (e.category >= table || e.name >= table) {
+        const std::uint32_t bad = e.category >= table ? e.category : e.name;
+        throw BinlogError(
+            BinlogErrorKind::BadStringRef,
+            origin_ + ": event " + std::to_string(events_.size()) +
+                " references string id " + std::to_string(bad) +
+                " but only " + std::to_string(table) +
+                " string(s) are defined at this point");
+      }
+      coverEvent(cover, e.ts, e.dur);
+      events_.push_back(e);
+      seqs_.push_back(shard0.seq++);
+    }
+    entry.shard = 0;
+    entry.event_count = count;
+    entry.t_min = cover.t_min;
+    entry.t_max = cover.t_max;
   }
-}
 
-void decodeMetaChunk(PayloadReader& p, BinaryTrace& trace) {
-  const std::uint32_t processes = p.u32("process-name count");
-  for (std::uint32_t i = 0; i < processes; ++i) {
-    const std::uint32_t pid = p.u32("process id");
-    const std::uint32_t len = p.u32("process name length");
-    const char* data = p.take(len, "process name");
-    trace.process_names[pid] = std::string(data, len);
+  void decodeEventsV2(const char* payload, std::uint64_t len,
+                      BinlogIndexEntry& entry) {
+    PayloadReader p(payload, len, origin_, "events");
+    const std::uint32_t shard = p.u32("shard id");
+    checkShard(shard, "events chunk");
+    entry.shard = shard;
+    const std::uint32_t count = p.u32("event count");
+    auto& state = shards_[shard];
+    detail::BinlogDeltaState d;
+    events_.reserve(events_.size() + count);
+    auto varintU32 = [this, &p](const char* what) {
+      const std::uint64_t v = p.varint(what);
+      if (v > 0xffffffffULL) {
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin_ + ": event " + std::to_string(events_.size()) +
+                              ": varint for " + what + " (" +
+                              std::to_string(v) + ") overflows 32 bits");
+      }
+      return static_cast<std::uint32_t>(v);
+    };
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto flags =
+          static_cast<unsigned char>(*p.take(1, "event flags"));
+      if ((flags & kFlagReserved) != 0) {
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin_ + ": event " +
+                              std::to_string(events_.size()) +
+                              " has reserved flag bit 7 set");
+      }
+      const unsigned phase = flags & 0x7U;
+      if (phase > static_cast<unsigned>(Phase::FlowEnd)) {
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin_ + ": event " +
+                              std::to_string(events_.size()) +
+                              " has unknown phase " + std::to_string(phase));
+      }
+      BinEvent e;
+      e.phase = static_cast<Phase>(phase);
+      e.shard = shard;
+      e.pid = varintU32("pid");
+      e.tid = varintU32("tid");
+      e.category = varintU32("category id");
+      e.name = varintU32("name id");
+      d.ts_bits += unzigzag(p.varint("ts delta"));
+      if ((flags & kFlagWall) != 0) {
+        d.wall += unzigzag(p.varint("wall delta"));
+      }
+      if ((flags & kFlagDur) != 0) {
+        d.dur_bits += unzigzag(p.varint("dur delta"));
+      }
+      if ((flags & kFlagValue) != 0) {
+        d.value_bits += unzigzag(p.varint("value delta"));
+      }
+      e.flow = (flags & kFlagFlow) != 0 ? p.varint("flow id") : 0;
+      e.ts = f64FromBits(d.ts_bits);
+      e.dur = f64FromBits(d.dur_bits);
+      e.value = f64FromBits(d.value_bits);
+      e.wall_ns = d.wall;
+      const auto table = static_cast<std::uint32_t>(state.strings.size());
+      if (e.category >= table || e.name >= table) {
+        const std::uint32_t bad = e.category >= table ? e.category : e.name;
+        throw BinlogError(
+            BinlogErrorKind::BadStringRef,
+            origin_ + ": event " + std::to_string(events_.size()) +
+                " references string id " + std::to_string(bad) +
+                " but only " + std::to_string(table) +
+                " string(s) are defined for shard " + std::to_string(shard) +
+                " at this point");
+      }
+      coverEvent(d, e.ts, e.dur);
+      events_.push_back(e);
+      seqs_.push_back(state.seq++);
+    }
+    p.requireDrained();
+    entry.event_count = count;
+    entry.t_min = d.t_min;
+    entry.t_max = d.t_max;
   }
-  const std::uint32_t threads = p.u32("thread-name count");
-  for (std::uint32_t i = 0; i < threads; ++i) {
-    const std::uint32_t pid = p.u32("thread process id");
-    const std::uint32_t tid = p.u32("thread id");
-    const std::uint32_t len = p.u32("thread name length");
-    const char* data = p.take(len, "thread name");
-    trace.thread_names[{pid, tid}] = std::string(data, len);
-  }
-  p.requireDrained();
-}
 
-void decodeFooterChunk(PayloadReader& p, const std::string& origin,
-                       BinaryTrace& trace) {
-  if (p.remaining() != 40) {
-    throw BinlogError(BinlogErrorKind::Malformed,
-                      origin + ": footer chunk payload is " +
-                          std::to_string(p.remaining()) +
-                          " byte(s), expected 40");
+  void decodeIndex(const char* payload, std::uint64_t len) {
+    if (index_seen_) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin_ + ": duplicate index chunk");
+    }
+    index_seen_ = true;
+    if (len < 8) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin_ + ": index chunk payload of " +
+                            std::to_string(len) +
+                            " byte(s) is shorter than its 8-byte header");
+    }
+    const std::uint32_t entry_count = readU32(payload);
+    declared_shard_count_ = readU32(payload + 4);
+    if (len != 8 + std::uint64_t{kBinlogIndexEntryBytes} * entry_count) {
+      throw BinlogError(
+          BinlogErrorKind::BadIndex,
+          origin_ + ": index chunk declares " + std::to_string(entry_count) +
+              " index entries but the payload is " + std::to_string(len) +
+              " byte(s)");
+    }
+    declared_index_.reserve(entry_count);
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+      const char* r = payload + 8 + kBinlogIndexEntryBytes * i;
+      BinlogIndexEntry e;
+      e.kind = readU32(r);
+      e.shard = readU32(r + 4);
+      checkShard(e.shard, "index entry");
+      e.offset = readU64(r + 8);
+      e.payload_len = readU64(r + 16);
+      e.event_count = readU64(r + 24);
+      e.t_min = readF64(r + 32);
+      e.t_max = readF64(r + 40);
+      declared_index_.push_back(e);
+    }
+    if (strict_) crossCheckIndex();
   }
-  const std::uint64_t event_count = p.u64("footer event count");
-  const std::uint64_t string_count = p.u64("footer string count");
-  trace.totals.recorded = p.u64("footer recorded total");
-  trace.totals.dropped = p.u64("footer dropped total");
-  trace.totals.streamed = p.u64("footer streamed total");
-  if (event_count != trace.events.size()) {
-    throw BinlogError(BinlogErrorKind::Malformed,
-                      origin + ": footer declares " +
-                          std::to_string(event_count) + " event(s) but " +
-                          std::to_string(trace.events.size()) +
-                          " were decoded");
+
+  void crossCheckIndex() const {
+    if (declared_index_.size() != observed_.size()) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin_ + ": index chunk lists " +
+                            std::to_string(declared_index_.size()) +
+                            " chunk(s) but " +
+                            std::to_string(observed_.size()) +
+                            " were decoded before it");
+    }
+    for (std::size_t i = 0; i < declared_index_.size(); ++i) {
+      const BinlogIndexEntry& a = declared_index_[i];
+      const BinlogIndexEntry& b = observed_[i];
+      auto bad = [this, i](const std::string& what) {
+        throw BinlogError(BinlogErrorKind::BadIndex,
+                          origin_ + ": index entry " + std::to_string(i) +
+                              " " + what);
+      };
+      if (a.kind != b.kind) {
+        bad("declares chunk kind " + std::to_string(a.kind) +
+            " but the chunk has kind " + std::to_string(b.kind));
+      }
+      if (a.shard != b.shard) {
+        bad("declares shard " + std::to_string(a.shard) +
+            " but the chunk is tagged shard " + std::to_string(b.shard));
+      }
+      if (a.offset != b.offset) {
+        bad("declares file offset " + std::to_string(a.offset) +
+            " but the chunk is at offset " + std::to_string(b.offset));
+      }
+      if (a.payload_len != b.payload_len) {
+        bad("declares payload length " + std::to_string(a.payload_len) +
+            " but the chunk's is " + std::to_string(b.payload_len));
+      }
+      if (a.event_count != b.event_count) {
+        bad("declares " + std::to_string(a.event_count) +
+            " event(s) but the chunk holds " + std::to_string(b.event_count));
+      }
+      if (f64Bits(a.t_min) != f64Bits(b.t_min) ||
+          f64Bits(a.t_max) != f64Bits(b.t_max)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "declares time range [%.17g, %.17g] but the chunk "
+                      "covers [%.17g, %.17g]",
+                      a.t_min, a.t_max, b.t_min, b.t_max);
+        bad(buf);
+      }
+    }
   }
-  if (string_count != trace.strings.size()) {
-    throw BinlogError(BinlogErrorKind::Malformed,
-                      origin + ": footer declares " +
-                          std::to_string(string_count) + " string(s) but " +
-                          std::to_string(trace.strings.size()) +
-                          " were decoded");
+
+  void decodeFooter(const char* payload, std::uint64_t len) {
+    const std::uint64_t want_len =
+        version_ >= 2 ? kBinlogFooterBytes : kBinlogFooterBytesV1;
+    if (len != want_len) {
+      throw BinlogError(BinlogErrorKind::Malformed,
+                        origin_ + ": footer chunk payload is " +
+                            std::to_string(len) + " byte(s), expected " +
+                            std::to_string(want_len));
+    }
+    const std::uint64_t event_count = readU64(payload);
+    const std::uint64_t string_count = readU64(payload + 8);
+    totals_.recorded = readU64(payload + 16);
+    totals_.dropped = readU64(payload + 24);
+    totals_.streamed = readU64(payload + 32);
+    if (version_ >= 2) index_offset_ = readU64(payload + 40);
+    if (!strict_) return;
+    if (version_ >= 2 && !index_seen_) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin_ + ": footer arrived without an index chunk");
+    }
+    if (event_count != events_.size()) {
+      throw BinlogError(BinlogErrorKind::Malformed,
+                        origin_ + ": footer declares " +
+                            std::to_string(event_count) + " event(s) but " +
+                            std::to_string(events_.size()) +
+                            " were decoded");
+    }
+    std::uint64_t total_strings = 0;
+    for (const auto& [shard, state] : shards_) {
+      total_strings += state.strings.size();
+    }
+    if (string_count != total_strings) {
+      throw BinlogError(BinlogErrorKind::Malformed,
+                        origin_ + ": footer declares " +
+                            std::to_string(string_count) + " string(s) but " +
+                            std::to_string(total_strings) +
+                            " were decoded");
+    }
   }
-}
+
+  std::string origin_;
+  bool strict_;
+  std::uint32_t version_ = kBinlogVersion;
+  std::map<std::uint32_t, ShardState> shards_;
+  std::vector<BinEvent> events_;  // category/name are shard-local ids here
+  std::vector<std::uint64_t> seqs_;
+  std::map<std::uint32_t, std::string> process_names_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names_;
+  BinlogTotals totals_;
+  std::vector<BinlogIndexEntry> declared_index_;
+  std::vector<BinlogIndexEntry> observed_;
+  std::uint32_t declared_shard_count_ = 0;
+  std::uint64_t index_offset_ = 0;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t events_chunks_ = 0;
+  bool index_seen_ = false;
+  bool footer_seen_ = false;
+};
 
 }  // namespace
 
@@ -436,26 +984,27 @@ BinaryTrace decodeBinaryTrace(const std::string& bytes,
                       origin + ": not a binary trace file (bad magic)");
   }
   const std::uint32_t version = reader.u32("format version");
-  if (version != kBinlogVersion) {
+  if (version != kBinlogVersionV1 && version != kBinlogVersion) {
     throw BinlogError(
         BinlogErrorKind::BadVersion,
         origin + ": binary trace format version " + std::to_string(version) +
-            " is not supported (this build reads version " +
+            " is not supported (this build reads versions " +
+            std::to_string(kBinlogVersionV1) + " and " +
             std::to_string(kBinlogVersion) + ")");
   }
-  BinaryTrace trace;
-  trace.version = version;
+  ContainerDecoder decoder(origin, /*strict=*/true);
+  decoder.setVersion(version);
   std::uint64_t trailer = kFnvOffset;
   trailer = fnvWordStep(trailer, readU64(bytes.data()));
   trailer = fnvWordStep(trailer, version);
-  bool footer_seen = false;
-  while (!footer_seen) {
+  while (!decoder.footerSeen()) {
     if (reader.remaining() == 0) {
       throw BinlogError(BinlogErrorKind::MissingFooter,
                         origin + ": file ends after " +
                             std::to_string(reader.offset()) +
                             " byte(s) without a footer chunk");
     }
+    const std::uint64_t chunk_offset = reader.offset();
     const std::uint32_t kind = reader.u32("chunk kind");
     const std::uint64_t payload_len = reader.u64("chunk payload length");
     const char* payload = reader.take(payload_len, "chunk payload");
@@ -474,33 +1023,7 @@ BinaryTrace decodeBinaryTrace(const std::string& bytes,
     trailer = fnvWordStep(trailer, kind);
     trailer = fnvWordStep(trailer, payload_len);
     trailer = fnvWordStep(trailer, want);
-    switch (kind) {
-      case binchunk::kStrings: {
-        PayloadReader p(payload, payload_len, origin, "strings");
-        decodeStringsChunk(p, trace);
-        break;
-      }
-      case binchunk::kEvents: {
-        PayloadReader p(payload, payload_len, origin, "events");
-        decodeEventsChunk(p, origin, trace);
-        break;
-      }
-      case binchunk::kMeta: {
-        PayloadReader p(payload, payload_len, origin, "meta");
-        decodeMetaChunk(p, trace);
-        break;
-      }
-      case binchunk::kFooter: {
-        PayloadReader p(payload, payload_len, origin, "footer");
-        decodeFooterChunk(p, origin, trace);
-        footer_seen = true;
-        break;
-      }
-      default:
-        throw BinlogError(BinlogErrorKind::Malformed,
-                          origin + ": unknown chunk kind " +
-                              std::to_string(kind));
-    }
+    decoder.consumeChunk(kind, payload, payload_len, chunk_offset);
   }
   const std::uint64_t want = reader.u64("file checksum");
   const std::uint64_t got = trailer;
@@ -518,7 +1041,7 @@ BinaryTrace decodeBinaryTrace(const std::string& bytes,
                       origin + ": " + std::to_string(reader.remaining()) +
                           " trailing byte(s) after the file checksum");
   }
-  return trace;
+  return decoder.finalize();
 }
 
 BinaryTrace readBinaryTrace(const std::string& path) {
@@ -535,50 +1058,513 @@ BinaryTrace readBinaryTrace(const std::string& path) {
   return decodeBinaryTrace(bytes, path);
 }
 
+// --- Windowed (index-seeking) reading ---------------------------------------
+
+namespace {
+
+/// Random-access byte source for the seeking reader: a file opened once or
+/// an in-memory container image.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual std::uint64_t size() = 0;
+  /// Read exactly n bytes at `offset` (caller bounds-checks against size()).
+  virtual void read(std::uint64_t offset, char* dst, std::size_t n) = 0;
+  /// The whole container image (v1 fallback path).
+  virtual std::string readAll() = 0;
+};
+
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(const std::string& bytes) : bytes_(bytes) {}
+  std::uint64_t size() override { return bytes_.size(); }
+  void read(std::uint64_t offset, char* dst, std::size_t n) override {
+    std::memcpy(dst, bytes_.data() + offset, n);
+  }
+  std::string readAll() override { return bytes_; }
+
+ private:
+  const std::string& bytes_;
+};
+
+class FileSource final : public ByteSource {
+ public:
+  FileSource(const std::string& path, std::ifstream in)
+      : path_(path), in_(std::move(in)) {}
+  std::uint64_t size() override {
+    in_.clear();
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    if (end < 0) {
+      throw BinlogError(BinlogErrorKind::Io,
+                        path_ + ": binary trace read failed");
+    }
+    return static_cast<std::uint64_t>(end);
+  }
+  void read(std::uint64_t offset, char* dst, std::size_t n) override {
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(dst, static_cast<std::streamsize>(n));
+    if (!in_ || static_cast<std::size_t>(in_.gcount()) != n) {
+      throw BinlogError(BinlogErrorKind::Io,
+                        path_ + ": binary trace read failed");
+    }
+  }
+  std::string readAll() override {
+    in_.clear();
+    in_.seekg(0);
+    std::string bytes((std::istreambuf_iterator<char>(in_)),
+                      std::istreambuf_iterator<char>());
+    if (in_.bad()) {
+      throw BinlogError(BinlogErrorKind::Io,
+                        path_ + ": binary trace read failed");
+    }
+    return bytes;
+  }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Drop events outside the window; refresh the in-window count. The string
+/// table is untouched (ids stay valid).
+void applyWindowFilter(BinaryTrace& trace, const TraceWindow& window) {
+  trace.events.erase(
+      std::remove_if(trace.events.begin(), trace.events.end(),
+                     [&window](const BinEvent& e) {
+                       return !eventInWindow(e, window);
+                     }),
+      trace.events.end());
+  trace.stats.events_in_window = trace.events.size();
+}
+
+/// Verify one chunk's stored checksum; same diagnostic as the strict path.
+void requireChunkChecksum(const std::string& origin, std::uint32_t kind,
+                          const char* payload, std::uint64_t len,
+                          std::uint64_t want) {
+  const std::uint64_t got = binlogChecksum(payload, len);
+  if (got != want) {
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  ": chunk kind %u payload checksum mismatch "
+                  "(stored 0x%016llx, computed 0x%016llx)",
+                  static_cast<unsigned>(kind),
+                  static_cast<unsigned long long>(want),
+                  static_cast<unsigned long long>(got));
+    throw BinlogError(BinlogErrorKind::ChunkChecksum, origin + buf);
+  }
+}
+
+BinaryTrace windowedDecode(ByteSource& src, const std::string& origin,
+                           const TraceWindow& window) {
+  const std::uint64_t fsize = src.size();
+  if (fsize < sizeof(kBinlogMagic) + 4) {
+    throw BinlogError(BinlogErrorKind::Truncated,
+                      origin + ": truncated trace: need " +
+                          std::to_string(sizeof(kBinlogMagic) + 4) +
+                          " byte(s) for the file header, only " +
+                          std::to_string(fsize) + " in the file");
+  }
+  char header[sizeof(kBinlogMagic) + 4];
+  src.read(0, header, sizeof(header));
+  if (std::memcmp(header, kBinlogMagic, sizeof(kBinlogMagic)) != 0) {
+    throw BinlogError(BinlogErrorKind::BadMagic,
+                      origin + ": not a binary trace file (bad magic)");
+  }
+  const std::uint32_t version = readU32(header + sizeof(kBinlogMagic));
+  if (version == kBinlogVersionV1) {
+    // v1 has no index: full strict decode, then filter. used_index stays
+    // false and the decode counters reflect the full pass.
+    BinaryTrace trace = decodeBinaryTrace(src.readAll(), origin);
+    applyWindowFilter(trace, window);
+    return trace;
+  }
+  if (version != kBinlogVersion) {
+    throw BinlogError(
+        BinlogErrorKind::BadVersion,
+        origin + ": binary trace format version " + std::to_string(version) +
+            " is not supported (this build reads versions " +
+            std::to_string(kBinlogVersionV1) + " and " +
+            std::to_string(kBinlogVersion) + ")");
+  }
+  if (fsize < sizeof(header) + kBinlogTailBytes) {
+    throw BinlogError(BinlogErrorKind::Truncated,
+                      origin + ": truncated trace: need " +
+                          std::to_string(kBinlogTailBytes) +
+                          " byte(s) for the fixed v2 file tail, only " +
+                          std::to_string(fsize - sizeof(header)) +
+                          " past the header");
+  }
+  // The v2 footer chunk is the fixed-size file tail: seek it directly.
+  char tail[kBinlogTailBytes];
+  src.read(fsize - kBinlogTailBytes, tail, sizeof(tail));
+  const std::uint32_t tail_kind = readU32(tail);
+  if (tail_kind != binchunk::kFooter) {
+    throw BinlogError(BinlogErrorKind::MissingFooter,
+                      origin + ": no footer chunk at the fixed file tail "
+                               "(still being written? try --follow)");
+  }
+  const std::uint64_t tail_len = readU64(tail + 4);
+  if (tail_len != kBinlogFooterBytes) {
+    throw BinlogError(BinlogErrorKind::Malformed,
+                      origin + ": footer chunk payload is " +
+                          std::to_string(tail_len) + " byte(s), expected " +
+                          std::to_string(kBinlogFooterBytes));
+  }
+  requireChunkChecksum(origin, tail_kind, tail + 12, kBinlogFooterBytes,
+                       readU64(tail + 12 + kBinlogFooterBytes));
+  ContainerDecoder decoder(origin, /*strict=*/false);
+  decoder.setVersion(version);
+  decoder.consumeChunk(binchunk::kFooter, tail + 12, kBinlogFooterBytes,
+                       fsize - kBinlogTailBytes);
+  const std::uint64_t index_offset = decoder.indexOffset();
+  if (index_offset < sizeof(header) ||
+      index_offset + 12 + 8 > fsize - kBinlogTailBytes + 12) {
+    throw BinlogError(BinlogErrorKind::BadIndex,
+                      origin + ": footer index offset " +
+                          std::to_string(index_offset) +
+                          " lies outside the file");
+  }
+  char ihdr[12];
+  src.read(index_offset, ihdr, sizeof(ihdr));
+  const std::uint32_t ikind = readU32(ihdr);
+  if (ikind != binchunk::kIndex) {
+    throw BinlogError(
+        BinlogErrorKind::BadIndex,
+        origin + ": footer index offset does not point at an index chunk");
+  }
+  const std::uint64_t ilen = readU64(ihdr + 4);
+  if (ilen > fsize || index_offset + 12 + ilen + 8 > fsize) {
+    throw BinlogError(BinlogErrorKind::BadIndex,
+                      origin + ": index chunk at offset " +
+                          std::to_string(index_offset) +
+                          " runs past the end of the file");
+  }
+  std::string ibuf(static_cast<std::size_t>(ilen) + 8, '\0');
+  src.read(index_offset + 12, ibuf.data(), ibuf.size());
+  requireChunkChecksum(origin, ikind, ibuf.data(), ilen, readU64(ibuf.data() + ilen));
+  decoder.consumeChunk(binchunk::kIndex, ibuf.data(), ilen, index_offset);
+
+  BinlogReadStats stats;
+  stats.used_index = true;
+  // index + footer themselves, plus every chunk the index lists.
+  stats.chunks_total = decoder.declaredIndex().size() + 2;
+  // Decode in file-offset order (string definitions precede their uses);
+  // events chunks whose time cover misses the window are skipped unread.
+  std::vector<BinlogIndexEntry> selected = decoder.declaredIndex();
+  std::sort(selected.begin(), selected.end(),
+            [](const BinlogIndexEntry& a, const BinlogIndexEntry& b) {
+              return a.offset < b.offset;
+            });
+  std::string chunk;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const BinlogIndexEntry& entry = selected[i];
+    const bool is_events = entry.kind == binchunk::kEvents;
+    // NaN covers compare false on both sides and are decoded (never
+    // silently dropped).
+    const bool outside =
+        entry.t_max < window.from || entry.t_min > window.to;
+    if (is_events && outside) {
+      ++stats.events_chunks_skipped;
+      stats.payload_bytes_skipped += entry.payload_len;
+      continue;
+    }
+    if (entry.offset < sizeof(header) || entry.payload_len > fsize ||
+        entry.offset + 12 + entry.payload_len + 8 > fsize) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin + ": index entry " + std::to_string(i) +
+                            " lies outside the file");
+    }
+    char chdr[12];
+    src.read(entry.offset, chdr, sizeof(chdr));
+    const std::uint32_t kind = readU32(chdr);
+    const std::uint64_t len = readU64(chdr + 4);
+    if (kind != entry.kind) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin + ": index entry " + std::to_string(i) +
+                            " declares chunk kind " +
+                            std::to_string(entry.kind) +
+                            " but the file has kind " + std::to_string(kind) +
+                            " at offset " + std::to_string(entry.offset));
+    }
+    if (len != entry.payload_len) {
+      throw BinlogError(BinlogErrorKind::BadIndex,
+                        origin + ": index entry " + std::to_string(i) +
+                            " declares payload length " +
+                            std::to_string(entry.payload_len) +
+                            " but the chunk at offset " +
+                            std::to_string(entry.offset) + " declares " +
+                            std::to_string(len));
+    }
+    chunk.resize(static_cast<std::size_t>(len) + 8);
+    src.read(entry.offset + 12, chunk.data(), chunk.size());
+    requireChunkChecksum(origin, kind, chunk.data(), len,
+                         readU64(chunk.data() + len));
+    const BinlogIndexEntry observed =
+        decoder.consumeChunk(kind, chunk.data(), len, entry.offset);
+    if (is_events) {
+      ++stats.events_chunks_decoded;
+      auto bad = [&origin, i](const std::string& what) {
+        throw BinlogError(BinlogErrorKind::BadIndex,
+                          origin + ": index entry " + std::to_string(i) +
+                              " " + what);
+      };
+      if (observed.shard != entry.shard) {
+        bad("declares shard " + std::to_string(entry.shard) +
+            " but the chunk is tagged shard " +
+            std::to_string(observed.shard));
+      }
+      if (observed.event_count != entry.event_count) {
+        bad("declares " + std::to_string(entry.event_count) +
+            " event(s) but the chunk holds " +
+            std::to_string(observed.event_count));
+      }
+      if (f64Bits(observed.t_min) != f64Bits(entry.t_min) ||
+          f64Bits(observed.t_max) != f64Bits(entry.t_max)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "declares time range [%.17g, %.17g] but the chunk "
+                      "covers [%.17g, %.17g]",
+                      entry.t_min, entry.t_max, observed.t_min,
+                      observed.t_max);
+        bad(buf);
+      }
+    }
+  }
+  BinaryTrace trace = decoder.finalize();
+  stats.events_decoded = trace.stats.events_decoded;
+  trace.stats = stats;
+  applyWindowFilter(trace, window);
+  return trace;
+}
+
+}  // namespace
+
+BinaryTrace decodeBinaryTraceWindow(const std::string& bytes,
+                                    const std::string& origin,
+                                    const TraceWindow& window) {
+  MemorySource src(bytes);
+  return windowedDecode(src, origin, window);
+}
+
+BinaryTrace readBinaryTraceWindow(const std::string& path,
+                                  const TraceWindow& window) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw BinlogError(BinlogErrorKind::Io,
+                      path + ": cannot open binary trace for reading");
+  }
+  FileSource src(path, std::move(in));
+  return windowedDecode(src, path, window);
+}
+
+// --- Container emitter ------------------------------------------------------
+
+namespace detail {
+
+/// The shared chunk-emitting backend: file/memory staging, trailer digest,
+/// and the v2 index ledger. BinaryTraceWriter owns one; ShardedBinaryWriter
+/// funnels every shard's chunks through one.
+struct BinlogContainer {
+  std::uint32_t version;
+  std::size_t flush_bytes;
+  std::ofstream file;
+  bool file_mode = false;
+  bool file_ok = true;
+  bool finished = false;
+  std::string* out = nullptr;
+  std::string staged;
+  std::uint64_t trailer_fnv = 0;
+  std::uint64_t bytes_written = 0;
+  std::vector<BinlogIndexEntry> index;
+
+  BinlogContainer(const std::string& path, std::uint32_t ver,
+                  std::size_t flush)
+      : version(ver),
+        flush_bytes(flush),
+        file(path, std::ios::binary | std::ios::trunc),
+        file_mode(true) {
+    file_ok = static_cast<bool>(file);
+    staged.reserve(flush_bytes + (flush_bytes >> 2));
+    writeHeader();
+  }
+
+  BinlogContainer(std::string* o, std::uint32_t ver, std::size_t flush)
+      : version(ver), flush_bytes(flush), out(o) {
+    writeHeader();
+  }
+
+  bool good() const { return !file_mode || file_ok; }
+
+  void writeHeader() {
+    char header[sizeof(kBinlogMagic) + 4];
+    std::memcpy(header, kBinlogMagic, sizeof(kBinlogMagic));
+    putU32(header + sizeof(kBinlogMagic), version);
+    emitRaw(header, sizeof(header));
+    trailer_fnv = kFnvOffset;
+    trailer_fnv = fnvWordStep(trailer_fnv, readU64(header));
+    trailer_fnv = fnvWordStep(trailer_fnv, version);
+  }
+
+  void emitRaw(const char* data, std::size_t size) {
+    bytes_written += size;
+    if (file_mode) {
+      staged.append(data, size);
+    } else if (out != nullptr) {
+      out->append(data, size);
+    }
+  }
+
+  /// Emit one complete chunk. `indexed` chunks get a ledger entry (v2
+  /// only) carrying the shard tag, event count and time cover that will be
+  /// pinned into the index chunk at finish().
+  void emitChunk(std::uint32_t kind, const char* data, std::size_t size,
+                 std::uint64_t checksum, std::uint32_t shard,
+                 std::uint64_t event_count, double t_min, double t_max,
+                 bool indexed) {
+    const std::uint64_t offset = bytes_written;
+    char header[12];
+    putU32(header, kind);
+    putU64(header + 4, size);
+    emitRaw(header, sizeof(header));
+    emitRaw(data, size);
+    char sum[8];
+    putU64(sum, checksum);
+    emitRaw(sum, sizeof(sum));
+    trailer_fnv = fnvWordStep(trailer_fnv, kind);
+    trailer_fnv = fnvWordStep(trailer_fnv, size);
+    trailer_fnv = fnvWordStep(trailer_fnv, checksum);
+    if (version >= 2 && indexed) {
+      BinlogIndexEntry e;
+      e.kind = kind;
+      e.shard = shard;
+      e.offset = offset;
+      e.payload_len = size;
+      e.event_count = event_count;
+      e.t_min = t_min;
+      e.t_max = t_max;
+      index.push_back(e);
+    }
+  }
+
+  void emitChunk(std::uint32_t kind, const std::string& payload,
+                 std::uint32_t shard, bool indexed) {
+    emitChunk(kind, payload.data(), payload.size(), binlogChecksum(payload),
+              shard, 0, 0.0, 0.0, indexed);
+  }
+
+  void flushFile(bool force) {
+    if (!file_mode) return;
+    if (!file_ok) {
+      staged.clear();
+      return;
+    }
+    if (!force && staged.size() < flush_bytes) return;
+    if (!staged.empty()) {
+      file.write(staged.data(),
+                 static_cast<std::streamsize>(staged.size()));
+      // Push whole chunks to the OS now: staged always ends at a chunk
+      // boundary, so a --follow reader tailing the file sees a clean
+      // prefix of complete chunks rather than a torn one.
+      file.flush();
+      if (!file) file_ok = false;
+      staged.clear();
+    }
+  }
+
+  /// Index (v2) + footer + trailer digest; closes the file. Idempotent.
+  bool finish(std::uint64_t event_count, std::uint64_t string_count,
+              const BinlogTotals& totals, std::uint32_t shard_count) {
+    if (finished) return good();
+    if (version >= 2) {
+      std::string ip;
+      appendU32(ip, static_cast<std::uint32_t>(index.size()));
+      appendU32(ip, shard_count);
+      for (const BinlogIndexEntry& e : index) {
+        char buf[kBinlogIndexEntryBytes];
+        putU32(buf, e.kind);
+        putU32(buf + 4, e.shard);
+        putU64(buf + 8, e.offset);
+        putU64(buf + 16, e.payload_len);
+        putU64(buf + 24, e.event_count);
+        putF64(buf + 32, e.t_min);
+        putF64(buf + 40, e.t_max);
+        ip.append(buf, sizeof(buf));
+      }
+      const std::uint64_t index_offset = bytes_written;
+      emitChunk(binchunk::kIndex, ip, 0, /*indexed=*/false);
+      std::string footer;
+      appendU64(footer, event_count);
+      appendU64(footer, string_count);
+      appendU64(footer, totals.recorded);
+      appendU64(footer, totals.dropped);
+      appendU64(footer, totals.streamed);
+      appendU64(footer, index_offset);
+      emitChunk(binchunk::kFooter, footer, 0, /*indexed=*/false);
+    } else {
+      std::string footer;
+      appendU64(footer, event_count);
+      appendU64(footer, string_count);
+      appendU64(footer, totals.recorded);
+      appendU64(footer, totals.dropped);
+      appendU64(footer, totals.streamed);
+      emitChunk(binchunk::kFooter, footer, 0, /*indexed=*/false);
+    }
+    // The trailer digest already covers the header and every chunk summary
+    // (folded as each chunk was emitted); it is not part of its own hash.
+    char tail[8];
+    putU64(tail, trailer_fnv);
+    bytes_written += sizeof(tail);
+    if (file_mode) {
+      staged.append(tail, sizeof(tail));
+      flushFile(true);
+      file.close();
+      if (!file) file_ok = false;
+    } else if (out != nullptr) {
+      out->append(tail, sizeof(tail));
+    }
+    finished = true;
+    return good();
+  }
+};
+
+}  // namespace detail
+
 // --- Writer -----------------------------------------------------------------
 
 BinaryTraceWriter::BinaryTraceWriter(TraceSink& sink, const std::string& path,
                                      BinaryTraceWriterConfig config)
-    : sink_(sink),
-      config_(config),
-      file_(path, std::ios::binary | std::ios::trunc),
-      file_mode_(true),
-      trailer_fnv_(kFnvOffset) {
-  resetChunkLanesLocked();
-  file_ok_ = static_cast<bool>(file_);
-  staged_.reserve(config_.flush_bytes + (config_.flush_bytes >> 2));
-  growPendingLocked(config_.flush_bytes + kBinlogEventBytes);
-  pending_strings_.assign(4, '\0');
-  char header[sizeof(kBinlogMagic) + 4];
-  std::memcpy(header, kBinlogMagic, sizeof(kBinlogMagic));
-  putU32(header + sizeof(kBinlogMagic), kBinlogVersion);
-  emitRawLocked(header, sizeof(header));
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, readU64(header));
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, kBinlogVersion);
+    : sink_(sink), config_(config) {
+  config_.version =
+      config_.version == kBinlogVersionV1 ? kBinlogVersionV1 : kBinlogVersion;
+  container_ = std::make_unique<detail::BinlogContainer>(path, config_.version,
+                                                         config_.flush_bytes);
+  initLocked();
   sink_.setDrainHook(&BinaryTraceWriter::drainThunk, this,
                      config_.occupancy_watermark, config_.time_watermark);
 }
 
 BinaryTraceWriter::BinaryTraceWriter(TraceSink& sink, std::string* out,
                                      BinaryTraceWriterConfig config)
-    : sink_(sink),
-      config_(config),
-      out_(out),
-      trailer_fnv_(kFnvOffset) {
-  resetChunkLanesLocked();
-  growPendingLocked(config_.flush_bytes + kBinlogEventBytes);
-  pending_strings_.assign(4, '\0');
-  char header[sizeof(kBinlogMagic) + 4];
-  std::memcpy(header, kBinlogMagic, sizeof(kBinlogMagic));
-  putU32(header + sizeof(kBinlogMagic), kBinlogVersion);
-  emitRawLocked(header, sizeof(header));
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, readU64(header));
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, kBinlogVersion);
+    : sink_(sink), config_(config) {
+  config_.version =
+      config_.version == kBinlogVersionV1 ? kBinlogVersionV1 : kBinlogVersion;
+  container_ = std::make_unique<detail::BinlogContainer>(out, config_.version,
+                                                         config_.flush_bytes);
+  initLocked();
   sink_.setDrainHook(&BinaryTraceWriter::drainThunk, this,
                      config_.occupancy_watermark, config_.time_watermark);
 }
 
 BinaryTraceWriter::~BinaryTraceWriter() { close(); }
+
+void BinaryTraceWriter::initLocked() {
+  resetChunkLanesLocked();
+  growPendingLocked(config_.flush_bytes + kBinlogV2MaxRecordBytes + 8);
+  resetPendingLocked();
+  pending_strings_.assign(config_.version >= 2 ? 8 : 4, '\0');
+}
 
 void BinaryTraceWriter::drainThunk(void* ctx) {
   static_cast<BinaryTraceWriter*>(ctx)->drain();
@@ -668,11 +1654,22 @@ void BinaryTraceWriter::resetChunkLanesLocked() {
   for (unsigned i = 0; i < 4; ++i) chunk_lanes_[i] = fnvLaneSeed(i);
 }
 
+void BinaryTraceWriter::resetPendingLocked() {
+  if (config_.version >= 2) {
+    // Reserve the u32 shard + u32 count chunk prologue; patched at seal.
+    std::memset(pending_base_, 0, 8);
+    pending_size_ = 8;
+  } else {
+    pending_size_ = 0;
+  }
+  delta_ = detail::BinlogDeltaState{};
+}
+
 void BinaryTraceWriter::growPendingLocked(std::size_t need) {
   std::size_t cap = pending_cap_ == 0 ? (std::size_t{1} << 16) : pending_cap_;
   while (cap < need) cap *= 2;
   // Over-allocate so the record area can start on a 64-byte boundary:
-  // records are 64 bytes and pending_size_ only ever grows by whole
+  // v1 records are 64 bytes and pending_size_ only ever grows by whole
   // records, so every record lands 32-byte aligned -- what the x86 fast
   // path's non-temporal stores require.
   auto grown = std::make_unique<char[]>(cap + 63);
@@ -686,7 +1683,6 @@ void BinaryTraceWriter::growPendingLocked(std::size_t need) {
   pending_base_ = base;
   pending_cap_ = cap;
 }
-
 
 #if IOBTS_BINLOG_X86
 __attribute__((target("avx2"))) std::size_t BinaryTraceWriter::encodeRunAvx2(
@@ -788,6 +1784,15 @@ __attribute__((target("avx2"))) std::size_t BinaryTraceWriter::encodeRunAvx2(
 
 void BinaryTraceWriter::appendLocked(const TraceEvent* events,
                                      std::size_t count) {
+  if (config_.version >= 2) {
+    appendV2Locked(events, count);
+  } else {
+    appendV1Locked(events, count);
+  }
+}
+
+void BinaryTraceWriter::appendV1Locked(const TraceEvent* events,
+                                       std::size_t count) {
   // One capacity check covers the whole batch (the ring hands us whole
   // segments). The inner loop is deliberately call-free: string ids come
   // from an inline probe of the pointer-keyed slot table, and an intern
@@ -897,75 +1902,85 @@ void BinaryTraceWriter::appendLocked(const TraceEvent* events,
   events_written_ += count;
 }
 
-void BinaryTraceWriter::emitRawLocked(const char* data, std::size_t size) {
-  bytes_written_ += size;
-  if (file_mode_) {
-    staged_.append(data, size);
-  } else if (out_ != nullptr) {
-    out_->append(data, size);
+void BinaryTraceWriter::appendV2Locked(const TraceEvent* events,
+                                       std::size_t count) {
+  // Seal inside the loop, not once per drain: a drain can deliver far more
+  // than flush_bytes at once (the ring watermark, not the chunk size,
+  // decides drain cadence), and bounded chunks are what give the footer
+  // index time-local entries worth seeking by. The seal point is a pure
+  // function of the encoded byte stream, so chunk boundaries stay
+  // deterministic. initLocked() sized the buffer past flush_bytes + one
+  // max record, so the grow check almost never fires.
+  for (std::size_t i = 0; i < count; ++i) {
+    const TraceEvent& e = events[i];
+    std::uint32_t category_id;
+    std::uint32_t name_id;
+    if (!probeSlot(e.category, category_id)) {
+      category_id = internLocked(e.category);
+    }
+    if (!probeSlot(e.name, name_id)) {
+      name_id = internLocked(e.name);
+    }
+    if (pending_size_ + kBinlogV2MaxRecordBytes > pending_cap_) {
+      growPendingLocked(pending_size_ + kBinlogV2MaxRecordBytes);
+    }
+    char* dst =
+        encodeDeltaRecord(pending_base_ + pending_size_, e, category_id,
+                          name_id, delta_);
+    pending_size_ = static_cast<std::size_t>(dst - pending_base_);
+    if (pending_size_ >= config_.flush_bytes) {
+      sealEventsChunkLocked();
+    }
   }
-}
-
-void BinaryTraceWriter::emitChunkLocked(std::uint32_t kind,
-                                        const std::string& payload) {
-  emitChunkLocked(kind, payload.data(), payload.size(),
-                  binlogChecksum(payload));
-}
-
-void BinaryTraceWriter::emitChunkLocked(std::uint32_t kind, const char* data,
-                                        std::size_t size,
-                                        std::uint64_t checksum) {
-  char header[12];
-  putU32(header, kind);
-  putU64(header + 4, size);
-  emitRawLocked(header, sizeof(header));
-  emitRawLocked(data, size);
-  char sum[8];
-  putU64(sum, checksum);
-  emitRawLocked(sum, sizeof(sum));
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, kind);
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, size);
-  trailer_fnv_ = fnvWordStep(trailer_fnv_, checksum);
+  events_written_ += count;
 }
 
 void BinaryTraceWriter::sealEventsChunkLocked() {
-  if (pending_string_count_ > 0) {
-    putU32(pending_strings_.data(), pending_string_count_);
-    emitChunkLocked(binchunk::kStrings, pending_strings_);
-    pending_strings_.assign(4, '\0');
-    pending_string_count_ = 0;
+  if (config_.version >= 2) {
+    if (pending_string_count_ > 0) {
+      putU32(pending_strings_.data(), config_.shard);
+      putU32(pending_strings_.data() + 4, pending_string_count_);
+      container_->emitChunk(binchunk::kStrings, pending_strings_,
+                            config_.shard, /*indexed=*/true);
+      pending_strings_.assign(8, '\0');
+      pending_string_count_ = 0;
+    }
+    if (delta_.count > 0) {
+      putU32(pending_base_, config_.shard);
+      putU32(pending_base_ + 4, static_cast<std::uint32_t>(delta_.count));
+      const std::uint64_t sum = binlogChecksum(pending_base_, pending_size_);
+      container_->emitChunk(binchunk::kEvents, pending_base_, pending_size_,
+                            sum, config_.shard, delta_.count, delta_.t_min,
+                            delta_.t_max, /*indexed=*/true);
+      resetPendingLocked();
+    }
+  } else {
+    if (pending_string_count_ > 0) {
+      putU32(pending_strings_.data(), pending_string_count_);
+      container_->emitChunk(binchunk::kStrings, pending_strings_, 0,
+                            /*indexed=*/false);
+      pending_strings_.assign(4, '\0');
+      pending_string_count_ = 0;
+    }
+    if (pending_size_ > 0) {
+      // Finish the incrementally folded lanes exactly the way
+      // binlogChecksum would -- the seal never re-reads the payload.
+      std::uint64_t sum = kFnvOffset;
+      for (unsigned w = 0; w < 4; ++w) sum = fnvWordStep(sum, chunk_lanes_[w]);
+      sum = fnvWordStep(sum, pending_size_);
+      container_->emitChunk(binchunk::kEvents, pending_base_, pending_size_,
+                            sum, 0, pending_size_ / kBinlogEventBytes, 0.0,
+                            0.0, /*indexed=*/false);
+      pending_size_ = 0;
+      resetChunkLanesLocked();
+    }
   }
-  if (pending_size_ > 0) {
-    // Finish the incrementally folded lanes exactly the way binlogChecksum
-    // would -- the seal never re-reads the payload.
-    std::uint64_t sum = kFnvOffset;
-    for (unsigned w = 0; w < 4; ++w) sum = fnvWordStep(sum, chunk_lanes_[w]);
-    sum = fnvWordStep(sum, pending_size_);
-    emitChunkLocked(binchunk::kEvents, pending_base_, pending_size_,
-                    sum);
-    pending_size_ = 0;
-    resetChunkLanesLocked();
-  }
-  flushFileLocked(false);
-}
-
-void BinaryTraceWriter::flushFileLocked(bool force) {
-  if (!file_mode_) return;
-  if (!file_ok_) {
-    staged_.clear();
-    return;
-  }
-  if (!force && staged_.size() < config_.flush_bytes) return;
-  if (!staged_.empty()) {
-    file_.write(staged_.data(), static_cast<std::streamsize>(staged_.size()));
-    if (!file_) file_ok_ = false;
-    staged_.clear();
-  }
+  container_->flushFile(false);
 }
 
 bool BinaryTraceWriter::close() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) return !file_mode_ || file_ok_;
+  if (closed_) return container_->good();
   sink_.clearDrainHook();
   if (sink_.drainSegments(&BinaryTraceWriter::segmentThunk, this) > 0) {
     ++batches_;
@@ -973,54 +1988,19 @@ bool BinaryTraceWriter::close() {
   sealEventsChunkLocked();
   // Meta chunk last: every track name registered during the run is known by
   // now (mirrors the streamer's metadata-at-close order).
-  {
-    std::string meta;
-    const auto processes = sink_.processNames();
-    appendU32(meta, static_cast<std::uint32_t>(processes.size()));
-    for (const auto& [pid, name] : processes) {
-      appendU32(meta, pid);
-      appendU32(meta, static_cast<std::uint32_t>(name.size()));
-      meta += name;
-    }
-    const auto threads = sink_.threadNames();
-    appendU32(meta, static_cast<std::uint32_t>(threads.size()));
-    for (const auto& [key, name] : threads) {
-      appendU32(meta, key.first);
-      appendU32(meta, key.second);
-      appendU32(meta, static_cast<std::uint32_t>(name.size()));
-      meta += name;
-    }
-    emitChunkLocked(binchunk::kMeta, meta);
-  }
-  {
-    std::string footer;
-    appendU64(footer, events_written_);
-    appendU64(footer, static_cast<std::uint64_t>(next_string_id_));
-    appendU64(footer, sink_.recorded());
-    appendU64(footer, sink_.dropped());
-    appendU64(footer, sink_.streamed());
-    emitChunkLocked(binchunk::kFooter, footer);
-  }
-  // The trailer digest already covers the header and every chunk summary
-  // (folded as each chunk was emitted); it is not part of its own hash.
-  char tail[8];
-  putU64(tail, trailer_fnv_);
-  bytes_written_ += sizeof(tail);
-  if (file_mode_) {
-    staged_.append(tail, sizeof(tail));
-    flushFileLocked(true);
-    file_.close();
-    if (!file_) file_ok_ = false;
-  } else if (out_ != nullptr) {
-    out_->append(tail, sizeof(tail));
-  }
+  container_->emitChunk(binchunk::kMeta, buildMetaPayload(&sink_), 0,
+                        /*indexed=*/true);
+  const bool ok = container_->finish(
+      events_written_, next_string_id_,
+      BinlogTotals{sink_.recorded(), sink_.dropped(), sink_.streamed()},
+      config_.shard + 1);
   closed_ = true;
-  return !file_mode_ || file_ok_;
+  return ok;
 }
 
 bool BinaryTraceWriter::good() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return !file_mode_ || file_ok_;
+  return container_->good();
 }
 
 std::uint64_t BinaryTraceWriter::events() const {
@@ -1035,7 +2015,385 @@ std::uint64_t BinaryTraceWriter::batches() const {
 
 std::uint64_t BinaryTraceWriter::bytesWritten() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_written_;
+  return container_->bytes_written;
+}
+
+// --- Sharded direct recording -----------------------------------------------
+
+struct ShardedBinaryWriter::Impl {
+  /// Per-shard encoder state: its own string table, open delta chunk and
+  /// time cover. Chunks from different shards interleave freely in the
+  /// file; the shard tag on every chunk lets the reader regroup them.
+  struct ShardStream {
+    Impl* owner = nullptr;
+    std::uint32_t shard = 0;
+    TraceSink* sink = nullptr;
+    // Pointer-keyed caches in front of the content map (same unification
+    // guarantee as BinaryTraceWriter's slot table, sized for the staging
+    // sinks' narrower string population).
+    const char* cache_ptr[2] = {nullptr, nullptr};
+    std::uint32_t cache_id[2] = {0, 0};
+    std::map<const char*, std::uint32_t> by_ptr;
+    std::map<std::string, std::uint32_t> by_content;
+    std::uint32_t next_id = 0;
+    std::string pending = std::string(8, '\0');
+    std::string pending_strings = std::string(8, '\0');
+    std::uint32_t pending_string_count = 0;
+    detail::BinlogDeltaState delta;
+    std::uint64_t events = 0;
+  };
+
+  mutable std::mutex mutex;
+  BinaryTraceWriterConfig config;
+  detail::BinlogContainer container;
+  std::map<std::uint32_t, std::unique_ptr<ShardStream>> streams;
+  const TraceSink* name_source = nullptr;
+  BinlogTotals totals;
+  std::uint64_t events_total = 0;
+  bool closed = false;
+
+  Impl(const std::string& path, BinaryTraceWriterConfig cfg)
+      : config(cfg), container(path, kBinlogVersion, cfg.flush_bytes) {
+    config.version = kBinlogVersion;
+  }
+  Impl(std::string* out, BinaryTraceWriterConfig cfg)
+      : config(cfg), container(out, kBinlogVersion, cfg.flush_bytes) {
+    config.version = kBinlogVersion;
+  }
+
+  static void hookThunk(void* ctx) {
+    ShardStream* s = static_cast<ShardStream*>(ctx);
+    s->owner->drainStream(*s);
+  }
+
+  static void segmentThunk(void* ctx, const TraceEvent* events,
+                           std::size_t count) {
+    // Under the sink lock; the Impl mutex is already held by drainStream
+    // or detachAllLocked.
+    ShardStream* s = static_cast<ShardStream*>(ctx);
+    s->owner->appendStream(*s, events, count);
+  }
+
+  void drainStream(ShardStream& s) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (closed || s.sink == nullptr) return;
+    s.sink->drainSegments(&Impl::segmentThunk, &s);
+    if (s.pending.size() >= config.flush_bytes) {
+      sealStreamLocked(s);
+      container.flushFile(false);
+    }
+  }
+
+  std::uint32_t internStream(ShardStream& s, const char* text) {
+    if (text == s.cache_ptr[0]) return s.cache_id[0];
+    if (text == s.cache_ptr[1]) {
+      std::swap(s.cache_ptr[0], s.cache_ptr[1]);
+      std::swap(s.cache_id[0], s.cache_id[1]);
+      return s.cache_id[0];
+    }
+    std::uint32_t id;
+    auto it = s.by_ptr.find(text);
+    if (it != s.by_ptr.end()) {
+      id = it->second;
+    } else {
+      std::string content(text);
+      auto [cit, inserted] = s.by_content.try_emplace(std::move(content), 0);
+      if (inserted) {
+        cit->second = s.next_id++;
+        appendU32(s.pending_strings,
+                  static_cast<std::uint32_t>(cit->first.size()));
+        s.pending_strings += cit->first;
+        ++s.pending_string_count;
+      }
+      id = cit->second;
+      s.by_ptr.emplace(text, id);
+    }
+    s.cache_ptr[1] = s.cache_ptr[0];
+    s.cache_id[1] = s.cache_id[0];
+    s.cache_ptr[0] = text;
+    s.cache_id[0] = id;
+    return id;
+  }
+
+  void appendStream(ShardStream& s, const TraceEvent* events,
+                    std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const TraceEvent& e = events[i];
+      const std::uint32_t category_id = internStream(s, e.category);
+      const std::uint32_t name_id = internStream(s, e.name);
+      char buf[kBinlogV2MaxRecordBytes];
+      char* end = encodeDeltaRecord(buf, e, category_id, name_id, s.delta);
+      s.pending.append(buf, static_cast<std::size_t>(end - buf));
+      // Same mid-batch seal as the single-sink writer: chunk boundaries
+      // depend only on this shard's byte stream, never on when workers
+      // happened to drain, so they are thread-count-invariant.
+      if (s.pending.size() >= config.flush_bytes) {
+        sealStreamLocked(s);
+      }
+    }
+    s.events += count;
+    events_total += count;
+  }
+
+  void sealStreamLocked(ShardStream& s) {
+    if (s.pending_string_count > 0) {
+      putU32(s.pending_strings.data(), s.shard);
+      putU32(s.pending_strings.data() + 4, s.pending_string_count);
+      container.emitChunk(binchunk::kStrings, s.pending_strings, s.shard,
+                          /*indexed=*/true);
+      s.pending_strings.assign(8, '\0');
+      s.pending_string_count = 0;
+    }
+    if (s.delta.count > 0) {
+      putU32(s.pending.data(), s.shard);
+      putU32(s.pending.data() + 4, static_cast<std::uint32_t>(s.delta.count));
+      container.emitChunk(binchunk::kEvents, s.pending.data(),
+                          s.pending.size(), binlogChecksum(s.pending),
+                          s.shard, s.delta.count, s.delta.t_min, s.delta.t_max,
+                          /*indexed=*/true);
+      s.pending.assign(8, '\0');
+      s.delta = detail::BinlogDeltaState{};
+    }
+  }
+
+  void detachAllLocked() {
+    for (auto& [shard, stream] : streams) {
+      ShardStream& s = *stream;
+      if (s.sink == nullptr) continue;
+      s.sink->clearDrainHook();
+      s.sink->drainSegments(&Impl::segmentThunk, &s);
+      // Staging sinks are fresh per window generation, so their lifetime
+      // counters sum without double counting.
+      totals.recorded += s.sink->recorded();
+      totals.dropped += s.sink->dropped();
+      totals.streamed += s.sink->streamed();
+      s.sink = nullptr;
+    }
+  }
+
+  bool close() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (closed) return container.good();
+    detachAllLocked();
+    for (auto& [shard, stream] : streams) {
+      sealStreamLocked(*stream);
+    }
+    container.emitChunk(binchunk::kMeta, buildMetaPayload(name_source), 0,
+                        /*indexed=*/true);
+    std::uint64_t event_count = 0;
+    std::uint64_t string_count = 0;
+    for (const auto& [shard, stream] : streams) {
+      event_count += stream->events;
+      string_count += stream->next_id;
+    }
+    const std::uint32_t shard_count =
+        streams.empty() ? 1u : streams.rbegin()->first + 1u;
+    const bool ok =
+        container.finish(event_count, string_count, totals, shard_count);
+    closed = true;
+    return ok;
+  }
+};
+
+ShardedBinaryWriter::ShardedBinaryWriter(const std::string& path,
+                                         BinaryTraceWriterConfig config)
+    : impl_(std::make_unique<Impl>(path, config)) {}
+
+ShardedBinaryWriter::ShardedBinaryWriter(std::string* out,
+                                         BinaryTraceWriterConfig config)
+    : impl_(std::make_unique<Impl>(out, config)) {}
+
+ShardedBinaryWriter::~ShardedBinaryWriter() { close(); }
+
+void ShardedBinaryWriter::attachShard(std::uint32_t shard, TraceSink& sink) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (shard >= kBinlogMaxShards) {
+    throw BinlogError(
+        BinlogErrorKind::BadShard,
+        "shard id " + std::to_string(shard) + " exceeds the format limit " +
+            std::to_string(kBinlogMaxShards));
+  }
+  auto& slot = impl_->streams[shard];
+  if (!slot) {
+    slot = std::make_unique<Impl::ShardStream>();
+    slot->owner = impl_.get();
+    slot->shard = shard;
+  }
+  if (slot->sink != nullptr) {
+    slot->sink->clearDrainHook();
+  }
+  slot->sink = &sink;
+  sink.setDrainHook(&Impl::hookThunk, slot.get(),
+                    impl_->config.occupancy_watermark,
+                    impl_->config.time_watermark);
+}
+
+void ShardedBinaryWriter::detachAll() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->closed) impl_->detachAllLocked();
+}
+
+void ShardedBinaryWriter::setNameSource(const TraceSink& sink) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->name_source = &sink;
+}
+
+bool ShardedBinaryWriter::close() { return impl_->close(); }
+
+bool ShardedBinaryWriter::good() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->container.good();
+}
+
+std::uint64_t ShardedBinaryWriter::events() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->events_total;
+}
+
+std::uint64_t ShardedBinaryWriter::bytesWritten() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->container.bytes_written;
+}
+
+// --- Live tailing -----------------------------------------------------------
+
+struct BinlogTailReader::Impl {
+  std::string origin;
+  std::string buffer;
+  std::uint64_t base_offset = 0;  // absolute file offset of buffer[0]
+  bool header_seen = false;
+  bool footer_seen = false;
+  bool trailer_done = false;
+  std::uint64_t trailer_fnv = kFnvOffset;
+  std::uint64_t chunks = 0;
+  ContainerDecoder decoder;
+
+  explicit Impl(std::string o)
+      : origin(std::move(o)), decoder(origin, /*strict=*/true) {}
+
+  void feed(const char* data, std::size_t size) {
+    buffer.append(data, size);
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t avail = buffer.size() - pos;
+      if (!header_seen) {
+        if (avail < sizeof(kBinlogMagic) + 4) break;
+        const char* h = buffer.data() + pos;
+        if (std::memcmp(h, kBinlogMagic, sizeof(kBinlogMagic)) != 0) {
+          throw BinlogError(BinlogErrorKind::BadMagic,
+                            origin + ": not a binary trace file (bad magic)");
+        }
+        const std::uint32_t version = readU32(h + sizeof(kBinlogMagic));
+        if (version != kBinlogVersion && version != kBinlogVersionV1) {
+          throw BinlogError(BinlogErrorKind::BadVersion,
+                            origin + ": unsupported binary trace version " +
+                                std::to_string(version) +
+                                " (this reader reads versions 1 and 2)");
+        }
+        decoder.setVersion(version);
+        trailer_fnv = fnvWordStep(trailer_fnv, readU64(h));
+        trailer_fnv = fnvWordStep(trailer_fnv, version);
+        header_seen = true;
+        pos += sizeof(kBinlogMagic) + 4;
+        continue;
+      }
+      if (trailer_done) {
+        if (avail > 0) {
+          throw BinlogError(BinlogErrorKind::Malformed,
+                            origin + ": " + std::to_string(avail) +
+                                " trailing byte(s) after the file checksum");
+        }
+        break;
+      }
+      if (footer_seen) {
+        if (avail < 8) break;
+        const std::uint64_t got = readU64(buffer.data() + pos);
+        if (got != trailer_fnv) {
+          char msg[96];
+          std::snprintf(msg, sizeof(msg),
+                        "file checksum mismatch (stored 0x%016llx, computed "
+                        "0x%016llx)",
+                        static_cast<unsigned long long>(got),
+                        static_cast<unsigned long long>(trailer_fnv));
+          throw BinlogError(BinlogErrorKind::FileChecksum,
+                            origin + ": " + msg);
+        }
+        pos += 8;
+        trailer_done = true;
+        continue;
+      }
+      if (avail < 12) break;
+      const char* ch = buffer.data() + pos;
+      const std::uint32_t kind = readU32(ch);
+      const std::uint64_t len = readU64(ch + 4);
+      if (len > (std::uint64_t{1} << 62)) {
+        throw BinlogError(BinlogErrorKind::Malformed,
+                          origin + ": chunk declares an absurd length " +
+                              std::to_string(len));
+      }
+      if (avail < 12 + len + 8) break;  // partial chunk: wait for more bytes
+      const char* payload = ch + 12;
+      const std::uint64_t want = readU64(payload + len);
+      const std::uint64_t got = binlogChecksum(payload, len);
+      if (got != want) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg),
+                      "chunk checksum mismatch (stored 0x%016llx, computed "
+                      "0x%016llx)",
+                      static_cast<unsigned long long>(want),
+                      static_cast<unsigned long long>(got));
+        throw BinlogError(BinlogErrorKind::ChunkChecksum,
+                          origin + ": " + msg);
+      }
+      trailer_fnv = fnvWordStep(trailer_fnv, kind);
+      trailer_fnv = fnvWordStep(trailer_fnv, len);
+      trailer_fnv = fnvWordStep(trailer_fnv, want);
+      decoder.consumeChunk(kind, payload, len, base_offset + pos);
+      ++chunks;
+      if (kind == binchunk::kFooter) footer_seen = true;
+      pos += 12 + len + 8;
+    }
+    base_offset += pos;
+    buffer.erase(0, pos);
+  }
+};
+
+BinlogTailReader::BinlogTailReader(std::string origin)
+    : impl_(std::make_unique<Impl>(std::move(origin))) {}
+
+BinlogTailReader::~BinlogTailReader() = default;
+
+void BinlogTailReader::feed(const char* data, std::size_t size) {
+  impl_->feed(data, size);
+}
+
+bool BinlogTailReader::headerSeen() const noexcept {
+  return impl_->header_seen;
+}
+
+bool BinlogTailReader::finished() const noexcept {
+  return impl_->trailer_done;
+}
+
+std::uint64_t BinlogTailReader::chunksConsumed() const noexcept {
+  return impl_->chunks;
+}
+
+std::uint64_t BinlogTailReader::eventsDecoded() const noexcept {
+  return impl_->decoder.eventsDecoded();
+}
+
+std::uint64_t BinlogTailReader::bufferedBytes() const noexcept {
+  return impl_->buffer.size();
+}
+
+const std::vector<BinlogIndexEntry>& BinlogTailReader::liveIndex()
+    const noexcept {
+  return impl_->decoder.observedIndex();
+}
+
+BinaryTrace BinlogTailReader::snapshot() const {
+  return impl_->decoder.finalize();
 }
 
 }  // namespace iobts::obs

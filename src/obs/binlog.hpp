@@ -7,9 +7,9 @@
 // checkpoint discipline:
 //
 //   magic[8]  = "IOBTRCE\n"
-//   u32       format version (little-endian; currently 1)
+//   u32       format version (little-endian; 1 or 2)
 //   chunks, in order; per chunk:
-//     u32     chunk kind (strings / events / meta / footer)
+//     u32     chunk kind (strings / events / meta / index / footer)
 //     u64     payload length, then payload bytes
 //     u64     binlogChecksum() of the payload bytes
 //   (the footer chunk is always last)
@@ -21,7 +21,7 @@
 // the lanes are compressed with FNV-1a and the payload length bound last,
 // and a final partial word is zero-padded. Byte-wise FNV is a serial
 // xor-multiply chain at ~4 cycles per *byte*; the lane pass has no
-// multiplies at all, so the writer folds each record into the running
+// multiplies at all, so the v1 writer folds each record into the running
 // lanes the moment it is encoded (on x86-64, all four lanes in one vector
 // register) and sealing a chunk never re-reads its payload. The trailer
 // seals the chunk *sequence* rather than re-hashing every file byte:
@@ -29,9 +29,9 @@
 // to bind the header and each chunk's (kind, length, checksum) summary --
 // O(1) per chunk instead of a second full pass over the event stream.
 //
-// Chunk payloads (all integers little-endian, doubles as raw IEEE-754 bit
-// patterns, so the encoding is identical on every host and round-trips
-// exactly):
+// Version 1 chunk payloads (all integers little-endian, doubles as raw
+// IEEE-754 bit patterns, so the encoding is identical on every host and
+// round-trips exactly):
 //
 //   strings:  u32 count, then per string u32 length + bytes. Ids are
 //             assigned implicitly in file order (append to the table); an
@@ -52,6 +52,30 @@
 //             u64 dropped, u64 streamed (the sink's counters at close --
 //             exactly what the live streamer writes into "otherData").
 //
+// Version 2 keeps the container frame, the meta chunk and every checksum
+// rule, and changes three things (see DESIGN.md for the full diagram):
+//
+//   * strings/events chunks are *shard-tagged* and *delta-encoded*. Both
+//     begin with `u32 shard, u32 count`; string ids are per-shard. An
+//     events record is a flags byte (bits 0-2 phase, bit 3 dur differs
+//     from the previous record's, bit 4 value differs, bit 5 flow != 0,
+//     bit 6 wall_ns differs) followed by varints: pid, tid, category id,
+//     name id, zigzag(ts bit-pattern delta), then the optional fields the
+//     flags declare (zigzag bit-pattern deltas for wall/dur/value, plain
+//     varint for flow). Delta state resets per chunk, so every chunk
+//     decodes independently -- what makes the index seekable.
+//   * an index chunk (kind 5, emitted after meta, right before the
+//     footer): u32 entry count, u32 shard count, then one 48-byte entry
+//     per preceding chunk -- u32 kind, u32 shard, u64 file offset (of the
+//     chunk's kind word), u64 payload length, u64 event count,
+//     f64 t_min, f64 t_max (virtual-time cover of the chunk's events,
+//     ts..ts+dur). A windowed reader seeks the footer, then the index,
+//     then only the chunks whose [t_min, t_max] intersect the window.
+//   * the footer grows a sixth word: u64 index chunk offset. The v2
+//     footer chunk is therefore always the fixed 76-byte file tail
+//     (12-byte chunk header + 48-byte payload + 8-byte checksum + 8-byte
+//     trailer), which is what lets a reader find it without scanning.
+//
 // The writer hangs off TraceSink's drain hook like a TraceStreamer, but
 // drains through TraceSink::drainSegments -- events are encoded straight
 // out of the ring with no staging vector and no per-event allocation,
@@ -61,14 +85,20 @@
 //
 // Reading is strict, ckpt-style: every length is bounds-checked before
 // use, per-chunk checksums are verified before payloads are surfaced,
-// string references are validated, trailing bytes after the file checksum
-// are an error, and every failure carries a BinlogError::Kind naming the
-// *first* defect. The corrupt-trace corpus under traces/invalid/ pins one
-// diagnostic per kind.
+// string references are validated against the owning shard's table,
+// the index chunk is cross-checked entry-by-entry against the chunks
+// actually decoded, trailing bytes after the file checksum are an error,
+// and every failure carries a BinlogError::Kind naming the *first*
+// defect. The corrupt-trace corpus under traces/invalid/ pins one
+// diagnostic per kind. Multi-shard traces are merged canonically on read
+// -- events sorted by (ts, shard, per-shard sequence), string ids
+// remapped to a content-deduplicated global table in merged order -- so
+// reports derived from a sharded recording are byte-identical no matter
+// how the shards' chunks interleaved in the file.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -79,8 +109,8 @@
 
 #include "obs/trace.hpp"
 
-// x86-64 builds get a runtime-dispatched AVX2 fast path for the writer's
-// record encoder (baseline code stays generic; the wide path is selected
+// x86-64 builds get a runtime-dispatched AVX2 fast path for the v1 record
+// encoder (baseline code stays generic; the wide path is selected
 // per-process with __builtin_cpu_supports).
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define IOBTS_BINLOG_X86 1
@@ -90,17 +120,33 @@
 
 namespace iobts::obs {
 
-/// Container format version this build writes and the only one it reads.
-/// Bump on any change to the chunk layout or the packed event record.
-inline constexpr std::uint32_t kBinlogVersion = 1;
+/// Container format version this build writes by default. The reader
+/// accepts 1 (fixed 64-byte records, no index) and 2 (delta-encoded
+/// shard-tagged chunks + seekable index).
+inline constexpr std::uint32_t kBinlogVersion = 2;
+inline constexpr std::uint32_t kBinlogVersionV1 = 1;
 
 /// The 8-byte file magic.
 inline constexpr char kBinlogMagic[8] = {'I', 'O', 'B', 'T', 'R', 'C', 'E',
                                          '\n'};
 
-/// Bytes of one packed event record inside an events chunk (eight words;
-/// the alignment is what lets the writer checksum records incrementally).
+/// Bytes of one packed v1 event record inside an events chunk (eight
+/// words; the alignment is what lets the v1 writer checksum records
+/// incrementally). v2 records are variable-length (kBinlogV2MaxRecordBytes
+/// is the worst case).
 inline constexpr std::size_t kBinlogEventBytes = 64;
+inline constexpr std::size_t kBinlogV2MaxRecordBytes = 72;
+
+/// Shard ids in v2 chunks must be below this (a 16-bit budget catches
+/// corrupted tags long before a resize tries to honor them).
+inline constexpr std::uint32_t kBinlogMaxShards = 1u << 16;
+
+/// v2 fixed sizes: one index entry, the footer payload, and the complete
+/// fixed file tail (footer chunk + trailer digest).
+inline constexpr std::size_t kBinlogIndexEntryBytes = 48;
+inline constexpr std::size_t kBinlogFooterBytesV1 = 40;
+inline constexpr std::size_t kBinlogFooterBytes = 48;
+inline constexpr std::size_t kBinlogTailBytes = 12 + kBinlogFooterBytes + 8 + 8;
 
 /// Chunk kind tags (the u32 leading each chunk). Exposed so the corrupt-
 /// corpus generator and structural tests can build containers by hand.
@@ -109,6 +155,7 @@ inline constexpr std::uint32_t kStrings = 1;
 inline constexpr std::uint32_t kEvents = 2;
 inline constexpr std::uint32_t kMeta = 3;
 inline constexpr std::uint32_t kFooter = 4;
+inline constexpr std::uint32_t kIndex = 5;
 }  // namespace binchunk
 
 /// Everything that can be wrong with a binary trace, from the outside in.
@@ -124,6 +171,8 @@ enum class BinlogErrorKind : int {
                   ///< payload size mismatch, trailing bytes)
   MissingFooter,  ///< file ends cleanly but no footer chunk was seen
   BadStringRef,   ///< an event references a string id not yet defined
+  BadIndex,       ///< index chunk absent/corrupt or contradicting the chunks
+  BadShard,       ///< a chunk carries a shard id outside the sane range
 };
 
 /// Stable lowercase name for a BinlogErrorKind ("truncated", "bad_magic",
@@ -169,8 +218,40 @@ struct BinlogTotals {
   std::uint64_t streamed = 0;
 };
 
+/// One decoded index entry (also what the writer pins into the v2 index
+/// chunk): which chunk, whose shard, where in the file, and what virtual
+/// time range its events cover.
+struct BinlogIndexEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t offset = 0;  ///< file offset of the chunk's kind word
+  std::uint64_t payload_len = 0;
+  std::uint64_t event_count = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+};
+
+/// Virtual-time window for the seeking reader. An event is inside the
+/// window when its span [ts, ts + max(dur, 0)] intersects [from, to].
+struct TraceWindow {
+  double from = -std::numeric_limits<double>::infinity();
+  double to = std::numeric_limits<double>::infinity();
+};
+
+/// Decode accounting: how much of the file the (windowed) reader actually
+/// touched. The --from/--to acceptance gate asserts on these counters.
+struct BinlogReadStats {
+  bool used_index = false;  ///< false for v1 files (full decode + filter)
+  std::uint64_t chunks_total = 0;
+  std::uint64_t events_chunks_decoded = 0;
+  std::uint64_t events_chunks_skipped = 0;
+  std::uint64_t payload_bytes_skipped = 0;
+  std::uint64_t events_decoded = 0;
+  std::uint64_t events_in_window = 0;
+};
+
 /// One decoded event: a TraceEvent with the string pointers replaced by
-/// indices into BinaryTrace::strings.
+/// indices into BinaryTrace::strings, plus the recording shard.
 struct BinEvent {
   sim::Time ts = 0.0;
   sim::Time dur = 0.0;
@@ -179,20 +260,30 @@ struct BinEvent {
   std::uint32_t pid = 0;
   std::uint32_t tid = 0;
   Phase phase = Phase::Instant;
+  std::uint32_t shard = 0;
   double value = 0.0;
   std::uint64_t wall_ns = 0;
   std::uint64_t flow = 0;
 };
 
-/// A decoded binary trace: events in file (= recording) order plus the
-/// interned string table, track names, and footer totals.
+/// A decoded binary trace: events in canonical order plus the interned
+/// string table, track names, and footer totals. Single-shard traces
+/// (every v1 file, and v2 files from one BinaryTraceWriter) keep exact
+/// file = recording order; multi-shard traces are merged canonically by
+/// (ts, shard, per-shard sequence) with string ids remapped to a global
+/// content-deduplicated table in merged order.
 struct BinaryTrace {
   std::uint32_t version = kBinlogVersion;
+  std::uint32_t shard_count = 1;
   std::vector<std::string> strings;
   std::vector<BinEvent> events;
   std::map<std::uint32_t, std::string> process_names;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> thread_names;
   BinlogTotals totals;
+  /// v2: the decoded index chunk (empty for v1 files).
+  std::vector<BinlogIndexEntry> index;
+  /// What the reader touched to produce this trace.
+  BinlogReadStats stats;
 
   /// Materialize event `i` as a TraceEvent whose category/name point into
   /// `strings`. Valid while this BinaryTrace (and its string table) lives
@@ -208,10 +299,43 @@ BinaryTrace decodeBinaryTrace(const std::string& bytes,
 /// Read + decodeBinaryTrace. Throws BinlogError (Io if unreadable).
 BinaryTrace readBinaryTrace(const std::string& path);
 
+/// Windowed decode: seek the footer, then the index, then only the chunks
+/// whose time range intersects `window` (strings and meta chunks are
+/// always decoded -- events reference them). Events outside the window
+/// inside a decoded chunk are filtered out. v1 files fall back to a full
+/// decode + filter (stats.used_index stays false). The whole-file trailer
+/// and the footer's count cross-checks are deliberately *not* verified on
+/// this path -- skipped chunks were never read; per-chunk checksums and
+/// the index cross-checks still gate everything that was.
+BinaryTrace readBinaryTraceWindow(const std::string& path,
+                                  const TraceWindow& window);
+BinaryTrace decodeBinaryTraceWindow(const std::string& bytes,
+                                    const std::string& origin,
+                                    const TraceWindow& window);
+
 /// True when `bytes` begin with the binary-trace magic. Offline tools use
 /// this to tell a flight-recorder file from Chrome trace JSON and point the
 /// user at the right tool.
 bool looksLikeBinaryTrace(const std::string& bytes) noexcept;
+
+namespace detail {
+
+struct BinlogContainer;
+
+/// Per-open-chunk delta-encoder state (v2): previous bit patterns the next
+/// record's deltas are taken against, and the chunk's running time cover.
+/// Resets at every chunk seal so chunks decode independently.
+struct BinlogDeltaState {
+  std::uint64_t ts_bits = 0;
+  std::uint64_t wall = 0;
+  std::uint64_t dur_bits = 0;
+  std::uint64_t value_bits = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  std::uint64_t count = 0;
+};
+
+}  // namespace detail
 
 struct BinaryTraceWriterConfig {
   /// Drain-hook watermarks, identical semantics to TraceStreamerConfig: a
@@ -221,14 +345,21 @@ struct BinaryTraceWriterConfig {
   /// drain (0 = occupancy only).
   sim::Time time_watermark = 0.0;
   /// File mode: finished chunks accumulate in memory and flush to the file
-  /// once the staging buffer exceeds this size (and at close).
+  /// once the staging buffer exceeds this size (and at close). Doubles as
+  /// the events-chunk seal threshold, so small values make the file grow
+  /// in small independently-decodable chunks -- what --follow tails.
   std::size_t flush_bytes = 1 << 20;
+  /// Container version to write: kBinlogVersion (2) or kBinlogVersionV1.
+  std::uint32_t version = kBinlogVersion;
+  /// Shard tag stamped into every chunk this writer emits (v2 only).
+  std::uint32_t shard = 0;
 };
 
 /// Incremental binary exporter bound to one TraceSink. Construction
 /// installs the sink's drain hook (one streamer/writer per sink at a
-/// time); close()/destruction drains the remainder, appends the meta and
-/// footer chunks plus the file checksum, and uninstalls the hook.
+/// time); close()/destruction drains the remainder, appends the meta,
+/// index (v2) and footer chunks plus the file checksum, and uninstalls
+/// the hook.
 ///
 /// Determinism: the byte stream is a pure function of the recorded events
 /// and the sink's registered track names, so with wall capture off two
@@ -260,9 +391,9 @@ class BinaryTraceWriter {
   /// it straight.
   void append(const TraceEvent* events, std::size_t count);
 
-  /// Final drain + meta/footer chunks + file checksum + hook removal.
-  /// Idempotent. Returns false if any file write failed (memory mode
-  /// always returns true).
+  /// Final drain + meta/index/footer chunks + file checksum + hook
+  /// removal. Idempotent. Returns false if any file write failed (memory
+  /// mode always returns true).
   bool close();
 
   bool good() const;
@@ -278,12 +409,15 @@ class BinaryTraceWriter {
   static void drainThunk(void* ctx);
   static void segmentThunk(void* ctx, const TraceEvent* events,
                            std::size_t count);
+  void initLocked();
   void appendLocked(const TraceEvent* events, std::size_t count);
+  void appendV1Locked(const TraceEvent* events, std::size_t count);
+  void appendV2Locked(const TraceEvent* events, std::size_t count);
   std::uint32_t internLocked(const char* text);
   bool probeSlot(const char* text, std::uint32_t& id) const noexcept;
 #if IOBTS_BINLOG_X86
   struct InternSlot;
-  // Tight-loop encoder for appendLocked: packs records and folds the
+  // Tight-loop encoder for appendV1Locked: packs records and folds the
   // checksum lanes with 256-bit ops (all four lanes live in one register).
   // Stops at an intern miss; returns how many records it encoded and
   // advances ev/dst. Only called when use_avx2_ is set.
@@ -292,38 +426,31 @@ class BinaryTraceWriter {
       char*& dst, std::uint64_t* lanes);
 #endif
   void sealEventsChunkLocked();
-  void emitChunkLocked(std::uint32_t kind, const std::string& payload);
-  void emitChunkLocked(std::uint32_t kind, const char* data, std::size_t size,
-                       std::uint64_t checksum);
   void growPendingLocked(std::size_t need);
   void resetChunkLanesLocked();
-  void emitRawLocked(const char* data, std::size_t size);
-  void flushFileLocked(bool force);
+  void resetPendingLocked();
 
   TraceSink& sink_;
   mutable std::mutex mutex_;
   BinaryTraceWriterConfig config_;
-  std::ofstream file_;
-  bool file_mode_ = false;
-  bool file_ok_ = true;
   bool closed_ = false;
-  std::string* out_ = nullptr;  // memory mode target (may be null: discard)
-  std::string staged_;          // finished chunks awaiting flush (file mode)
+  std::unique_ptr<detail::BinlogContainer> container_;
   // Packed records of the open events chunk. A raw buffer, not a
   // std::string: the hot loop claims the whole batch's bytes with one
   // capacity check and encodes records in place, with no per-record
-  // size/capacity bookkeeping.
+  // size/capacity bookkeeping. v2 reserves the first 8 bytes for the
+  // shard/count chunk header, patched at seal.
   std::unique_ptr<char[]> pending_data_;
   char* pending_base_ = nullptr;  // 64-byte-aligned start within pending_data_
-                                  // (records stay 32-byte aligned for the
+                                  // (v1 records stay 32-byte aligned for the
                                   // wide encoder's streaming stores)
   std::size_t pending_size_ = 0;
   std::size_t pending_cap_ = 0;
   std::string pending_strings_;  // new string-table entries not yet emitted
   std::uint32_t pending_string_count_ = 0;
-  std::uint64_t trailer_fnv_;  // digest of header + chunk summaries so far
-  std::uint64_t chunk_lanes_[4];  // incremental checksum lanes of the open
-                                  // events chunk (see binlogChecksum)
+  std::uint64_t chunk_lanes_[4];  // v1: incremental checksum lanes of the
+                                  // open events chunk (see binlogChecksum)
+  detail::BinlogDeltaState delta_;  // v2: per-chunk delta/cover state
   // String interning: a pointer-keyed open-addressing fast path in front of
   // a content-keyed map (the slow path unifies distinct literals with equal
   // contents, so ids depend only on the event stream).
@@ -340,7 +467,101 @@ class BinaryTraceWriter {
   std::uint32_t next_string_id_ = 0;
   std::uint64_t events_written_ = 0;
   std::uint64_t batches_ = 0;
-  std::uint64_t bytes_written_ = 0;
+};
+
+/// One v2 container fed by *several* TraceSinks, one per shard -- the
+/// sharded kernel's direct-recording path. Each attached sink gets a drain
+/// hook that encodes straight into that shard's own delta encoder (its own
+/// string table, its own open chunk), and finished shard-tagged chunks are
+/// appended to the shared container in whatever order the workers finish
+/// them. The *reader* merges shard streams canonically, so reports from a
+/// sharded recording are byte-identical across worker thread counts even
+/// though the files themselves need not be.
+///
+/// Lifecycle: attachShard() per staging sink at window setup (re-attach
+/// with fresh sinks every run invocation -- the per-shard encoder and its
+/// string table persist across generations); detachAll() before the
+/// staging sinks die (final drain + totals snapshot); close() seals every
+/// shard's open chunk in shard order and writes meta/index/footer.
+class ShardedBinaryWriter {
+ public:
+  explicit ShardedBinaryWriter(const std::string& path,
+                               BinaryTraceWriterConfig config = {});
+  explicit ShardedBinaryWriter(std::string* out,
+                               BinaryTraceWriterConfig config = {});
+  ~ShardedBinaryWriter();
+
+  ShardedBinaryWriter(const ShardedBinaryWriter&) = delete;
+  ShardedBinaryWriter& operator=(const ShardedBinaryWriter&) = delete;
+
+  /// Bind shard `shard`'s staging sink: installs its drain hook. Rebinding
+  /// the same shard to a new sink (the next run invocation's fresh staging
+  /// ring) keeps the shard's encoder and string table.
+  void attachShard(std::uint32_t shard, TraceSink& sink);
+
+  /// Final-drain every attached sink, fold its recorded/dropped counters
+  /// into the footer totals, and uninstall the hooks. Must run before the
+  /// staging sinks are destroyed. Idempotent.
+  void detachAll();
+
+  /// Track-name source for the meta chunk (usually the global sink the
+  /// application registered names on). Must outlive close().
+  void setNameSource(const TraceSink& sink);
+
+  /// detachAll() + seal every shard's open chunk (ascending shard order) +
+  /// meta/index/footer + file checksum. Idempotent. Returns false if any
+  /// file write failed.
+  bool close();
+
+  bool good() const;
+  std::uint64_t events() const;
+  std::uint64_t bytesWritten() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Incremental reader for a *growing* v1/v2 container -- the engine behind
+/// `iobts_profile --follow`. feed() consumes every complete, checksum-
+/// valid chunk from the byte stream and buffers the incomplete tail; a
+/// complete chunk failing its checksum (or a bad header) is real
+/// corruption and throws. The index is rebuilt on the fly from the chunks
+/// actually seen (liveIndex()); when the file's own index chunk arrives it
+/// is cross-checked against it. After the footer chunk the 8 trailer bytes
+/// are verified, and snapshot() of a fully-fed file is equivalent to
+/// decodeBinaryTrace of the same bytes -- the follow report converges to
+/// the offline one by construction.
+class BinlogTailReader {
+ public:
+  explicit BinlogTailReader(std::string origin = "<follow>");
+  ~BinlogTailReader();
+
+  BinlogTailReader(const BinlogTailReader&) = delete;
+  BinlogTailReader& operator=(const BinlogTailReader&) = delete;
+
+  /// Consume the next `size` bytes of the stream. Throws BinlogError on
+  /// any defect in a *complete* unit (header, chunk, trailer).
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  bool headerSeen() const noexcept;
+  /// Footer chunk decoded *and* trailer digest verified: the stream is a
+  /// complete, self-consistent container.
+  bool finished() const noexcept;
+  std::uint64_t chunksConsumed() const noexcept;
+  std::uint64_t eventsDecoded() const noexcept;
+  /// Bytes buffered waiting for the rest of a partial chunk.
+  std::uint64_t bufferedBytes() const noexcept;
+  /// The index as rebuilt from consumed chunks.
+  const std::vector<BinlogIndexEntry>& liveIndex() const noexcept;
+
+  /// Canonically merged view of everything consumed so far.
+  BinaryTrace snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace iobts::obs

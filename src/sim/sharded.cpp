@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/binlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -81,6 +82,9 @@ void ShardedSimulation::mergeOutboxes() {
 }
 
 void ShardedSimulation::mergeTraces() {
+  // Direct recording: the recorder's drain hook already pulled events from
+  // each staging sink on the worker that produced them; nothing to replay.
+  if (recorder_ != nullptr) return;
   if (global_sink_ == nullptr) return;
   for (auto& shard : shards_) {
     trace_scratch_.clear();
@@ -105,16 +109,30 @@ bool ShardedSimulation::collectFatal() {
 
 void ShardedSimulation::setupTraceStaging() {
   global_sink_ = obs::traceSink();
-  if (global_sink_ == nullptr) return;
+  if (global_sink_ == nullptr && recorder_ == nullptr) return;
   obs::TraceSinkConfig config;
-  config.capacity = global_sink_->capacity();
-  config.capture_wall_time = global_sink_->captureWallTime();
+  if (global_sink_ != nullptr) {
+    config.capacity = global_sink_->capacity();
+    config.capture_wall_time = global_sink_->captureWallTime();
+  }
   for (auto& shard : shards_) {
     shard->staging = std::make_unique<obs::TraceSink>(config);
+  }
+  if (recorder_ != nullptr) {
+    if (global_sink_ != nullptr) recorder_->setNameSource(*global_sink_);
+    for (auto& shard : shards_) {
+      recorder_->attachShard(shard->sim.shardId(), *shard->staging);
+    }
   }
 }
 
 void ShardedSimulation::teardownTraceStaging() {
+  // The recorder's hooks point into the staging sinks: final-drain and
+  // uninstall them before the sinks die.
+  if (recorder_ != nullptr) {
+    recorder_->detachAll();
+    stats_.trace_events_recorded = recorder_->events();
+  }
   for (auto& shard : shards_) shard->staging.reset();
   global_sink_ = nullptr;
 }
@@ -262,6 +280,10 @@ void ShardedSimulation::exportMetrics(obs::MetricsRegistry& registry) const {
                       stats_.cross_posts_merged);
   registry.addCounter("sim.parallel.trace_events_merged",
                       stats_.trace_events_merged);
+  if (stats_.trace_events_recorded > 0) {
+    registry.addCounter("sim.parallel.trace_events_recorded",
+                        stats_.trace_events_recorded);
+  }
   registry.addCounter("sim.parallel.events_dispatched", eventsProcessed());
   for (const auto& shard : shards_) {
     const std::string prefix =

@@ -60,6 +60,7 @@
 
 namespace iobts::obs {
 class MetricsRegistry;
+class ShardedBinaryWriter;
 class TraceSink;
 struct TraceEvent;
 }  // namespace iobts::obs
@@ -93,6 +94,9 @@ class ShardedSimulation {
     std::uint64_t cross_posts_merged = 0;
     /// Trace events replayed from shard staging sinks into the global sink.
     std::uint64_t trace_events_merged = 0;
+    /// Trace events encoded by the direct recorder (setTraceRecorder), which
+    /// bypasses the global-sink replay entirely.
+    std::uint64_t trace_events_recorded = 0;
   };
 
   explicit ShardedSimulation(ShardedConfig config);
@@ -175,6 +179,21 @@ class ShardedSimulation {
   /// worker-thread count: exports must not depend on it.
   void exportMetrics(obs::MetricsRegistry& registry) const;
 
+  /// Record shard trace events *directly* into a sharded binary writer
+  /// instead of replaying them through the global sink at barriers: each
+  /// shard's staging sink gets the writer's drain hook, so events are
+  /// delta-encoded into shard-tagged chunks from the worker that produced
+  /// them, with no serial replay. The per-shard chunk sequence is a pure
+  /// function of the shard's event stream (watermark drains and seal
+  /// thresholds see only that shard's bytes), so decoded reports are
+  /// byte-identical across thread counts even though chunk interleaving in
+  /// the file is not. The recorder must outlive every run()/runUntil();
+  /// pass nullptr to detach. When a recorder is set, a global sink (if any)
+  /// still provides track names but receives no replayed events.
+  void setTraceRecorder(obs::ShardedBinaryWriter* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   /// One staged cross-shard post. The canonical merge order is
   /// (t, src, seq): timestamp, then stable source shard id, then the
@@ -218,6 +237,7 @@ class ShardedSimulation {
   std::vector<StagedPost> merge_scratch_;
   std::vector<obs::TraceEvent> trace_scratch_;
   obs::TraceSink* global_sink_ = nullptr;
+  obs::ShardedBinaryWriter* recorder_ = nullptr;
   std::exception_ptr fatal_{};
   Stats stats_{};
 };

@@ -264,13 +264,14 @@ TEST(BinlogCorruption, FooterEventCountMismatchIsMalformed) {
   // Tamper with the footer's event count and repair both checksums: the
   // structural cross-check (footer vs. decoded events) must still fire.
   std::string bytes = writtenTrace();
-  // The footer chunk is last: 12-byte header + 40-byte payload + 8-byte
+  // The footer chunk is last: 12-byte header + 48-byte v2 payload + 8-byte
   // checksum + 8-byte file trailer.
-  const std::size_t payload = bytes.size() - 8 - 8 - 40;
+  const std::size_t payload = bytes.size() - 8 - 8 - kBinlogFooterBytes;
   bytes[payload] = static_cast<char>(bytes[payload] + 1);
-  const std::uint64_t chunk_sum = binlogChecksum(bytes.data() + payload, 40);
+  const std::uint64_t chunk_sum =
+      binlogChecksum(bytes.data() + payload, kBinlogFooterBytes);
   for (int i = 0; i < 8; ++i) {
-    bytes[payload + 40 + static_cast<std::size_t>(i)] =
+    bytes[payload + kBinlogFooterBytes + static_cast<std::size_t>(i)] =
         static_cast<char>((chunk_sum >> (8 * i)) & 0xff);
   }
   const std::uint64_t file_sum =
@@ -317,14 +318,19 @@ std::vector<fs::path> listCorpus() {
 
 TEST(BinlogCorpus, EveryInvalidTraceIsRejectedWithItsNamedKind) {
   const std::vector<fs::path> files = listCorpus();
-  // One file per reportable defect kind (Io cannot be a checked-in file).
-  ASSERT_GE(files.size(), 8u);
+  // At least one file per reportable defect kind (Io cannot be a checked-in
+  // file), plus the -v1 back-compat variants and the bad_index flavors.
+  ASSERT_GE(files.size(), 16u);
 
   std::set<std::string> kinds_seen;
   std::map<std::string, std::string> diagnostics;
   for (const fs::path& file : files) {
     SCOPED_TRACE(file.string());
-    const std::string expected_kind = file.stem().string();
+    // The stem up to the first '-' is the expected kind; the rest is a
+    // qualifier (`truncated-v1.bin` = v1 container, `bad_index-range.bin` =
+    // a specific bad_index defect).
+    std::string expected_kind = file.stem().string();
+    expected_kind = expected_kind.substr(0, expected_kind.find('-'));
     try {
       readBinaryTrace(file.string());
       ADD_FAILURE() << "invalid trace decoded cleanly";
@@ -343,7 +349,8 @@ TEST(BinlogCorpus, EveryInvalidTraceIsRejectedWithItsNamedKind) {
   }
   for (const char* kind :
        {"truncated", "bad_magic", "bad_version", "chunk_checksum",
-        "file_checksum", "malformed", "missing_footer", "bad_string_ref"}) {
+        "file_checksum", "malformed", "missing_footer", "bad_string_ref",
+        "bad_index", "bad_shard"}) {
     EXPECT_TRUE(kinds_seen.count(kind))
         << "corpus lacks a " << kind << " specimen";
   }
@@ -368,10 +375,48 @@ TEST(BinlogCorpus, DefectSpecificDetailInDiagnostics) {
             std::string::npos);
   EXPECT_NE(messageOf("bad_string_ref.bin").find("string id 7"),
             std::string::npos);
-  EXPECT_NE(messageOf("malformed.bin").find("not a whole number"),
+  // The v2 record stream fails structurally (a varint field cut short); the
+  // v1 fixed-width stream fails on record arithmetic.
+  EXPECT_NE(messageOf("malformed.bin").find("shard id"), std::string::npos);
+  EXPECT_NE(messageOf("malformed-v1.bin").find("not a whole number"),
             std::string::npos);
   EXPECT_NE(messageOf("missing_footer.bin").find("without a footer"),
             std::string::npos);
+  EXPECT_NE(messageOf("bad_index-truncated.bin").find("index entries"),
+            std::string::npos);
+  EXPECT_NE(messageOf("bad_index-range.bin").find("time range"),
+            std::string::npos);
+  EXPECT_NE(messageOf("bad_shard.bin").find("shard id 65536"),
+            std::string::npos);
+}
+
+TEST(BinlogCorpus, ValidPinsOfBothVersionsDecodeLosslessly) {
+  // traces/valid_v1.bin and valid_v2.bin are checked-in outputs of the
+  // trace_corpus tool: the same five events through each container version.
+  // Future readers must keep decoding both to the same trace.
+  const fs::path dir = IOBTS_TRACE_DIR;
+  const BinaryTrace v1 = readBinaryTrace((dir / "valid_v1.bin").string());
+  const BinaryTrace v2 = readBinaryTrace((dir / "valid_v2.bin").string());
+  ASSERT_EQ(v1.events.size(), 5u);
+  ASSERT_EQ(v2.events.size(), v1.events.size());
+  EXPECT_EQ(v1.strings, v2.strings);
+  for (std::size_t i = 0; i < v1.events.size(); ++i) {
+    SCOPED_TRACE(i);
+    const BinEvent& a = v1.events[i];
+    const BinEvent& b = v2.events[i];
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.dur, b.dur);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_EQ(a.tid, b.tid);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.wall_ns, b.wall_ns);
+  }
+  EXPECT_EQ(v1.totals.recorded, v2.totals.recorded);
+  EXPECT_EQ(chromeJsonFromBinaryTrace(v1), chromeJsonFromBinaryTrace(v2));
 }
 
 }  // namespace

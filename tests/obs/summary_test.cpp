@@ -186,5 +186,26 @@ TEST(FleetSummary, ByteIdenticalAcrossWorkerThreadCounts) {
   }
 }
 
+TEST(FleetSummary, FleetWithNoJobsStillSummarizesDeterministically) {
+  // Degenerate input: clusters exist, nothing was ever submitted or run.
+  // The summary must still carry every section with zeroed rows (and stay
+  // byte-identical across calls), not crash or elide shards.
+  std::vector<cluster::ClusterConfig> configs(2);
+  for (auto& cfg : configs) cfg.nodes = 4;
+  cluster::Fleet fleet({.report_latency = 0.5}, std::move(configs));
+  fleet.start();
+  fleet.run(1);
+  SummaryOptions options;
+  options.scenario_name = "fleet-empty";
+  const RunSummary summary = summarizeFleet(fleet, options);
+  ASSERT_EQ(summary.sections.size(), 1u + 2u * 2u);
+  EXPECT_EQ(summary.sections[0].name, "fleet.meta");
+  EXPECT_NE(summary.sections[0].payload.find("completions=0\n"),
+            std::string::npos);
+  const RunSummary again = summarizeFleet(fleet, options);
+  EXPECT_EQ(summary.render(), again.render());
+  EXPECT_EQ(summary.digest(), again.digest());
+}
+
 }  // namespace
 }  // namespace iobts::obs

@@ -14,6 +14,7 @@
 #include "obs/binlog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/summary.hpp"
 #include "obs/trace.hpp"
 #include "sim/sharded.hpp"
@@ -119,6 +120,85 @@ TEST(ExportIdentity, BinaryTraceDecodesToTheSameEventsTheJsonExportCarries) {
   EXPECT_EQ(trace.totals.dropped, 0u);
   EXPECT_EQ(trace.totals.streamed, trace.events.size());
   ASSERT_GT(trace.events.size(), 0u);
+}
+
+struct DirectRecording {
+  std::string bytes;
+  std::uint64_t events = 0;
+};
+
+DirectRecording runDirectlyRecordedFleet(unsigned threads) {
+  // Same fleet scenario as runTracedFleet, but recorded through the
+  // per-shard direct path: no global sink, no barrier replay -- each
+  // shard's staging buffer feeds its own delta encoder from the worker
+  // that produced the events.
+  DirectRecording out;
+  obs::ShardedBinaryWriter recorder(&out.bytes);
+
+  std::vector<cluster::ClusterConfig> configs(3);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    configs[c].nodes = 32;
+    configs[c].pfs.read_capacity = 10e9;
+    configs[c].pfs.write_capacity = 10e9;
+    configs[c].seed = 41 + c;
+  }
+  cluster::Fleet fleet({.report_latency = 0.5, .threads = threads},
+                       std::move(configs));
+  fleet.sharded().setTraceRecorder(&recorder);
+  for (sim::ShardId c = 0; c < fleet.clusterCount(); ++c) {
+    cluster::JobSpec sync;
+    sync.name = "sync";
+    sync.nodes = 10;
+    sync.io = cluster::JobIo::Sync;
+    sync.loops = 2;
+    sync.compute_seconds = 1.0 + 0.25 * c;
+    sync.write_bytes_per_node = 1 * kGB;
+    fleet.submit(c, sync);
+
+    cluster::JobSpec async;
+    async.name = "async";
+    async.nodes = 16;
+    async.io = cluster::JobIo::Async;
+    async.loops = 2;
+    async.compute_seconds = 4.0;
+    async.write_bytes_per_node = kGB / 2;
+    const auto id = fleet.submit(c, async);
+    fleet.cluster(c).enableContentionLimiting(id, 1.2, 0.25);
+  }
+  fleet.start();
+  fleet.run(threads);
+  fleet.sharded().setTraceRecorder(nullptr);
+  recorder.close();
+  out.events = recorder.events();
+  return out;
+}
+
+TEST(ExportIdentity, DirectShardRecordingReportsMatchAcrossThreadCounts) {
+  // The *files* may interleave shard chunks differently per thread count;
+  // the canonical reader merge must make every decoded report identical.
+  const DirectRecording reference = runDirectlyRecordedFleet(1);
+  ASSERT_GT(reference.events, 0u);
+  const obs::BinaryTrace ref_trace =
+      obs::decodeBinaryTrace(reference.bytes, "<t1>");
+  EXPECT_EQ(ref_trace.shard_count, 3u);
+  EXPECT_EQ(ref_trace.events.size(), reference.events);
+  const std::string ref_profile = obs::profileSummaryText(ref_trace);
+  const std::string ref_critical = obs::criticalPathText(ref_trace);
+  const std::string ref_breq = obs::breqTableText(ref_trace);
+  const std::string ref_chrome = obs::chromeJsonFromBinaryTrace(ref_trace);
+  for (const unsigned threads : {2u, 4u}) {
+    const DirectRecording parallel = runDirectlyRecordedFleet(threads);
+    EXPECT_EQ(parallel.events, reference.events) << "threads=" << threads;
+    const obs::BinaryTrace trace =
+        obs::decodeBinaryTrace(parallel.bytes, "<tN>");
+    EXPECT_EQ(obs::profileSummaryText(trace), ref_profile)
+        << "threads=" << threads;
+    EXPECT_EQ(obs::criticalPathText(trace), ref_critical)
+        << "threads=" << threads;
+    EXPECT_EQ(obs::breqTableText(trace), ref_breq) << "threads=" << threads;
+    EXPECT_EQ(obs::chromeJsonFromBinaryTrace(trace), ref_chrome)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ExportIdentity, ParallelCountersUseStableDottedNames) {

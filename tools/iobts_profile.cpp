@@ -15,15 +15,26 @@
 //   iobts_profile TRACE.bin --to-chrome OUT   # lossless conversion,
 //                                             # byte-identical to the live
 //                                             # streaming exporter's file
+//   iobts_profile TRACE.bin --from 2 --to 8   # only events overlapping the
+//                                             # window; a v2 trace seeks via
+//                                             # the footer index and decodes
+//                                             # only the selected chunks
+//   iobts_profile TRACE.bin --follow          # tail a growing trace:
+//                                             # periodic refreshes, then the
+//                                             # normal reports once the
+//                                             # footer lands
 //
 // Report flags compose (each report prints once, in the order above).
 // Exit codes: 0 ok, 1 unreadable/corrupt trace (the message names the
-// defect and its BinlogErrorKind), 2 usage.
+// defect and its BinlogErrorKind) or follow timeout, 2 usage.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/binlog.hpp"
 #include "obs/profile.hpp"
@@ -34,10 +45,98 @@ namespace {
   std::fprintf(stderr,
                "usage: %s TRACE.bin [--critical-path] [--link-csv]\n"
                "          [--breq] [--breq-csv] [--to-chrome OUT.json]\n"
-               "          [--top N] [--bins N]\n"
+               "          [--top N] [--bins N] [--from T] [--to T]\n"
+               "          [--follow] [--follow-poll-ms N] [--follow-max-s N]\n"
+               "          [--follow-bytes-per-poll N]\n"
                "       (no report flag: header + top spans)\n",
                argv0);
   std::exit(2);
+}
+
+void appendTime(std::string& out, double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", t);
+  out += buf;
+}
+
+/// Incrementally consume the growing file at `path`: feed every new byte to
+/// the tail reader, print a refresh line whenever fresh chunks arrive, and
+/// return the fully-merged trace once the footer and trailer land. Reads
+/// are sliced to `bytes_per_poll` so partial-chunk buffering is exercised
+/// even on files that are already complete.
+iobts::obs::BinaryTrace followTrace(const std::string& path, int poll_ms,
+                                    double max_s,
+                                    std::size_t bytes_per_poll) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(max_s);
+  iobts::obs::BinlogTailReader reader(path);
+  std::ifstream in;
+  std::uint64_t consumed = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t last_chunks = 0;
+  std::vector<char> buf(bytes_per_poll);
+  for (;;) {
+    if (!in.is_open()) {
+      in.open(path, std::ios::binary);
+      if (!in.is_open()) in.clear();
+    }
+    bool progressed = false;
+    if (in.is_open()) {
+      // Re-seek every poll: the writer appends, and a previous read left
+      // the stream at EOF (which sticks until cleared).
+      in.clear();
+      in.seekg(static_cast<std::streamoff>(consumed), std::ios::beg);
+      in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const std::streamsize got = in.gcount();
+      if (got > 0) {
+        reader.feed(buf.data(), static_cast<std::size_t>(got));
+        consumed += static_cast<std::uint64_t>(got);
+        progressed = true;
+      }
+    }
+    if (reader.chunksConsumed() > last_chunks) {
+      last_chunks = reader.chunksConsumed();
+      ++refreshes;
+      // Cheap live view: the rebuilt index carries the event count and
+      // time cover of every sealed chunk, no decode pass needed.
+      std::uint64_t indexed_events = 0;
+      double t_hi = 0.0;
+      for (const iobts::obs::BinlogIndexEntry& e : reader.liveIndex()) {
+        if (e.kind != iobts::obs::binchunk::kEvents) continue;
+        indexed_events += e.event_count;
+        if (e.t_max > t_hi) t_hi = e.t_max;
+      }
+      std::printf("refresh %llu: %llu chunks, %llu events, t <= %.3f s, "
+                  "%llu byte(s) buffered\n",
+                  static_cast<unsigned long long>(refreshes),
+                  static_cast<unsigned long long>(last_chunks),
+                  static_cast<unsigned long long>(indexed_events),
+                  t_hi,
+                  static_cast<unsigned long long>(reader.bufferedBytes()));
+      std::fflush(stdout);
+    }
+    if (reader.finished()) {
+      std::printf("follow: converged after %llu refreshes (%llu chunks, "
+                  "%llu events)\n",
+                  static_cast<unsigned long long>(refreshes),
+                  static_cast<unsigned long long>(reader.chunksConsumed()),
+                  static_cast<unsigned long long>(reader.eventsDecoded()));
+      std::fflush(stdout);
+      return reader.snapshot();
+    }
+    if (Clock::now() >= deadline) {
+      throw iobts::obs::BinlogError(
+          iobts::obs::BinlogErrorKind::Truncated,
+          path + ": --follow timed out without a footer (" +
+              std::to_string(reader.chunksConsumed()) + " chunk(s), " +
+              std::to_string(reader.bufferedBytes()) +
+              " byte(s) of an unfinished chunk buffered)");
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
 }
 
 }  // namespace
@@ -49,8 +148,14 @@ int main(int argc, char** argv) {
   bool link_csv = false;
   bool breq = false;
   bool breq_csv = false;
+  bool follow = false;
+  bool windowed = false;
+  iobts::obs::TraceWindow window;
   std::size_t top = 20;
   std::size_t bins = 64;
+  int poll_ms = 100;
+  double follow_max_s = 30.0;
+  std::size_t follow_bytes_per_poll = std::size_t{1} << 20;
   auto next = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -65,6 +170,22 @@ int main(int argc, char** argv) {
     else if (arg == "--top") top = static_cast<std::size_t>(std::atoi(next(i)));
     else if (arg == "--bins") {
       bins = static_cast<std::size_t>(std::atoi(next(i)));
+    } else if (arg == "--from") {
+      window.from = std::atof(next(i));
+      windowed = true;
+    } else if (arg == "--to") {
+      window.to = std::atof(next(i));
+      windowed = true;
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--follow-poll-ms") {
+      poll_ms = std::atoi(next(i));
+      if (poll_ms < 1) poll_ms = 1;
+    } else if (arg == "--follow-max-s") {
+      follow_max_s = std::atof(next(i));
+    } else if (arg == "--follow-bytes-per-poll") {
+      follow_bytes_per_poll = static_cast<std::size_t>(std::atol(next(i)));
+      if (follow_bytes_per_poll == 0) follow_bytes_per_poll = 1;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else if (arg[0] != '-' && path.empty()) {
@@ -75,14 +196,52 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) usage(argv[0]);
+  if (follow && windowed) {
+    std::fprintf(stderr,
+                 "--follow tails the whole file; it cannot combine with "
+                 "--from/--to (the index is only final at the footer)\n");
+    usage(argv[0]);
+  }
+  if (window.from > window.to) {
+    std::fprintf(stderr, "--from must not exceed --to\n");
+    usage(argv[0]);
+  }
 
   iobts::obs::BinaryTrace trace;
   try {
-    trace = iobts::obs::readBinaryTrace(path);
+    if (follow) {
+      trace = followTrace(path, poll_ms, follow_max_s, follow_bytes_per_poll);
+    } else if (windowed) {
+      trace = iobts::obs::readBinaryTraceWindow(path, window);
+    } else {
+      trace = iobts::obs::readBinaryTrace(path);
+    }
   } catch (const iobts::obs::BinlogError& e) {
     std::fprintf(stderr, "iobts_profile: error (%s): %s\n", e.kindName(),
                  e.what());
     return 1;
+  }
+
+  if (windowed) {
+    std::string line = "window: [";
+    appendTime(line, window.from);
+    line += " s, ";
+    appendTime(line, window.to);
+    line += " s]";
+    std::printf("%s -- decoded %llu/%llu event chunks (skipped %llu, "
+                "%llu payload byte(s) unread), %llu event(s) in window%s\n",
+                line.c_str(),
+                static_cast<unsigned long long>(
+                    trace.stats.events_chunks_decoded),
+                static_cast<unsigned long long>(
+                    trace.stats.events_chunks_decoded +
+                    trace.stats.events_chunks_skipped),
+                static_cast<unsigned long long>(
+                    trace.stats.events_chunks_skipped),
+                static_cast<unsigned long long>(
+                    trace.stats.payload_bytes_skipped),
+                static_cast<unsigned long long>(trace.stats.events_in_window),
+                trace.stats.used_index ? "" : " (v1 trace: full decode)");
   }
 
   const bool any_report = critical_path || link_csv || breq || breq_csv ||

@@ -85,6 +85,7 @@ struct CliOptions {
   std::optional<std::string> scenario;
   std::optional<std::string> trace;
   std::string trace_format = "json";
+  std::size_t trace_flush_bytes = 0;  // 0 = writer default
   std::optional<std::string> summary;
   std::optional<std::string> checkpoint_dir;
   double checkpoint_every = 0.0;
@@ -101,7 +102,8 @@ struct CliOptions {
       "          [--read-bw 120GB] [--noise SIGMA] [--burst-buffer]\n"
       "          [--jsonl FILE] [--csv PREFIX] [--chart] [--ftio]\n"
       "       %s --scenario FILE [--trace TRACE] [--trace-format json|bin]\n"
-      "          [--summary FILE] [--jsonl FILE] [--csv PREFIX] [--digest]\n"
+      "          [--trace-flush-bytes N] [--summary FILE] [--jsonl FILE]\n"
+      "          [--csv PREFIX] [--digest]\n"
       "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n"
       "       %s --resume CKPT [--digest]\n"
       "          [--checkpoint-dir DIR --checkpoint-every SECONDS]\n",
@@ -134,6 +136,12 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--scenario") opt.scenario = next(i);
     else if (arg == "--trace") opt.trace = next(i);
     else if (arg == "--trace-format") opt.trace_format = next(i);
+    else if (arg == "--trace-flush-bytes") {
+      // Chunk seal threshold for the binary recorder. Small values seal
+      // many small chunks -- what a live `iobts_profile --follow` wants to
+      // see, since only sealed chunks are visible to the tail.
+      opt.trace_flush_bytes = static_cast<std::size_t>(std::atol(next(i)));
+    }
     else if (arg == "--summary") opt.summary = next(i);
     else if (arg == "--checkpoint-dir") opt.checkpoint_dir = next(i);
     else if (arg == "--checkpoint-every") opt.checkpoint_every = std::atof(next(i));
@@ -273,7 +281,12 @@ int runScenario(const CliOptions& opt) {
     sink = std::make_unique<obs::TraceSink>();
     install = std::make_unique<obs::ScopedTraceSink>(*sink);
     if (opt.trace_format == "bin") {
-      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace);
+      obs::BinaryTraceWriterConfig bin_cfg;
+      if (opt.trace_flush_bytes > 0) {
+        bin_cfg.flush_bytes = opt.trace_flush_bytes;
+      }
+      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace,
+                                                           bin_cfg);
       if (!binwriter->good()) {
         std::fprintf(stderr, "cannot open trace file %s\n",
                      opt.trace->c_str());
@@ -330,7 +343,12 @@ int runResume(const CliOptions& opt) {
     sink = std::make_unique<obs::TraceSink>();
     install = std::make_unique<obs::ScopedTraceSink>(*sink);
     if (opt.trace_format == "bin") {
-      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace);
+      obs::BinaryTraceWriterConfig bin_cfg;
+      if (opt.trace_flush_bytes > 0) {
+        bin_cfg.flush_bytes = opt.trace_flush_bytes;
+      }
+      binwriter = std::make_unique<obs::BinaryTraceWriter>(*sink, *opt.trace,
+                                                           bin_cfg);
       if (!binwriter->good()) {
         std::fprintf(stderr, "cannot open trace file %s\n",
                      opt.trace->c_str());

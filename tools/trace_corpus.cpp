@@ -2,21 +2,26 @@
 //
 //   trace_corpus OUTPUT_DIR
 //
-// Builds one valid binary flight-recorder trace (a small deterministic
-// event set written through obs::BinaryTraceWriter), then derives one
-// corrupted variant per BinlogErrorKind (except Io, which is a filesystem
-// condition, not a byte pattern). Each file is named after the
-// binlogErrorKindName() the reader must report for it (truncated.bin,
-// bad_magic.bin, ...); tests/obs/binlog_test.cpp sweeps the directory and
-// keys its expectations on exactly those stems, so the corpus and the
-// sweep can never drift apart silently. The corpus under traces/invalid/
-// is a checked-in artifact -- rerun this tool and commit the result only
-// when the container format version is bumped.
+// Builds one valid binary flight-recorder trace per container version (a
+// small deterministic event set written through obs::BinaryTraceWriter),
+// then derives corrupted variants. Each file is named after the
+// binlogErrorKindName() the reader must report for it, optionally followed
+// by a '-' qualifier: `truncated.bin` and `truncated-v1.bin` both expect
+// "truncated" (the v1 variants keep the previous container version
+// readable as a back-compat gate), `bad_index-truncated.bin` and
+// `bad_index-range.bin` are two distinct "bad_index" defects.
+// tests/obs/binlog_test.cpp sweeps the directory and keys its expectations
+// on exactly those stems, so the corpus and the sweep can never drift
+// apart silently. Two *valid* pins land next to OUTPUT_DIR:
+// `valid_v1.bin` and `valid_v2.bin`, the bit-lossless read-back fixtures.
+// The corpus under traces/ is a checked-in artifact -- rerun this tool and
+// commit the result only when the container format evolves.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "obs/binlog.hpp"
 #include "obs/trace.hpp"
@@ -43,6 +48,38 @@ void putU64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
 }
 
+void patchU32(std::string& bytes, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] = char((v >> (8 * i)) & 0xff);
+  }
+}
+
+void patchU64(std::string& bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] = char((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t readU32At(const std::string& bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t(static_cast<unsigned char>(
+             bytes[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t readU64At(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t(static_cast<unsigned char>(
+             bytes[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
 /// Append one chunk (kind + length + payload + payload checksum).
 void putChunk(std::string& out, std::uint32_t kind,
               const std::string& payload) {
@@ -52,15 +89,57 @@ void putChunk(std::string& out, std::uint32_t kind,
   putU64(out, obs::binlogChecksum(payload));
 }
 
+struct ChunkRef {
+  std::uint32_t kind = 0;
+  std::size_t payload = 0;  ///< offset of the payload's first byte
+  std::size_t len = 0;
+};
+
+/// Walk the container's chunk sequence (no validation -- the input is the
+/// tool's own valid trace).
+std::vector<ChunkRef> scanChunks(const std::string& bytes) {
+  std::vector<ChunkRef> chunks;
+  std::size_t pos = sizeof(obs::kBinlogMagic) + 4;
+  while (pos + 12 <= bytes.size() - 8) {
+    ChunkRef c;
+    c.kind = readU32At(bytes, pos);
+    c.len = static_cast<std::size_t>(readU64At(bytes, pos + 4));
+    c.payload = pos + 12;
+    chunks.push_back(c);
+    pos = c.payload + c.len + 8;
+  }
+  return chunks;
+}
+
+const ChunkRef& chunkOfKind(const std::vector<ChunkRef>& chunks,
+                            std::uint32_t kind) {
+  for (const ChunkRef& c : chunks) {
+    if (c.kind == kind) return c;
+  }
+  std::fprintf(stderr, "valid trace lacks a chunk of kind %u\n", kind);
+  std::exit(1);
+}
+
+/// Re-derive the tampered chunk's stored checksum and the whole-file
+/// trailer digest, so only the intended defect remains.
+void repair(std::string& bytes, const ChunkRef& chunk) {
+  patchU64(bytes, chunk.payload + chunk.len,
+           obs::binlogChecksum(bytes.data() + chunk.payload, chunk.len));
+  patchU64(bytes, bytes.size() - 8,
+           obs::binlogTrailerDigest(bytes.data(), bytes.size() - 8));
+}
+
 /// The valid base trace: a handful of deterministic events through the
 /// real writer, so the corpus tracks the writer's actual byte layout.
-std::string validTrace() {
+std::string validTrace(std::uint32_t version) {
   obs::TraceSink sink;
   sink.setProcessName(obs::track::kStreams, "pfs streams");
   sink.setThreadName(obs::track::kStreams, 0, "stream 0");
   std::string bytes;
   {
-    obs::BinaryTraceWriter writer(sink, &bytes);
+    obs::BinaryTraceWriterConfig config;
+    config.version = version;
+    obs::BinaryTraceWriter writer(sink, &bytes, config);
     sink.complete("pfs", "transfer.write", obs::track::kStreams, 0, 0.5, 0.25,
                   4096.0);
     sink.complete("pfs", "transfer.read", obs::track::kStreams, 0, 1.0, 0.5,
@@ -74,6 +153,13 @@ std::string validTrace() {
   return bytes;
 }
 
+std::string headerOnly(std::uint32_t version) {
+  std::string bytes;
+  bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
+  putU32(bytes, version);
+  return bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,15 +169,26 @@ int main(int argc, char** argv) {
   }
   const std::string dir = argv[1];
   std::filesystem::create_directories(dir);
+  std::filesystem::path parent = std::filesystem::path(dir).parent_path();
+  if (parent.empty()) parent = ".";
 
-  const std::string valid = validTrace();
+  const std::string valid_v2 = validTrace(obs::kBinlogVersion);
+  const std::string valid_v1 = validTrace(obs::kBinlogVersionV1);
+  const std::vector<ChunkRef> v2_chunks = scanChunks(valid_v2);
+
+  // The valid pins: readers of any future version must still decode these
+  // byte-for-byte (tests compare every decoded field).
+  writeBytes((parent / "valid_v2.bin").string(), valid_v2);
+  writeBytes((parent / "valid_v1.bin").string(), valid_v1);
 
   // truncated: cut mid-chunk.
-  writeBytes(dir + "/truncated.bin", valid.substr(0, valid.size() / 2));
+  writeBytes(dir + "/truncated.bin", valid_v2.substr(0, valid_v2.size() / 2));
+  writeBytes(dir + "/truncated-v1.bin",
+             valid_v1.substr(0, valid_v1.size() / 2));
 
   // bad_magic: first byte wrong.
   {
-    std::string bytes = valid;
+    std::string bytes = valid_v2;
     bytes[0] = 'X';
     writeBytes(dir + "/bad_magic.bin", bytes);
   }
@@ -99,60 +196,75 @@ int main(int argc, char** argv) {
   // bad_version: container claims a future version (little-endian u32 at
   // offset 8).
   {
-    std::string bytes = valid;
+    std::string bytes = valid_v2;
     bytes[8] = 99;
     writeBytes(dir + "/bad_version.bin", bytes);
   }
 
-  // chunk_checksum: one payload bit flipped. The first chunk starts at
-  // offset 12 (magic + version): u32 kind, u64 length, then payload.
+  // chunk_checksum: one payload bit flipped (stored checksums untouched, so
+  // the trailer digest stays valid and the chunk check is what fires).
   {
-    std::string bytes = valid;
-    bytes[12 + 4 + 8] ^= 0x01;
+    std::string bytes = valid_v2;
+    bytes[v2_chunks.front().payload] ^= 0x01;
     writeBytes(dir + "/chunk_checksum.bin", bytes);
+    bytes = valid_v1;
+    bytes[12 + 12] ^= 0x01;
+    writeBytes(dir + "/chunk_checksum-v1.bin", bytes);
   }
 
   // file_checksum: trailer bit flipped.
   {
-    std::string bytes = valid;
+    std::string bytes = valid_v2;
     bytes[bytes.size() - 1] ^= 0x01;
     writeBytes(dir + "/file_checksum.bin", bytes);
   }
 
-  // malformed: an events chunk whose payload is not a whole number of
-  // records (checksums all valid, structure wrong).
+  // malformed: an events chunk whose payload cannot hold its own header
+  // (v2: 3 bytes where the u32 shard id should be; v1: not a whole number
+  // of 64-byte records). Checksums all valid, structure wrong.
   {
-    std::string bytes;
-    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
-    putU32(bytes, obs::kBinlogVersion);
-    putChunk(bytes, obs::binchunk::kEvents, "xyz");  // 3 stray bytes
+    std::string bytes = headerOnly(obs::kBinlogVersion);
+    putChunk(bytes, obs::binchunk::kEvents, "xyz");
     putU64(bytes, obs::binlogTrailerDigest(bytes));
     writeBytes(dir + "/malformed.bin", bytes);
+    bytes = headerOnly(obs::kBinlogVersionV1);
+    putChunk(bytes, obs::binchunk::kEvents, "xyz");
+    putU64(bytes, obs::binlogTrailerDigest(bytes));
+    writeBytes(dir + "/malformed-v1.bin", bytes);
   }
 
   // missing_footer: clean EOF after the header, before any footer chunk
   // (what a crash between flushes leaves behind).
-  {
-    std::string bytes;
-    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
-    putU32(bytes, obs::kBinlogVersion);
-    writeBytes(dir + "/missing_footer.bin", bytes);
-  }
+  writeBytes(dir + "/missing_footer.bin", headerOnly(obs::kBinlogVersion));
+  writeBytes(dir + "/missing_footer-v1.bin",
+             headerOnly(obs::kBinlogVersionV1));
 
-  // bad_string_ref: an event referencing a string id the table never
-  // defined. Hand-built so every checksum is valid and only the reference
-  // is wrong.
+  // bad_string_ref: the first event's interned name id retargeted past the
+  // string table, checksums repaired so only the dangling reference is
+  // wrong. The v2 record layout pins the id's offset: chunk header (u32
+  // shard, u32 count), then flags byte, then 1-byte varints for pid, tid,
+  // category id (0), name id (1).
   {
-    std::string bytes;
-    bytes.append(obs::kBinlogMagic, sizeof(obs::kBinlogMagic));
-    putU32(bytes, obs::kBinlogVersion);
+    std::string bytes = valid_v2;
+    const ChunkRef& events = chunkOfKind(v2_chunks, obs::binchunk::kEvents);
+    const std::size_t name_at = events.payload + 8 + 1 + 1 + 1 + 1;
+    if (bytes[events.payload + 8 + 1 + 1 + 1] != 0 || bytes[name_at] != 1) {
+      std::fprintf(stderr, "v2 event record layout drifted\n");
+      return 1;
+    }
+    bytes[name_at] = 7;
+    repair(bytes, events);
+    writeBytes(dir + "/bad_string_ref.bin", bytes);
+  }
+  {
+    // v1 variant: hand-built fixed-width record with a dangling name id.
+    std::string bytes = headerOnly(obs::kBinlogVersionV1);
     std::string strings;
     putU32(strings, 1);
     putU32(strings, 3);
     strings += "pfs";
     putChunk(bytes, obs::binchunk::kStrings, strings);
     std::string events;
-    const std::size_t record_start = events.size();
     putU64(events, 0);  // ts bits
     putU64(events, 0);  // dur bits
     putU32(events, 1);  // pid
@@ -164,8 +276,8 @@ int main(int argc, char** argv) {
     putU64(events, 0);  // flow
     putU32(events, 0);  // category id (valid)
     putU32(events, 7);  // name id (never defined)
-    if (events.size() - record_start != obs::kBinlogEventBytes) {
-      std::fprintf(stderr, "event record layout drifted\n");
+    if (events.size() != obs::kBinlogEventBytes) {
+      std::fprintf(stderr, "v1 event record layout drifted\n");
       return 1;
     }
     putChunk(bytes, obs::binchunk::kEvents, events);
@@ -177,7 +289,51 @@ int main(int argc, char** argv) {
     putU64(footer, 1);  // streamed
     putChunk(bytes, obs::binchunk::kFooter, footer);
     putU64(bytes, obs::binlogTrailerDigest(bytes));
-    writeBytes(dir + "/bad_string_ref.bin", bytes);
+    writeBytes(dir + "/bad_string_ref-v1.bin", bytes);
+  }
+
+  // bad_index-truncated: the index chunk claims one more entry than its
+  // payload holds (both checksums repaired -- the structural check fires).
+  {
+    std::string bytes = valid_v2;
+    const ChunkRef& index = chunkOfKind(v2_chunks, obs::binchunk::kIndex);
+    patchU32(bytes, index.payload, readU32At(bytes, index.payload) + 1);
+    repair(bytes, index);
+    writeBytes(dir + "/bad_index-truncated.bin", bytes);
+  }
+
+  // bad_index-range: an index entry's time cover disagrees with the chunk
+  // it points at (t_max of the first events entry nudged).
+  {
+    std::string bytes = valid_v2;
+    const ChunkRef& index = chunkOfKind(v2_chunks, obs::binchunk::kIndex);
+    const std::uint32_t entries = readU32At(bytes, index.payload);
+    std::size_t tampered = 0;
+    for (std::uint32_t i = 0; i < entries; ++i) {
+      const std::size_t entry =
+          index.payload + 8 +
+          static_cast<std::size_t>(i) * obs::kBinlogIndexEntryBytes;
+      if (readU32At(bytes, entry) != obs::binchunk::kEvents) continue;
+      bytes[entry + 40] ^= 0x01;  // low mantissa byte of t_max
+      tampered = entry;
+      break;
+    }
+    if (tampered == 0) {
+      std::fprintf(stderr, "no events entry in the index\n");
+      return 1;
+    }
+    repair(bytes, index);
+    writeBytes(dir + "/bad_index-range.bin", bytes);
+  }
+
+  // bad_shard: an events chunk tagged with a shard id past the format
+  // limit (checksums repaired; the shard-range check fires first).
+  {
+    std::string bytes = valid_v2;
+    const ChunkRef& events = chunkOfKind(v2_chunks, obs::binchunk::kEvents);
+    patchU32(bytes, events.payload, obs::kBinlogMaxShards);
+    repair(bytes, events);
+    writeBytes(dir + "/bad_shard.bin", bytes);
   }
 
   return 0;
